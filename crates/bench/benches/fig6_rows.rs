@@ -1,0 +1,78 @@
+//! Criterion wall-clock companion to the Fig. 6 table: per-event monitor
+//! latency for both strategies on each configuration (ViaPSL only where the
+//! translation is materializable — rows 2 and 6 exceed 3×10⁹ conjuncts and
+//! are covered by the closed-form model in the `fig6` binary instead).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use lomon_bench::{evaluate_row, fig6_rows};
+use lomon_core::monitor::build_monitor;
+use lomon_core::verdict::Monitor;
+use lomon_psl::monitor::PslMonitor;
+use lomon_psl::translate::TranslateOptions;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(20);
+    for row in fig6_rows() {
+        let result = evaluate_row(&row, 42);
+        let events = result.workload.len().max(1) as u64;
+        group.throughput(criterion::Throughput::Elements(events));
+
+        let property = result.property.clone();
+        let vocabulary = result.vocabulary.clone();
+        let workload = result.workload.clone();
+        group.bench_function(format!("row{}/drct", row.id), |b| {
+            b.iter_batched(
+                || {
+                    build_monitor(property.clone(), &vocabulary)
+                        .expect("well-formed")
+                        .without_diagnostics()
+                },
+                |mut monitor| {
+                    for &event in workload.iter() {
+                        monitor.observe(event);
+                    }
+                    monitor.verdict()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        if PslMonitor::build_with(
+            &result.property,
+            TranslateOptions {
+                conjunct_limit: 100_000,
+            },
+        )
+        .is_ok()
+        {
+            let property = result.property.clone();
+            let workload = result.workload.clone();
+            group.bench_function(format!("row{}/viapsl", row.id), |b| {
+                b.iter_batched(
+                    || {
+                        PslMonitor::build_with(
+                            &property,
+                            TranslateOptions {
+                                conjunct_limit: 100_000,
+                            },
+                        )
+                        .expect("materializable")
+                    },
+                    |mut monitor| {
+                        for &event in workload.iter() {
+                            monitor.observe(event);
+                        }
+                        monitor.verdict()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion S4: throughput of the §8 future-work stimuli generator and of
+//! the mutation engine on the Fig. 4 pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lomon_core::parse::parse_property;
+use lomon_gen::{generate, mutate, GeneratorConfig};
+use lomon_trace::Vocabulary;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut voc = Vocabulary::new();
+    let property = parse_property(
+        "all{n1, n2} < any{n3[2,8], n4} < n5 << i repeated",
+        &mut voc,
+    )
+    .expect("parses");
+
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(30);
+    group.bench_function("generate/fig4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate(&property, &GeneratorConfig::new(seed)).trace.len()
+        })
+    });
+
+    let base = generate(&property, &GeneratorConfig::new(1)).trace;
+    group.bench_function("mutate/fig4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mutate(&property, &base, 10, seed).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion sweeps S1/S2: per-event latency vs range width (Drct flat,
+//! ViaPSL quadratic) and vs fragment size (both linear-ish).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use lomon_core::monitor::build_monitor;
+use lomon_core::verdict::Monitor;
+use lomon_gen::{generate, GeneratorConfig};
+use lomon_psl::monitor::PslMonitor;
+use lomon_psl::translate::TranslateOptions;
+use lomon_trace::{Trace, Vocabulary};
+
+fn run_monitor<M: Monitor>(mut monitor: M, workload: &Trace) -> M {
+    for &event in workload.iter() {
+        monitor.observe(event);
+    }
+    monitor
+}
+
+fn bench_range_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_width");
+    group.sample_size(15);
+    for width in [1u32, 4, 16, 64, 128] {
+        let mut voc = Vocabulary::new();
+        let property = lomon_bench::range_sweep_property(width, &mut voc);
+        let workload = generate(
+            &property,
+            &GeneratorConfig {
+                episodes: 2,
+                ..GeneratorConfig::new(3)
+            },
+        )
+        .trace;
+        group.throughput(criterion::Throughput::Elements(workload.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("drct", width), &width, |b, _| {
+            b.iter_batched(
+                || {
+                    build_monitor(property.clone(), &voc)
+                        .expect("well-formed")
+                        .without_diagnostics()
+                },
+                |m| run_monitor(m, &workload).verdict(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("viapsl", width), &width, |b, _| {
+            b.iter_batched(
+                || {
+                    PslMonitor::build_with(
+                        &property,
+                        TranslateOptions {
+                            conjunct_limit: 100_000,
+                        },
+                    )
+                    .expect("materializable at these widths")
+                },
+                |m| run_monitor(m, &workload).verdict(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fragment_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragment_size");
+    group.sample_size(15);
+    for k in [2usize, 4, 8, 16] {
+        let mut voc = Vocabulary::new();
+        let property = lomon_bench::names_sweep_property(k, &mut voc);
+        let workload = generate(&property, &GeneratorConfig::new(5)).trace;
+        group.throughput(criterion::Throughput::Elements(workload.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("drct", k), &k, |b, _| {
+            b.iter_batched(
+                || {
+                    build_monitor(property.clone(), &voc)
+                        .expect("well-formed")
+                        .without_diagnostics()
+                },
+                |m| run_monitor(m, &workload).verdict(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("viapsl", k), &k, |b, _| {
+            b.iter_batched(
+                || PslMonitor::build(&property).expect("small"),
+                |m| run_monitor(m, &workload).verdict(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_width, bench_fragment_size);
+criterion_main!(benches);

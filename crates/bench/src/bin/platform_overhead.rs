@@ -1,0 +1,45 @@
+//! S3: monitoring overhead on the virtual platform — the Fig. 1/2 framework
+//! in action. Runs the face-recognition scenario with and without online
+//! monitors and compares wall-clock time and kernel statistics.
+//!
+//! Run with `cargo run -p lomon-bench --bin platform_overhead --release`.
+
+use std::time::Instant;
+
+use lomon_tlm::scenario::{run_scenario, ScenarioConfig};
+
+fn measure(monitors: bool, runs: u32) -> (f64, u64, usize) {
+    let mut dispatched = 0;
+    let mut events = 0;
+    let start = Instant::now();
+    for seed in 0..runs {
+        let mut config = ScenarioConfig::nominal(u64::from(seed) + 1);
+        config.captures = 16;
+        config.monitors = monitors;
+        let report = run_scenario(&config);
+        assert!(report.all_ok(), "nominal scenario must stay clean");
+        dispatched += report.stats.dispatched;
+        events += report.trace.len();
+    }
+    (start.elapsed().as_secs_f64(), dispatched, events)
+}
+
+fn main() {
+    const RUNS: u32 = 150;
+    println!("S3 — platform monitoring overhead ({RUNS} nominal runs, 16 captures each)");
+    let (with, dispatched_with, events) = measure(true, RUNS);
+    let (without, dispatched_without, _) = measure(false, RUNS);
+    println!("  without monitors: {without:.3}s  ({dispatched_without} kernel dispatches)");
+    println!("  with    monitors: {with:.3}s  ({dispatched_with} kernel dispatches)");
+    println!("  interface events observed: {events}");
+    let overhead = (with - without) / without.max(1e-9) * 100.0;
+    let per_event_ns = (with - without) / events.max(1) as f64 * 1e9;
+    println!("  relative overhead: {overhead:.1}%");
+    println!("  monitor cost per observed event: {per_event_ns:.0} ns");
+    println!();
+    println!("Expected shape: sub-microsecond monitor cost per event (the Drct");
+    println!("monitors do Θ(max |α(F)|) work per event). The *relative* figure");
+    println!("is an upper bound: this substitute platform simulates almost for");
+    println!("free, while a real SystemC model does orders of magnitude more");
+    println!("work per event, making the same per-event cost vanish.");
+}

@@ -1,0 +1,392 @@
+//! Abstract syntax of loose-ordering patterns (paper Fig. 3).
+//!
+//! The grammar, with its well-formedness side conditions (checked separately
+//! in [`crate::wf`]):
+//!
+//! ```text
+//! R = n[u,v]                      a range        α(R) = {n}, u ≤ v ∈ ℕ
+//! F = ({R1,…,Rk}, ♯), ♯ ∈ {∧,∨}   a fragment     ranges pairwise disjoint
+//! L = F1 < … < Fq                 a loose-ordering; fragments disjoint
+//! A = (P << i, b)                 an antecedent requirement, i ∈ I, b ∈ 𝔹
+//! T = (P ⇒ Q, t)                  a timed implication, t ∈ ℕ, α(Q) ⊆ O
+//! ```
+//!
+//! AST nodes hold interned [`Name`]s; rendering back to text therefore needs
+//! the [`Vocabulary`] (see the `display` methods).
+
+use lomon_trace::{Name, NameSet, SimTime, Vocabulary};
+
+/// A range `n[u,v]`: between `u` and `v` consecutive occurrences of `n`
+/// (paper Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// The repeated interface name.
+    pub name: Name,
+    /// Minimum number of occurrences (well-formedness requires `u ≥ 1`).
+    pub min: u32,
+    /// Maximum number of occurrences (`v ≥ u`).
+    pub max: u32,
+}
+
+impl Range {
+    /// A range `n[u,v]`.
+    pub fn new(name: Name, min: u32, max: u32) -> Self {
+        Range { name, min, max }
+    }
+
+    /// The trivial range `n[1,1]` — a single occurrence.
+    pub fn once(name: Name) -> Self {
+        Range::new(name, 1, 1)
+    }
+
+    /// Whether this range is `[1,1]` (needs no counting, and no run-length
+    /// lexing in the PSL translation).
+    pub fn is_trivial(&self) -> bool {
+        self.min == 1 && self.max == 1
+    }
+
+    /// Width of the interval, `v − u + 1` — the factor that drives the
+    /// ViaPSL explosion.
+    pub fn width(&self) -> u64 {
+        u64::from(self.max) - u64::from(self.min) + 1
+    }
+
+    /// Render as `n` or `n[u,v]`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        if self.is_trivial() {
+            voc.resolve(self.name).to_owned()
+        } else {
+            format!("{}[{},{}]", voc.resolve(self.name), self.min, self.max)
+        }
+    }
+}
+
+/// The connective of a fragment: `∧` (all ranges) or `∨` (a non-empty
+/// subset of the ranges), paper Definition 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FragmentOp {
+    /// `∧`: every range's block must appear (in any order).
+    All,
+    /// `∨`: at least one range's block must appear; any subset may.
+    Any,
+}
+
+impl FragmentOp {
+    /// The paper's symbol for this connective.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            FragmentOp::All => "∧",
+            FragmentOp::Any => "∨",
+        }
+    }
+
+    /// The property-language keyword for this connective.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FragmentOp::All => "all",
+            FragmentOp::Any => "any",
+        }
+    }
+}
+
+/// A fragment `({R1,…,Rk}, ♯)`: the selected ranges' blocks, concatenated in
+/// any order (paper Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fragment {
+    /// The member ranges (their alphabets are pairwise disjoint).
+    pub ranges: Vec<Range>,
+    /// `∧` or `∨`.
+    pub op: FragmentOp,
+}
+
+impl Fragment {
+    /// A fragment with the given connective.
+    pub fn new(op: FragmentOp, ranges: Vec<Range>) -> Self {
+        Fragment { ranges, op }
+    }
+
+    /// An `∧`-fragment containing a single range — what a bare range in a
+    /// loose-ordering denotes.
+    pub fn singleton(range: Range) -> Self {
+        Fragment::new(FragmentOp::All, vec![range])
+    }
+
+    /// `α(F)`: the set of names appearing in this fragment.
+    pub fn alpha(&self) -> NameSet {
+        self.ranges.iter().map(|r| r.name).collect()
+    }
+
+    /// Number of distinct names, `|α(F)|`.
+    pub fn alpha_len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Render as `all{…}` / `any{…}`, or the bare range for a trivial
+    /// singleton `∧`-fragment.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        if self.op == FragmentOp::All && self.ranges.len() == 1 {
+            return self.ranges[0].display(voc);
+        }
+        let inner: Vec<String> = self.ranges.iter().map(|r| r.display(voc)).collect();
+        format!("{}{{{}}}", self.op.keyword(), inner.join(", "))
+    }
+}
+
+/// A loose-ordering `L = F1 < … < Fq`: the fragments' sequences in this
+/// exact order — "loose" because the order *inside* each fragment is free
+/// (paper Definition 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LooseOrdering {
+    /// The ordered fragments.
+    pub fragments: Vec<Fragment>,
+}
+
+impl LooseOrdering {
+    /// A loose-ordering of the given fragments.
+    pub fn new(fragments: Vec<Fragment>) -> Self {
+        LooseOrdering { fragments }
+    }
+
+    /// `α(L)`: all names of all fragments.
+    pub fn alpha(&self) -> NameSet {
+        let mut set = NameSet::new();
+        for f in &self.fragments {
+            set.union_with(&f.alpha());
+        }
+        set
+    }
+
+    /// Iterate over all ranges of all fragments.
+    pub fn ranges(&self) -> impl Iterator<Item = &Range> {
+        self.fragments.iter().flat_map(|f| f.ranges.iter())
+    }
+
+    /// `max_j |α(F_j)|` — the Drct per-event time measure.
+    pub fn max_fragment_alpha(&self) -> usize {
+        self.fragments.iter().map(Fragment::alpha_len).max().unwrap_or(0)
+    }
+
+    /// `Σ_j |α(F_j)|` — the Drct space measure.
+    pub fn total_alpha(&self) -> usize {
+        self.fragments.iter().map(Fragment::alpha_len).sum()
+    }
+
+    /// Render as `F1 < F2 < …`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        let parts: Vec<String> = self.fragments.iter().map(|f| f.display(voc)).collect();
+        parts.join(" < ")
+    }
+}
+
+/// An antecedent requirement `A = (P << i, b)`: `i` can occur only if `P`
+/// has been observed before (paper Definition 4).
+///
+/// With `repeated = true` each occurrence of `i` needs its own occurrence of
+/// `P` since the previous `i`; with `repeated = false` one `P` validates all
+/// further occurrences of `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Antecedent {
+    /// The loose-ordering that must precede `i`.
+    pub antecedent: LooseOrdering,
+    /// The guarded input.
+    pub trigger: Name,
+    /// The `b` flag of the paper.
+    pub repeated: bool,
+}
+
+impl Antecedent {
+    /// Build `(P << i, b)`.
+    pub fn new(antecedent: LooseOrdering, trigger: Name, repeated: bool) -> Self {
+        Antecedent {
+            antecedent,
+            trigger,
+            repeated,
+        }
+    }
+
+    /// `α(A) = α(P) ∪ {i}`.
+    pub fn alpha(&self) -> NameSet {
+        let mut set = self.antecedent.alpha();
+        set.insert(self.trigger);
+        set
+    }
+
+    /// Render as `P << i repeated|once`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        format!(
+            "{} << {} {}",
+            self.antecedent.display(voc),
+            voc.resolve(self.trigger),
+            if self.repeated { "repeated" } else { "once" }
+        )
+    }
+}
+
+/// A timed implication constraint `T = (P ⇒ Q, t)`: whenever `P` is
+/// observed, `Q` must occur and be finished within `t` time units of the end
+/// of `P`; implicitly repeated (paper Definition 5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TimedImplication {
+    /// The triggering loose-ordering (over inputs and outputs).
+    pub premise: LooseOrdering,
+    /// The required response (over outputs only).
+    pub response: LooseOrdering,
+    /// The budget between end of `P` and end of `Q`.
+    pub bound: SimTime,
+}
+
+impl TimedImplication {
+    /// Build `(P ⇒ Q, t)`.
+    pub fn new(premise: LooseOrdering, response: LooseOrdering, bound: SimTime) -> Self {
+        TimedImplication {
+            premise,
+            response,
+            bound,
+        }
+    }
+
+    /// `α(T) = α(P) ∪ α(Q)`.
+    pub fn alpha(&self) -> NameSet {
+        let mut set = self.premise.alpha();
+        set.union_with(&self.response.alpha());
+        set
+    }
+
+    /// All fragments of `P` then `Q`, the concatenation the monitors run on.
+    pub fn all_fragments(&self) -> Vec<Fragment> {
+        let mut fs = self.premise.fragments.clone();
+        fs.extend(self.response.fragments.iter().cloned());
+        fs
+    }
+
+    /// Render as `P => Q within t`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        format!(
+            "{} => {} within {}",
+            self.premise.display(voc),
+            self.response.display(voc),
+            self.bound
+        )
+    }
+}
+
+/// A root property: one of the two specification patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// `(P << i, b)`.
+    Antecedent(Antecedent),
+    /// `(P ⇒ Q, t)`.
+    Timed(TimedImplication),
+}
+
+impl Property {
+    /// `α` of the root pattern.
+    pub fn alpha(&self) -> NameSet {
+        match self {
+            Property::Antecedent(a) => a.alpha(),
+            Property::Timed(t) => t.alpha(),
+        }
+    }
+
+    /// Render in the property language.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        match self {
+            Property::Antecedent(a) => a.display(voc),
+            Property::Timed(t) => t.display(voc),
+        }
+    }
+}
+
+impl From<Antecedent> for Property {
+    fn from(a: Antecedent) -> Self {
+        Property::Antecedent(a)
+    }
+}
+
+impl From<TimedImplication> for Property {
+    fn from(t: TimedImplication) -> Self {
+        Property::Timed(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voc_abc() -> (Vocabulary, Name, Name, Name, Name) {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.input("b");
+        let c = voc.output("c");
+        let i = voc.input("i");
+        (voc, a, b, c, i)
+    }
+
+    #[test]
+    fn range_properties() {
+        let (voc, a, ..) = voc_abc();
+        let r = Range::new(a, 2, 8);
+        assert!(!r.is_trivial());
+        assert_eq!(r.width(), 7);
+        assert_eq!(r.display(&voc), "a[2,8]");
+        assert_eq!(Range::once(a).display(&voc), "a");
+        assert!(Range::once(a).is_trivial());
+    }
+
+    #[test]
+    fn fragment_alpha_and_display() {
+        let (voc, a, b, ..) = voc_abc();
+        let f = Fragment::new(FragmentOp::Any, vec![Range::new(a, 2, 8), Range::once(b)]);
+        assert_eq!(f.alpha_len(), 2);
+        assert!(f.alpha().contains(a) && f.alpha().contains(b));
+        assert_eq!(f.display(&voc), "any{a[2,8], b}");
+        let single = Fragment::singleton(Range::once(a));
+        assert_eq!(single.display(&voc), "a");
+    }
+
+    #[test]
+    fn ordering_measures() {
+        let (voc, a, b, c, _i) = voc_abc();
+        let l = LooseOrdering::new(vec![
+            Fragment::new(FragmentOp::All, vec![Range::once(a), Range::once(b)]),
+            Fragment::singleton(Range::new(c, 1, 4)),
+        ]);
+        assert_eq!(l.max_fragment_alpha(), 2);
+        assert_eq!(l.total_alpha(), 3);
+        assert_eq!(l.ranges().count(), 3);
+        assert_eq!(l.display(&voc), "all{a, b} < c[1,4]");
+        assert_eq!(l.alpha().len(), 3);
+    }
+
+    #[test]
+    fn antecedent_alpha_includes_trigger() {
+        let (voc, a, _b, _c, i) = voc_abc();
+        let p = LooseOrdering::new(vec![Fragment::singleton(Range::once(a))]);
+        let ant = Antecedent::new(p, i, true);
+        assert!(ant.alpha().contains(i));
+        assert_eq!(ant.display(&voc), "a << i repeated");
+    }
+
+    #[test]
+    fn timed_concatenates_fragments() {
+        let (voc, a, b, c, _i) = voc_abc();
+        let p = LooseOrdering::new(vec![Fragment::singleton(Range::once(a))]);
+        let q = LooseOrdering::new(vec![
+            Fragment::singleton(Range::once(b)),
+            Fragment::singleton(Range::once(c)),
+        ]);
+        let t = TimedImplication::new(p, q, SimTime::from_ns(100));
+        assert_eq!(t.all_fragments().len(), 3);
+        assert_eq!(t.display(&voc), "a => b < c within 100ns");
+        let prop: Property = t.into();
+        assert_eq!(prop.alpha().len(), 3);
+    }
+
+    #[test]
+    fn empty_ordering_measures_are_zero() {
+        let l = LooseOrdering::new(vec![]);
+        assert_eq!(l.max_fragment_alpha(), 0);
+        assert_eq!(l.total_alpha(), 0);
+        assert!(l.alpha().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! The Drct cost model (paper Section 7).
+//!
+//! The paper measures two quantities for a monitor:
+//!
+//! * **time** — "the number of operations executed by the monitors for each
+//!   event observed";
+//! * **space** — "the number of bits needed to store the Boolean and bounded
+//!   Integer variables".
+//!
+//! For the direct strategy it states
+//!
+//! * time `Θ(max_{i∈[1..q]} |α(F_i)|)` — only the active fragment's
+//!   recognizers work while scanning a sequence;
+//! * space `Θ(Σ_{i=1..q} |α(F_i)|)`, with counters bounded by `max v_i` —
+//!   **independent of the range widths**, the headline claim of Fig. 6.
+//!
+//! This module computes both the Θ-level quantities from the AST and the
+//! *exact* accounting of our implementation (via the instrumented monitors),
+//! plus a helper that measures average operations per event on a workload.
+//! Absolute constants inevitably differ from the paper's unknown SystemC
+//! implementation; EXPERIMENTS.md compares the *shapes*.
+
+use lomon_trace::Trace;
+
+use crate::ast::{LooseOrdering, Property};
+use crate::monitor::PropertyMonitor;
+use crate::verdict::Monitor;
+
+/// Static cost figures of a Drct monitor for one property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrctCost {
+    /// `max_j |α(F_j)|` — the Θ-level per-event time measure.
+    pub theta_time: u64,
+    /// `Σ_j |α(F_j)|` — the Θ-level space measure.
+    pub theta_space: u64,
+    /// Exact mutable-state bits of our monitor implementation.
+    pub state_bits: u64,
+    /// The largest range bound `max v_i` (drives counter width only).
+    pub max_bound: u32,
+}
+
+fn orderings_of(property: &Property) -> Vec<&LooseOrdering> {
+    match property {
+        Property::Antecedent(a) => vec![&a.antecedent],
+        Property::Timed(t) => vec![&t.premise, &t.response],
+    }
+}
+
+/// Compute the static Drct cost of a (well-formed) property.
+///
+/// # Example
+///
+/// ```
+/// use lomon_core::complexity::drct_cost;
+/// use lomon_core::parse::parse_property;
+/// use lomon_trace::Vocabulary;
+///
+/// let mut voc = Vocabulary::new();
+/// let narrow = parse_property("n << i repeated", &mut voc).unwrap();
+/// let wide = parse_property("n[100,60000] << i repeated", &mut voc).unwrap();
+/// let narrow_cost = drct_cost(&narrow);
+/// let wide_cost = drct_cost(&wide);
+/// // The headline claim: range widths do not change the time measure.
+/// assert_eq!(narrow_cost.theta_time, wide_cost.theta_time);
+/// ```
+pub fn drct_cost(property: &Property) -> DrctCost {
+    let orderings = orderings_of(property);
+    let theta_time = orderings
+        .iter()
+        .map(|l| l.max_fragment_alpha() as u64)
+        .max()
+        .unwrap_or(0);
+    let theta_space = orderings
+        .iter()
+        .map(|l| l.total_alpha() as u64)
+        .sum::<u64>();
+    let max_bound = orderings
+        .iter()
+        .flat_map(|l| l.ranges())
+        .map(|r| r.max)
+        .max()
+        .unwrap_or(0);
+    let state_bits = match property {
+        Property::Antecedent(a) => {
+            crate::antecedent::AntecedentMonitor::new(a.clone()).state_bits()
+        }
+        Property::Timed(t) => crate::timed::TimedImplicationMonitor::new(t.clone()).state_bits(),
+    };
+    DrctCost {
+        theta_time,
+        theta_space,
+        state_bits,
+        max_bound,
+    }
+}
+
+/// Measured cost of running a Drct monitor over a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredCost {
+    /// Events observed.
+    pub events: u64,
+    /// Total abstract operations executed.
+    pub total_ops: u64,
+    /// Average operations per observed event.
+    pub ops_per_event: f64,
+    /// Mutable state bits of the monitor.
+    pub state_bits: u64,
+}
+
+/// Run the property's Drct monitor (diagnostics off) over `trace` and report
+/// the measured operation counts.
+///
+/// # Panics
+///
+/// Panics if the property is not well-formed — measurement presumes a valid
+/// monitor.
+pub fn measure_drct(property: &Property, trace: &Trace, voc: &lomon_trace::Vocabulary) -> MeasuredCost {
+    let monitor = crate::monitor::build_monitor(property.clone(), voc)
+        .expect("property must be well-formed for measurement");
+    let mut monitor: PropertyMonitor = monitor.without_diagnostics();
+    for &event in trace.iter() {
+        monitor.observe(event);
+    }
+    let events = trace.len() as u64;
+    let total_ops = monitor.ops();
+    MeasuredCost {
+        events,
+        total_ops,
+        ops_per_event: if events == 0 {
+            0.0
+        } else {
+            total_ops as f64 / events as f64
+        },
+        state_bits: monitor.state_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_property;
+    use lomon_trace::{Trace, Vocabulary};
+
+    #[test]
+    fn theta_measures_fig6_rows() {
+        let mut voc = Vocabulary::new();
+        // Row 1 vs row 2: range width must not change θ-time or θ-space.
+        let r1 = drct_cost(&parse_property("n << i repeated", &mut voc).unwrap());
+        let r2 = drct_cost(&parse_property("n[100,60000] << i repeated", &mut voc).unwrap());
+        assert_eq!(r1.theta_time, 1);
+        assert_eq!(r2.theta_time, 1);
+        assert_eq!(r1.theta_space, r2.theta_space);
+        // Only the counter width grows.
+        assert!(r2.state_bits > r1.state_bits);
+        assert!(r2.state_bits - r1.state_bits <= 16);
+    }
+
+    #[test]
+    fn theta_grows_with_fragment_size() {
+        let mut voc = Vocabulary::new();
+        let c4 = drct_cost(
+            &parse_property("all{n1, n2, n3, n4} << i once", &mut voc).unwrap(),
+        );
+        let c5 = drct_cost(
+            &parse_property("all{n1, n2, n3, n4, n5} << i once", &mut voc).unwrap(),
+        );
+        assert_eq!(c4.theta_time, 4);
+        assert_eq!(c5.theta_time, 5);
+        assert!(c5.state_bits > c4.state_bits);
+    }
+
+    #[test]
+    fn timed_cost_covers_both_sides() {
+        let mut voc = Vocabulary::new();
+        let c = drct_cost(
+            &parse_property("n1 => n2 < n3 < n4 within 1 ms", &mut voc).unwrap(),
+        );
+        assert_eq!(c.theta_time, 1); // all fragments are singletons
+        assert_eq!(c.theta_space, 4);
+        assert_eq!(c.max_bound, 1);
+    }
+
+    #[test]
+    fn measured_ops_are_flat_in_range_width() {
+        let mut voc = Vocabulary::new();
+        let narrow = parse_property("n[1,4] << i repeated", &mut voc).unwrap();
+        let wide = parse_property("m[1,60000] << i repeated", &mut voc).unwrap();
+        let n = voc.lookup("n").unwrap();
+        let m = voc.lookup("m").unwrap();
+        let i = voc.lookup("i").unwrap();
+        let trace_n = Trace::from_names([n, n, n, i, n, i]);
+        let trace_m = Trace::from_names([m, m, m, i, m, i]);
+        let cost_narrow = measure_drct(&narrow, &trace_n, &voc);
+        let cost_wide = measure_drct(&wide, &trace_m, &voc);
+        assert_eq!(cost_narrow.total_ops, cost_wide.total_ops);
+        assert!(cost_narrow.ops_per_event > 0.0);
+    }
+
+    #[test]
+    fn measured_cost_on_empty_trace() {
+        let mut voc = Vocabulary::new();
+        let p = parse_property("n << i once", &mut voc).unwrap();
+        let cost = measure_drct(&p, &Trace::new(), &voc);
+        assert_eq!(cost.events, 0);
+        assert_eq!(cost.ops_per_event, 0.0);
+    }
+}

@@ -1,0 +1,601 @@
+//! Composition of elementary recognizers (paper Section 6).
+//!
+//! * A **fragment** recognizer is the *synchronous parallel composition* of
+//!   the recognizers of its ranges: every event of the fragment's span is
+//!   fed to all of them, and their `ok`/`nok`/`err` outputs are aggregated.
+//! * A **loose-ordering** recognizer composes fragment recognizers
+//!   *sequentially*: the `ok` of fragment `F_j` — which fires on the first
+//!   event of `F_{j+1}` — doubles as the `start` of `F_{j+1}`, delivered
+//!   *with* that same event (the `start∧n` / `start∧C` entries of Fig. 5).
+//!
+//! Only the recognizers of the **active** fragment run for each observed
+//! event; this is where the paper's `Θ(max_j |α(F_j)|)` per-event time bound
+//! comes from.
+
+use lomon_trace::{Name, NameSet};
+
+use crate::ast::{Fragment, FragmentOp, LooseOrdering};
+use crate::context::{cyclic_contexts, linear_contexts, RangeContext};
+use crate::recognizer::{RangeCompletion, RangeOutput, RangeRecognizer};
+use crate::verdict::ViolationKind;
+
+/// Result of feeding one event to a fragment recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentStep {
+    /// The event was consumed inside the fragment.
+    Internal,
+    /// The event was a stopping name and every range terminated cleanly
+    /// (`ok`, or `nok` where the `∨` semantics allows skipping).
+    Complete,
+    /// A range recognizer rejected the event.
+    Error {
+        /// What went wrong.
+        kind: ViolationKind,
+        /// Index of the offending range inside the fragment.
+        range: usize,
+    },
+}
+
+/// Synchronous parallel composition of the range recognizers of a fragment.
+#[derive(Debug, Clone)]
+pub struct FragmentRecognizer {
+    op: FragmentOp,
+    ranges: Vec<RangeRecognizer>,
+}
+
+impl FragmentRecognizer {
+    /// Build from a fragment and the per-range contexts (parallel arrays).
+    pub fn new(fragment: &Fragment, contexts: Vec<RangeContext>) -> Self {
+        assert_eq!(fragment.ranges.len(), contexts.len());
+        FragmentRecognizer {
+            op: fragment.op,
+            ranges: fragment
+                .ranges
+                .iter()
+                .cloned()
+                .zip(contexts)
+                .map(|(r, c)| RangeRecognizer::new(r, c))
+                .collect(),
+        }
+    }
+
+    /// The fragment's connective.
+    pub fn op(&self) -> FragmentOp {
+        self.op
+    }
+
+    /// The member recognizers.
+    pub fn ranges(&self) -> &[RangeRecognizer] {
+        &self.ranges
+    }
+
+    /// Start without a coinciding event (root activation): all ranges to
+    /// `s1`.
+    pub fn start(&mut self) {
+        for r in &mut self.ranges {
+            r.start();
+        }
+    }
+
+    /// Start coinciding with `name` (handover from the previous fragment):
+    /// the owning range goes to `s3`, its siblings to `s2`.
+    pub fn start_with(&mut self, name: Name) {
+        for r in &mut self.ranges {
+            r.start_with(name);
+        }
+    }
+
+    /// Feed one event to every range recognizer and aggregate.
+    pub fn step(&mut self, name: Name) -> FragmentStep {
+        let mut completed = false;
+        let mut participated = false;
+        let mut error: Option<(ViolationKind, usize)> = None;
+        for (idx, r) in self.ranges.iter_mut().enumerate() {
+            match r.step(name) {
+                RangeOutput::Progress => {}
+                RangeOutput::Ok => {
+                    completed = true;
+                    participated = true;
+                }
+                RangeOutput::Nok => completed = true,
+                RangeOutput::Err(kind) => {
+                    if error.is_none() {
+                        error = Some((kind, idx));
+                    }
+                }
+            }
+        }
+        if let Some((kind, range)) = error {
+            FragmentStep::Error { kind, range }
+        } else if completed {
+            // Under ∨ at least one range must have participated; the
+            // automaton guarantees it (an all-`s2` fragment is impossible,
+            // and all-`s1` errs), so this is an invariant, not a check.
+            debug_assert!(
+                participated || self.op == FragmentOp::All,
+                "∨-fragment completed without any participating range"
+            );
+            FragmentStep::Complete
+        } else {
+            FragmentStep::Internal
+        }
+    }
+
+    /// Whether the fragment could terminate *now* (every range either has a
+    /// finished block or — under `∨` — never participated, and at least one
+    /// block exists). This is the earliest-completion test used for the end
+    /// of a timed implication's `Q`.
+    pub fn can_complete(&self) -> bool {
+        let mut any_complete = false;
+        for r in &self.ranges {
+            match r.completion() {
+                RangeCompletion::Complete => any_complete = true,
+                RangeCompletion::Incomplete => return false,
+                RangeCompletion::NotParticipated => {
+                    if self.op == FragmentOp::All {
+                        return false;
+                    }
+                }
+            }
+        }
+        any_complete
+    }
+
+    /// Whether no event of this fragment has been consumed yet (all ranges
+    /// still in `s1`).
+    pub fn untouched(&self) -> bool {
+        self.ranges
+            .iter()
+            .all(|r| r.state() == crate::recognizer::RangeState::Waiting)
+    }
+
+    /// Whether the fragment could still consume another event without
+    /// erroring — i.e. some range can consume its *own* name: it has not
+    /// started its block yet, or it is counting below its maximum. Used by
+    /// the timed monitor to decide when the end of `P` stops being movable.
+    pub fn can_extend(&self) -> bool {
+        use crate::recognizer::RangeState;
+        self.ranges.iter().any(|r| match r.state() {
+            RangeState::Waiting | RangeState::WaitingOther => true,
+            RangeState::Counting => r.count() < r.range().max,
+            _ => false,
+        })
+    }
+
+    /// Names acceptable as the next event. Exact at the fragment level: a
+    /// range's own name is acceptable while its block can still grow (or
+    /// start), and the stopping names are acceptable exactly when the whole
+    /// fragment [`can_complete`](FragmentRecognizer::can_complete).
+    pub fn expected(&self) -> NameSet {
+        use crate::recognizer::RangeState;
+        let mut out = NameSet::new();
+        for r in &self.ranges {
+            let can_more = match r.state() {
+                RangeState::Waiting | RangeState::WaitingOther => true,
+                RangeState::Counting => r.count() < r.range().max,
+                _ => false,
+            };
+            if can_more {
+                out.insert(r.range().name);
+            }
+        }
+        if self.can_complete() {
+            // All recognizers of a fragment share the same accept set.
+            out.union_with(&self.ranges[0].context().accept);
+        }
+        out
+    }
+
+    /// Hard reset: all ranges to `s0`.
+    pub fn reset(&mut self) {
+        for r in &mut self.ranges {
+            r.reset();
+        }
+    }
+
+    /// Total abstract operations of the member recognizers.
+    pub fn ops(&self) -> u64 {
+        self.ranges.iter().map(RangeRecognizer::ops).sum()
+    }
+
+    /// Total mutable state bits of the member recognizers.
+    pub fn state_bits(&self) -> u64 {
+        self.ranges.iter().map(RangeRecognizer::state_bits).sum()
+    }
+}
+
+/// Result of feeding one event to a loose-ordering recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingStep {
+    /// Consumed inside the active fragment.
+    Progress,
+    /// The active fragment completed and the event simultaneously started
+    /// the next one.
+    Handover {
+        /// Index of the fragment that completed.
+        from: usize,
+        /// Index of the fragment that just started (in cyclic mode this may
+        /// wrap to 0).
+        to: usize,
+    },
+    /// Linear mode only: the last fragment completed on a stop-set event
+    /// (the antecedent's trigger `i`), which was consumed.
+    Complete,
+    /// A recognizer rejected the event.
+    Error {
+        /// What went wrong.
+        kind: ViolationKind,
+        /// Index of the fragment that rejected.
+        fragment: usize,
+        /// Index of the offending range inside that fragment.
+        range: usize,
+    },
+}
+
+/// Sequential composition of fragment recognizers over a loose-ordering.
+///
+/// In **linear** mode (antecedent requirements) the chain ends on the stop
+/// set (`{i}`); in **cyclic** mode (timed implications) the fragment after
+/// the last is the first, so consecutive episodes chain without a gap.
+#[derive(Debug, Clone)]
+pub struct LooseOrderingRecognizer {
+    fragments: Vec<FragmentRecognizer>,
+    active: usize,
+    cyclic: bool,
+    started: bool,
+}
+
+impl LooseOrderingRecognizer {
+    /// Build the linear recognizer of `ordering` terminated by `stop`.
+    pub fn new_linear(ordering: &LooseOrdering, stop: &NameSet) -> Self {
+        let contexts = linear_contexts(ordering, stop);
+        Self::from_parts(&ordering.fragments, contexts, false)
+    }
+
+    /// Build the cyclic recognizer of a concatenated fragment chain.
+    pub fn new_cyclic(fragments: &[Fragment]) -> Self {
+        let contexts = cyclic_contexts(fragments);
+        Self::from_parts(fragments, contexts, true)
+    }
+
+    fn from_parts(
+        fragments: &[Fragment],
+        contexts: Vec<Vec<RangeContext>>,
+        cyclic: bool,
+    ) -> Self {
+        assert!(!fragments.is_empty(), "ordering must have fragments");
+        LooseOrderingRecognizer {
+            fragments: fragments
+                .iter()
+                .zip(contexts)
+                .map(|(f, c)| FragmentRecognizer::new(f, c))
+                .collect(),
+            active: 0,
+            cyclic,
+            started: false,
+        }
+    }
+
+    /// Activate: start the first fragment (no coinciding event).
+    pub fn start(&mut self) {
+        debug_assert!(!self.started, "already started");
+        self.active = 0;
+        self.fragments[0].start();
+        self.started = true;
+    }
+
+    /// Reset everything and re-activate (a fresh episode for repeated
+    /// antecedents).
+    pub fn restart(&mut self) {
+        for f in &mut self.fragments {
+            f.reset();
+        }
+        self.started = false;
+        self.start();
+    }
+
+    /// Feed one event (must be inside the root alphabet).
+    pub fn step(&mut self, name: Name) -> OrderingStep {
+        debug_assert!(self.started, "step before start");
+        let from = self.active;
+        match self.fragments[from].step(name) {
+            FragmentStep::Internal => OrderingStep::Progress,
+            FragmentStep::Error { kind, range } => OrderingStep::Error {
+                kind,
+                fragment: from,
+                range,
+            },
+            FragmentStep::Complete => {
+                if !self.cyclic && from + 1 == self.fragments.len() {
+                    // The stop event (e.g. the trigger `i`) was consumed.
+                    self.started = false;
+                    OrderingStep::Complete
+                } else {
+                    let to = (from + 1) % self.fragments.len();
+                    self.fragments[to].start_with(name);
+                    self.active = to;
+                    OrderingStep::Handover { from, to }
+                }
+            }
+        }
+    }
+
+    /// The fragment recognizers.
+    pub fn fragments(&self) -> &[FragmentRecognizer] {
+        &self.fragments
+    }
+
+    /// Index of the active fragment.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+
+    /// The active fragment recognizer.
+    pub fn active_fragment(&self) -> &FragmentRecognizer {
+        &self.fragments[self.active]
+    }
+
+    /// Whether the recognizer is activated and no event of the current
+    /// episode has been consumed yet.
+    pub fn is_quiescent(&self) -> bool {
+        self.started && self.active == 0 && self.fragments[0].untouched()
+    }
+
+    /// Diagnostic: acceptable next events (of the active fragment).
+    pub fn expected(&self) -> NameSet {
+        if self.started {
+            self.fragments[self.active].expected()
+        } else {
+            NameSet::new()
+        }
+    }
+
+    /// Total abstract operations across all fragments.
+    pub fn ops(&self) -> u64 {
+        self.fragments.iter().map(FragmentRecognizer::ops).sum()
+    }
+
+    /// Mutable state bits: the fragments' recognizers plus the active-index
+    /// register.
+    pub fn state_bits(&self) -> u64 {
+        let index_bits =
+            u64::from(usize::BITS - self.fragments.len().max(1).leading_zeros());
+        self.fragments
+            .iter()
+            .map(FragmentRecognizer::state_bits)
+            .sum::<u64>()
+            + index_bits
+            + 1 // started flag
+    }
+
+    /// Hard reset without re-activation.
+    pub fn reset(&mut self) {
+        for f in &mut self.fragments {
+            f.reset();
+        }
+        self.active = 0;
+        self.started = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Range;
+    use lomon_trace::{Name, Vocabulary};
+
+    /// Fig. 4 ordering: `({n1,n2},∧) < ({n3[2,8],n4},∨) < n5`, stop `{i}`.
+    struct Fix {
+        n: Vec<Name>,
+        i: Name,
+        rec: LooseOrderingRecognizer,
+    }
+
+    fn fig4() -> Fix {
+        let mut voc = Vocabulary::new();
+        let n: Vec<Name> = (1..=5).map(|k| voc.input(&format!("n{k}"))).collect();
+        let i = voc.input("i");
+        let ordering = LooseOrdering::new(vec![
+            Fragment::new(FragmentOp::All, vec![Range::once(n[0]), Range::once(n[1])]),
+            Fragment::new(
+                FragmentOp::Any,
+                vec![Range::new(n[2], 2, 8), Range::once(n[3])],
+            ),
+            Fragment::singleton(Range::once(n[4])),
+        ]);
+        let mut rec = LooseOrderingRecognizer::new_linear(&ordering, &[i].into_iter().collect());
+        rec.start();
+        Fix { n, i, rec }
+    }
+
+    #[test]
+    fn accepts_a_nominal_sequence() {
+        let mut f = fig4();
+        // n2 n1 | n3 n3 n3 | n5 | i
+        assert_eq!(f.rec.step(f.n[1]), OrderingStep::Progress);
+        assert_eq!(f.rec.step(f.n[0]), OrderingStep::Progress);
+        assert_eq!(f.rec.step(f.n[2]), OrderingStep::Handover { from: 0, to: 1 });
+        assert_eq!(f.rec.step(f.n[2]), OrderingStep::Progress);
+        assert_eq!(f.rec.step(f.n[2]), OrderingStep::Progress);
+        assert_eq!(f.rec.step(f.n[4]), OrderingStep::Handover { from: 1, to: 2 });
+        assert_eq!(f.rec.step(f.i), OrderingStep::Complete);
+    }
+
+    #[test]
+    fn any_fragment_accepts_both_orders_and_subsets() {
+        // Both n3-block then n4, and n4 then n3-block, and n4 alone.
+        let mut f = fig4();
+        for ev in [f.n[0], f.n[1]] {
+            f.rec.step(ev);
+        }
+        f.rec.step(f.n[3]); // n4 first (handover)
+        f.rec.step(f.n[2]);
+        f.rec.step(f.n[2]); // n3 block after
+        assert_eq!(f.rec.step(f.n[4]), OrderingStep::Handover { from: 1, to: 2 });
+
+        let mut f = fig4();
+        for ev in [f.n[0], f.n[1], f.n[3]] {
+            f.rec.step(ev);
+        }
+        // n4 alone then n5: n3 skipped, allowed under ∨.
+        assert_eq!(f.rec.step(f.n[4]), OrderingStep::Handover { from: 1, to: 2 });
+    }
+
+    #[test]
+    fn skipping_whole_fragment_errs() {
+        let mut f = fig4();
+        f.rec.step(f.n[0]);
+        f.rec.step(f.n[1]);
+        // n5 while fragment 1 has seen nothing: fragment 0 is still the
+        // active one and n5 is in its Af set (a later-than-next name), so
+        // the error is raised there.
+        match f.rec.step(f.n[4]) {
+            OrderingStep::Error { kind, fragment, .. } => {
+                assert_eq!(kind, ViolationKind::AfterName);
+                assert_eq!(fragment, 0);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_range_in_all_fragment_errs() {
+        let mut f = fig4();
+        f.rec.step(f.n[0]);
+        // n3 while n2 has not occurred: fragment 0 incomplete.
+        match f.rec.step(f.n[2]) {
+            OrderingStep::Error { kind, fragment, range } => {
+                assert_eq!(kind, ViolationKind::MissingRange);
+                assert_eq!(fragment, 0);
+                assert_eq!(range, 1); // n2's recognizer
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trigger_before_completion_errs() {
+        let mut f = fig4();
+        f.rec.step(f.n[0]);
+        match f.rec.step(f.i) {
+            OrderingStep::Error { kind, .. } => assert_eq!(kind, ViolationKind::AfterName),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_fragment_name_reoccurring_errs() {
+        let mut f = fig4();
+        for ev in [f.n[0], f.n[1], f.n[2], f.n[2]] {
+            f.rec.step(ev);
+        }
+        match f.rec.step(f.n[0]) {
+            OrderingStep::Error { kind, .. } => assert_eq!(kind, ViolationKind::BeforeName),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_supports_a_second_episode() {
+        let mut f = fig4();
+        for ev in [f.n[0], f.n[1], f.n[3], f.n[4]] {
+            f.rec.step(ev);
+        }
+        assert_eq!(f.rec.step(f.i), OrderingStep::Complete);
+        f.rec.restart();
+        assert!(f.rec.is_quiescent());
+        assert_eq!(f.rec.step(f.n[1]), OrderingStep::Progress);
+    }
+
+    #[test]
+    fn quiescence_and_expected() {
+        let mut f = fig4();
+        assert!(f.rec.is_quiescent());
+        let exp = f.rec.expected();
+        assert!(exp.contains(f.n[0]) && exp.contains(f.n[1]));
+        assert!(!exp.contains(f.n[4]) && !exp.contains(f.i));
+        f.rec.step(f.n[0]);
+        assert!(!f.rec.is_quiescent());
+        // After n1, only n2 is acceptable: n1's block is [1,1]-closed, and
+        // the stopping names (n3, n4) need the ∧-fragment complete.
+        let exp = f.rec.expected();
+        assert!(exp.contains(f.n[1]));
+        assert!(!exp.contains(f.n[0]) && !exp.contains(f.n[2]) && !exp.contains(f.n[3]));
+        // Once complete, the next fragment's names become acceptable too.
+        f.rec.step(f.n[1]);
+        let exp = f.rec.expected();
+        assert!(exp.contains(f.n[2]) && exp.contains(f.n[3]));
+        assert!(!exp.contains(f.n[4]));
+    }
+
+    #[test]
+    fn cyclic_mode_wraps_episodes() {
+        // (a ⇒ b) as a 2-fragment ring.
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.output("b");
+        let fragments = vec![
+            Fragment::singleton(Range::once(a)),
+            Fragment::singleton(Range::once(b)),
+        ];
+        let mut rec = LooseOrderingRecognizer::new_cyclic(&fragments);
+        rec.start();
+        assert_eq!(rec.step(a), OrderingStep::Progress);
+        assert_eq!(rec.step(b), OrderingStep::Handover { from: 0, to: 1 });
+        // Next episode: a wraps back to fragment 0.
+        assert_eq!(rec.step(a), OrderingStep::Handover { from: 1, to: 0 });
+        assert_eq!(rec.step(b), OrderingStep::Handover { from: 0, to: 1 });
+    }
+
+    #[test]
+    fn cyclic_mode_rejects_double_response() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.output("b");
+        let fragments = vec![
+            Fragment::singleton(Range::once(a)),
+            Fragment::singleton(Range::once(b)),
+        ];
+        let mut rec = LooseOrderingRecognizer::new_cyclic(&fragments);
+        rec.start();
+        rec.step(a);
+        rec.step(b);
+        // A second b: fragment 1 is active, b is its own name but the block
+        // is [1,1]: TooMany.
+        match rec.step(b) {
+            OrderingStep::Error { kind, .. } => assert_eq!(kind, ViolationKind::TooMany),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fragment_can_complete_tracks_minima() {
+        let mut f = fig4();
+        f.rec.step(f.n[0]);
+        assert!(!f.rec.active_fragment().can_complete());
+        f.rec.step(f.n[1]);
+        assert!(f.rec.active_fragment().can_complete());
+        f.rec.step(f.n[2]); // handover to fragment 1, cpt=1 < 2
+        assert!(!f.rec.active_fragment().can_complete());
+        f.rec.step(f.n[2]);
+        assert!(f.rec.active_fragment().can_complete());
+    }
+
+    #[test]
+    fn ops_and_bits_aggregate() {
+        let f = fig4();
+        assert!(f.rec.state_bits() > 0);
+        let mut f2 = fig4();
+        f2.rec.step(f2.n[0]);
+        assert!(f2.rec.ops() > 0);
+    }
+
+    #[test]
+    fn reset_deactivates() {
+        let mut f = fig4();
+        f.rec.step(f.n[0]);
+        f.rec.reset();
+        assert!(!f.rec.is_quiescent()); // not started
+        assert!(f.rec.expected().is_empty());
+    }
+}

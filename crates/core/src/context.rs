@@ -1,0 +1,302 @@
+//! Recognition contexts — the inherited attributes of the paper's Fig. 4.
+//!
+//! A range recognizer does not work in isolation: how it must react to a
+//! name depends on *where its range sits* in the syntax tree of the root
+//! pattern. The paper captures this as a tuple `(B, C, Ac, Af, s)` computed
+//! per range:
+//!
+//! * `B`  — names of *preceding* fragments: they are supposed to have
+//!   happened already, so seeing one is an error;
+//! * `C`  — names of *sibling* ranges in the same fragment: allowed at block
+//!   boundaries (before this range starts, or once its minimum is reached);
+//! * `Ac` — names of the *next* fragment (or the stop set for the last
+//!   fragment): they terminate recognition — `ok` if the minimum was
+//!   reached, `nok`/`err` otherwise;
+//! * `Af` — names that must come strictly *after* (fragments beyond the next
+//!   one, and the antecedent trigger): always an error while this range's
+//!   fragment is active;
+//! * `s`  — the connective (`∧`/`∨`) of the parent fragment, which decides
+//!   whether a never-started range may be skipped (`nok`) on termination.
+//!
+//! Two layouts are computed from the same ordering:
+//! * [`linear_contexts`] — for antecedent requirements `P << i`: the stop
+//!   set of the last fragment is `{i}`;
+//! * [`cyclic_contexts`] — for timed implications: the concatenated
+//!   `P`-then-`Q` fragments wrap around, the fragment after the last one
+//!   being the first (each observation of `P` re-arms the obligation).
+
+use lomon_trace::{Name, NameSet};
+
+use crate::ast::{Fragment, FragmentOp, LooseOrdering};
+
+/// The recognition context `(B, C, Ac, Af, s)` of one range (paper Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeContext {
+    /// Names of preceding fragments (forbidden; "already happened").
+    pub before: NameSet,
+    /// Names of sibling ranges in the same fragment.
+    pub concurrent: NameSet,
+    /// Names that stop recognition of this fragment.
+    pub accept: NameSet,
+    /// Names that may only occur in strictly later fragments (forbidden).
+    pub after: NameSet,
+    /// Connective of the parent fragment.
+    pub semantics: FragmentOp,
+}
+
+impl RangeContext {
+    /// Classify `name` relative to this context. `own` is the range's own
+    /// name. Returns `None` when the name is outside the root alphabet (the
+    /// caller should have projected it away).
+    pub fn classify(&self, own: Name, name: Name) -> Option<NameClass> {
+        if name == own {
+            Some(NameClass::Own)
+        } else if self.concurrent.contains(name) {
+            Some(NameClass::Concurrent)
+        } else if self.accept.contains(name) {
+            Some(NameClass::Accept)
+        } else if self.after.contains(name) {
+            Some(NameClass::After)
+        } else if self.before.contains(name) {
+            Some(NameClass::Before)
+        } else {
+            None
+        }
+    }
+}
+
+/// How a name relates to a range recognizer, per its context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameClass {
+    /// The range's own name `n`.
+    Own,
+    /// A sibling range's name (`C`).
+    Concurrent,
+    /// A stopping name (`Ac`).
+    Accept,
+    /// A name of a later-than-next fragment or the trigger (`Af`).
+    After,
+    /// A name of a preceding fragment (`B`).
+    Before,
+}
+
+/// Contexts for every range of every fragment of a *linear* ordering
+/// (antecedent layout): `stop` is the termination set of the last fragment —
+/// `{i}` for `(P << i, b)`.
+///
+/// The result is indexed `[fragment][range]`, parallel to
+/// `ordering.fragments[j].ranges[k]`.
+pub fn linear_contexts(ordering: &LooseOrdering, stop: &NameSet) -> Vec<Vec<RangeContext>> {
+    let q = ordering.fragments.len();
+    let alphas: Vec<NameSet> = ordering.fragments.iter().map(Fragment::alpha).collect();
+
+    (0..q)
+        .map(|j| {
+            // B: fragments strictly before j.
+            let mut before = NameSet::new();
+            for alpha in alphas.iter().take(j) {
+                before.union_with(alpha);
+            }
+            // Ac: next fragment, or the stop set for the last.
+            let accept = if j + 1 < q {
+                alphas[j + 1].clone()
+            } else {
+                stop.clone()
+            };
+            // Af: fragments strictly after j+1, plus the stop set (the
+            // trigger may only come after everything).
+            let mut after = NameSet::new();
+            for alpha in alphas.iter().skip(j + 2) {
+                after.union_with(alpha);
+            }
+            if j + 1 < q {
+                after.union_with(stop);
+            }
+            fragment_contexts(&ordering.fragments[j], before, accept, after)
+        })
+        .collect()
+}
+
+/// Contexts for every range of a *cyclic* fragment chain (timed-implication
+/// layout over the concatenated `P`-then-`Q` fragments): the fragment after
+/// the last is the first, so a new episode can begin as soon as the previous
+/// one is complete.
+pub fn cyclic_contexts(fragments: &[Fragment]) -> Vec<Vec<RangeContext>> {
+    let m = fragments.len();
+    let alphas: Vec<NameSet> = fragments.iter().map(Fragment::alpha).collect();
+
+    (0..m)
+        .map(|j| {
+            let accept = alphas[(j + 1) % m].clone();
+            // Everything that is neither this fragment nor the next is
+            // forbidden while fragment j is active. In a cycle the B/Af
+            // distinction is positional only; we put it all in Af and leave
+            // B empty (both classes are errors in the recognizer).
+            let mut after = NameSet::new();
+            for (k, alpha) in alphas.iter().enumerate() {
+                if k != j && k != (j + 1) % m {
+                    after.union_with(alpha);
+                }
+            }
+            fragment_contexts(&fragments[j], NameSet::new(), accept, after)
+        })
+        .collect()
+}
+
+fn fragment_contexts(
+    fragment: &Fragment,
+    before: NameSet,
+    accept: NameSet,
+    after: NameSet,
+) -> Vec<RangeContext> {
+    let alpha = fragment.alpha();
+    fragment
+        .ranges
+        .iter()
+        .map(|range| {
+            let mut concurrent = alpha.clone();
+            concurrent.remove(range.name);
+            RangeContext {
+                before: before.clone(),
+                concurrent,
+                accept: accept.clone(),
+                after: after.clone(),
+                semantics: fragment.op,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Range;
+    use lomon_trace::Vocabulary;
+
+    /// The paper's Fig. 4 example:
+    /// `(({n1, n2}, ∧) < ({n3[2,8], n4}, ∨) < n5 << i, false)`.
+    fn fig4() -> (Vocabulary, Vec<Name>, LooseOrdering, NameSet) {
+        let mut voc = Vocabulary::new();
+        let n: Vec<Name> = (1..=5).map(|k| voc.input(&format!("n{k}"))).collect();
+        let i = voc.input("i");
+        let ordering = LooseOrdering::new(vec![
+            Fragment::new(FragmentOp::All, vec![Range::once(n[0]), Range::once(n[1])]),
+            Fragment::new(
+                FragmentOp::Any,
+                vec![Range::new(n[2], 2, 8), Range::once(n[3])],
+            ),
+            Fragment::singleton(Range::once(n[4])),
+        ]);
+        let stop: NameSet = [i].into_iter().collect();
+        (voc, n, ordering, stop)
+    }
+
+    #[test]
+    fn fig4_attributes_for_n3() {
+        let (voc, n, ordering, stop) = fig4();
+        let i = voc.lookup("i").unwrap();
+        let ctxs = linear_contexts(&ordering, &stop);
+        // n3 is fragment 1, range 0.
+        let ctx = &ctxs[1][0];
+        assert_eq!(ctx.semantics, FragmentOp::Any);
+        assert_eq!(ctx.before, [n[0], n[1]].into_iter().collect());
+        assert_eq!(ctx.concurrent, [n[3]].into_iter().collect());
+        assert_eq!(ctx.accept, [n[4]].into_iter().collect());
+        assert_eq!(ctx.after, [i].into_iter().collect());
+    }
+
+    #[test]
+    fn fig4_attributes_for_last_fragment() {
+        let (voc, n, ordering, stop) = fig4();
+        let i = voc.lookup("i").unwrap();
+        let ctxs = linear_contexts(&ordering, &stop);
+        // n5 is fragment 2, range 0: Ac = {i}, Af = ∅.
+        let ctx = &ctxs[2][0];
+        assert_eq!(ctx.semantics, FragmentOp::All);
+        assert_eq!(
+            ctx.before,
+            [n[0], n[1], n[2], n[3]].into_iter().collect::<NameSet>()
+        );
+        assert!(ctx.concurrent.is_empty());
+        assert_eq!(ctx.accept, [i].into_iter().collect());
+        assert!(ctx.after.is_empty());
+    }
+
+    #[test]
+    fn fig4_attributes_for_first_fragment() {
+        let (voc, n, ordering, stop) = fig4();
+        let i = voc.lookup("i").unwrap();
+        let ctxs = linear_contexts(&ordering, &stop);
+        let ctx = &ctxs[0][0]; // n1
+        assert!(ctx.before.is_empty());
+        assert_eq!(ctx.concurrent, [n[1]].into_iter().collect());
+        assert_eq!(ctx.accept, [n[2], n[3]].into_iter().collect());
+        // Af: n5 (beyond next) and the trigger i.
+        assert_eq!(ctx.after, [n[4], i].into_iter().collect());
+    }
+
+    #[test]
+    fn classify_follows_priority() {
+        let (voc, n, ordering, stop) = fig4();
+        let i = voc.lookup("i").unwrap();
+        let ctxs = linear_contexts(&ordering, &stop);
+        let ctx = &ctxs[1][0]; // n3
+        assert_eq!(ctx.classify(n[2], n[2]), Some(NameClass::Own));
+        assert_eq!(ctx.classify(n[2], n[3]), Some(NameClass::Concurrent));
+        assert_eq!(ctx.classify(n[2], n[4]), Some(NameClass::Accept));
+        assert_eq!(ctx.classify(n[2], i), Some(NameClass::After));
+        assert_eq!(ctx.classify(n[2], n[0]), Some(NameClass::Before));
+        let mut voc2 = voc;
+        let stranger = voc2.input("stranger");
+        assert_eq!(ctx.classify(n[2], stranger), None);
+    }
+
+    #[test]
+    fn cyclic_wraps_accept_to_first_fragment() {
+        // (n1 ⇒ n2 < n3, t): fragments [n1][n2][n3] in a ring.
+        let mut voc = Vocabulary::new();
+        let n1 = voc.input("n1");
+        let n2 = voc.output("n2");
+        let n3 = voc.output("n3");
+        let fragments = vec![
+            Fragment::singleton(Range::once(n1)),
+            Fragment::singleton(Range::once(n2)),
+            Fragment::singleton(Range::once(n3)),
+        ];
+        let ctxs = cyclic_contexts(&fragments);
+        // Last fragment's Ac is the first fragment's alphabet.
+        assert_eq!(ctxs[2][0].accept, [n1].into_iter().collect());
+        // Middle fragment forbids n1 (neither own nor next).
+        assert_eq!(ctxs[1][0].after, [n1].into_iter().collect());
+        assert!(ctxs[1][0].before.is_empty());
+    }
+
+    #[test]
+    fn cyclic_two_fragment_ring_has_no_forbidden_names() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.output("b");
+        let fragments = vec![
+            Fragment::singleton(Range::once(a)),
+            Fragment::singleton(Range::once(b)),
+        ];
+        let ctxs = cyclic_contexts(&fragments);
+        assert!(ctxs[0][0].after.is_empty());
+        assert!(ctxs[1][0].after.is_empty());
+        assert_eq!(ctxs[0][0].accept, [b].into_iter().collect());
+        assert_eq!(ctxs[1][0].accept, [a].into_iter().collect());
+    }
+
+    #[test]
+    fn sibling_contexts_share_everything_but_concurrent() {
+        let (_voc, n, ordering, stop) = fig4();
+        let ctxs = linear_contexts(&ordering, &stop);
+        let c_n3 = &ctxs[1][0];
+        let c_n4 = &ctxs[1][1];
+        assert_eq!(c_n3.before, c_n4.before);
+        assert_eq!(c_n3.accept, c_n4.accept);
+        assert_eq!(c_n3.after, c_n4.after);
+        assert_eq!(c_n3.concurrent, [n[3]].into_iter().collect());
+        assert_eq!(c_n4.concurrent, [n[2]].into_iter().collect());
+    }
+}

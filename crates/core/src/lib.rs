@@ -1,0 +1,78 @@
+//! # lomon-core — loose-ordering patterns and direct monitors
+//!
+//! This crate is the heart of the reproduction of *"Efficient Monitoring of
+//! Loose-Ordering Properties for SystemC/TLM"* (Romenska & Maraninchi, DATE
+//! 2016): the **loose-ordering** specification patterns and their **direct
+//! translation into efficient monitors** (the paper's `Drct` strategy).
+//!
+//! A loose-ordering removes over-constraints on the *order* of component
+//! interactions: "when a component needs several input data before one of
+//! the functions it provides can be started, the order in which the input
+//! data elements are provided is usually irrelevant".
+//!
+//! ## Layout
+//!
+//! * [`ast`] — the pattern grammar of Fig. 3 (ranges, fragments,
+//!   loose-orderings, antecedent requirements, timed implications);
+//! * [`wf`] — the well-formedness side conditions (alphabet disjointness…);
+//! * [`parse`] — a textual property language,
+//!   e.g. `all{set_imgAddr, set_glAddr, set_glSize} << start once`;
+//! * [`context`] — the recognition contexts `(B, C, Ac, Af, s)` of Fig. 4;
+//! * [`recognizer`] — the elementary 6-state range recognizer of Fig. 5;
+//! * [`compose`] — synchronous (fragment) and sequential (loose-ordering)
+//!   composition of recognizers;
+//! * [`antecedent`], [`timed`] — the two root-pattern monitors;
+//! * [`monitor`] — validation + construction entry point
+//!   ([`monitor::build_monitor`]);
+//! * [`verdict`] — four-valued verdicts, violation diagnostics and the
+//!   object-safe [`verdict::Monitor`] trait;
+//! * [`semantics`] — an independent reference semantics (pattern →
+//!   finite automaton) used as the ground-truth oracle in tests;
+//! * [`complexity`] — the Drct cost model of Section 7.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lomon_core::parse::parse_property;
+//! use lomon_core::monitor::build_monitor;
+//! use lomon_core::verdict::{run_to_end, Verdict};
+//! use lomon_trace::{Trace, Vocabulary};
+//!
+//! let mut voc = Vocabulary::new();
+//! let prop = parse_property(
+//!     "all{set_imgAddr, set_glAddr, set_glSize} << start once",
+//!     &mut voc,
+//! )
+//! .expect("parses");
+//! let mut monitor = build_monitor(prop, &voc).expect("well-formed");
+//!
+//! let img = voc.lookup("set_imgAddr").unwrap();
+//! let gl = voc.lookup("set_glAddr").unwrap();
+//! let sz = voc.lookup("set_glSize").unwrap();
+//! let start = voc.lookup("start").unwrap();
+//! // Any permutation of the three writes is accepted before start.
+//! let verdict = run_to_end(&mut monitor, &Trace::from_names([gl, sz, img, start]));
+//! assert_eq!(verdict, Verdict::Satisfied);
+//! ```
+
+pub mod antecedent;
+pub mod ast;
+pub mod complexity;
+pub mod compose;
+pub mod context;
+pub mod monitor;
+pub mod parse;
+pub mod recognizer;
+pub mod semantics;
+pub mod timed;
+pub mod verdict;
+pub mod wf;
+
+pub use antecedent::AntecedentMonitor;
+pub use ast::{
+    Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication,
+};
+pub use monitor::{build_monitor, PropertyMonitor};
+pub use timed::TimedImplicationMonitor;
+pub use verdict::{run_to_end, Monitor, Verdict, Violation, ViolationKind};
+pub use wf::WfError;

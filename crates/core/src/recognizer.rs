@@ -1,0 +1,714 @@
+//! The elementary recognizer for a range — the paper's Fig. 5 automaton.
+//!
+//! One recognizer watches one range `R = n[u,v]` inside its recognition
+//! context `(B, C, Ac, Af, s)` (see [`crate::context`]). The six states
+//! follow the paper exactly:
+//!
+//! * `s0` — idle, waiting to be started;
+//! * `s1` — started, waiting for the first `n`, no sibling range active;
+//! * `s2` — started, waiting for the first `n`, *another* range of the same
+//!   fragment is already being recognized;
+//! * `s3` — counting occurrences of `n` in `cpt`;
+//! * `s4` — this range's block is finished (minimum reached) and a sibling
+//!   has taken over;
+//! * `s5` — error sink.
+//!
+//! Termination is signalled by the outputs `ok` / `nok` (on a stopping name
+//! from `Ac`), errors by `err`. Starting may coincide with an event — the
+//! stopping event of the *previous* fragment is simultaneously the first
+//! event of this one — which is why `s0` has the three entry transitions
+//! `start∧n → s3`, `start∧C → s2` and plain `start → s1`.
+
+use lomon_trace::{Name, NameSet};
+
+use crate::ast::{FragmentOp, Range};
+use crate::context::{NameClass, RangeContext};
+use crate::verdict::ViolationKind;
+
+/// The six automaton states of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeState {
+    /// `s0`: idle.
+    Idle,
+    /// `s1`: started, nothing of this fragment seen yet.
+    Waiting,
+    /// `s2`: started, a sibling range is active.
+    WaitingOther,
+    /// `s3`: counting occurrences of the range's own name.
+    Counting,
+    /// `s4`: block complete, sibling active.
+    Done,
+    /// `s5`: error sink.
+    Error,
+}
+
+impl RangeState {
+    /// The paper's name for the state (`s0` … `s5`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RangeState::Idle => "s0",
+            RangeState::Waiting => "s1",
+            RangeState::WaitingOther => "s2",
+            RangeState::Counting => "s3",
+            RangeState::Done => "s4",
+            RangeState::Error => "s5",
+        }
+    }
+}
+
+/// Output of one synchronous step of a recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeOutput {
+    /// No terminal output this step.
+    Progress,
+    /// Recognition finished successfully (stopping name, minimum reached).
+    Ok,
+    /// Recognition stopped without this range having participated —
+    /// acceptable inside an `∨` fragment.
+    Nok,
+    /// Error: the step violated the range's obligations.
+    Err(ViolationKind),
+}
+
+impl RangeOutput {
+    /// Whether this output terminates the fragment (ok or nok).
+    pub fn is_terminal_ok(self) -> bool {
+        matches!(self, RangeOutput::Ok | RangeOutput::Nok)
+    }
+}
+
+/// The elementary recognizer for one range with its context (Fig. 5).
+#[derive(Debug, Clone)]
+pub struct RangeRecognizer {
+    range: Range,
+    ctx: RangeContext,
+    state: RangeState,
+    cpt: u32,
+    ops: u64,
+}
+
+impl RangeRecognizer {
+    /// Build a recognizer in state `s0` (idle).
+    pub fn new(range: Range, ctx: RangeContext) -> Self {
+        RangeRecognizer {
+            range,
+            ctx,
+            state: RangeState::Idle,
+            cpt: 0,
+            ops: 0,
+        }
+    }
+
+    /// The recognized range.
+    pub fn range(&self) -> &Range {
+        &self.range
+    }
+
+    /// The recognition context.
+    pub fn context(&self) -> &RangeContext {
+        &self.ctx
+    }
+
+    /// Current automaton state.
+    pub fn state(&self) -> RangeState {
+        self.state
+    }
+
+    /// Current occurrence count (meaningful in `s3`/`s4`).
+    pub fn count(&self) -> u32 {
+        self.cpt
+    }
+
+    /// `start` without a coinciding event: `s0 → s1`. Used when the root
+    /// monitor is (re)activated.
+    pub fn start(&mut self) {
+        debug_assert_eq!(self.state, RangeState::Idle, "start from non-idle state");
+        self.ops += 1; // state write
+        self.state = RangeState::Waiting;
+    }
+
+    /// `start` coinciding with an event of this fragment (the previous
+    /// fragment's stopping event): `start∧n → s3`, `start∧C → s2`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `name` belongs to this fragment (own name or a
+    /// sibling's), which the composition guarantees.
+    pub fn start_with(&mut self, name: Name) {
+        debug_assert_eq!(self.state, RangeState::Idle, "start from non-idle state");
+        self.ops += 2; // classification + state write
+        if name == self.range.name {
+            self.cpt = 1;
+            self.state = RangeState::Counting;
+        } else {
+            debug_assert!(
+                self.ctx.concurrent.contains(name),
+                "start_with on a name outside the fragment"
+            );
+            self.state = RangeState::WaitingOther;
+        }
+    }
+
+    /// One synchronous step on `name`. Names outside the root alphabet must
+    /// be projected away by the caller; they are treated as no-ops here.
+    pub fn step(&mut self, name: Name) -> RangeOutput {
+        let class = match self.classify_counted(name) {
+            Some(c) => c,
+            None => return RangeOutput::Progress,
+        };
+        self.ops += 1; // state dispatch
+        match self.state {
+            RangeState::Idle | RangeState::Error => RangeOutput::Progress,
+            RangeState::Waiting => self.step_waiting(class),
+            RangeState::WaitingOther => self.step_waiting_other(class),
+            RangeState::Counting => self.step_counting(class),
+            RangeState::Done => self.step_done(class),
+        }
+    }
+
+    /// Classification with the measured cost of the short-circuited
+    /// membership tests (1 for own … 5 for before).
+    fn classify_counted(&mut self, name: Name) -> Option<NameClass> {
+        let class = self.ctx.classify(self.range.name, name);
+        self.ops += match class {
+            Some(NameClass::Own) => 1,
+            Some(NameClass::Concurrent) => 2,
+            Some(NameClass::Accept) => 3,
+            Some(NameClass::After) => 4,
+            Some(NameClass::Before) => 5,
+            None => 5,
+        };
+        class
+    }
+
+    fn fail(&mut self, kind: ViolationKind) -> RangeOutput {
+        self.ops += 1; // state write
+        self.state = RangeState::Error;
+        RangeOutput::Err(kind)
+    }
+
+    fn finish_ok(&mut self) -> RangeOutput {
+        self.ops += 1; // state write
+        self.state = RangeState::Idle;
+        RangeOutput::Ok
+    }
+
+    /// `s1`: started, nothing of the fragment seen yet.
+    fn step_waiting(&mut self, class: NameClass) -> RangeOutput {
+        match class {
+            NameClass::Own => {
+                self.ops += 2; // counter init + state write
+                self.cpt = 1;
+                self.state = RangeState::Counting;
+                RangeOutput::Progress
+            }
+            NameClass::Concurrent => {
+                self.ops += 1;
+                self.state = RangeState::WaitingOther;
+                RangeOutput::Progress
+            }
+            // `Af ∨ B ∨ Ac / err`: a stopping name while *nothing* of the
+            // fragment has started means the fragment was skipped entirely.
+            NameClass::Accept => self.fail(ViolationKind::PrematureStop),
+            NameClass::After => self.fail(ViolationKind::AfterName),
+            NameClass::Before => self.fail(ViolationKind::BeforeName),
+        }
+    }
+
+    /// `s2`: started, sibling active, own name not yet seen.
+    fn step_waiting_other(&mut self, class: NameClass) -> RangeOutput {
+        match class {
+            NameClass::Own => {
+                self.ops += 2;
+                self.cpt = 1;
+                self.state = RangeState::Counting;
+                RangeOutput::Progress
+            }
+            NameClass::Concurrent => RangeOutput::Progress, // self-loop
+            NameClass::Accept => {
+                self.ops += 1; // semantics test
+                match self.ctx.semantics {
+                    // `[s=∨] Ac/nok`: never participated, allowed.
+                    FragmentOp::Any => {
+                        self.ops += 1;
+                        self.state = RangeState::Idle;
+                        RangeOutput::Nok
+                    }
+                    // `[s=∧] Ac/err`: required range missing.
+                    FragmentOp::All => self.fail(ViolationKind::MissingRange),
+                }
+            }
+            NameClass::After => self.fail(ViolationKind::AfterName),
+            NameClass::Before => self.fail(ViolationKind::BeforeName),
+        }
+    }
+
+    /// `s3`: counting occurrences.
+    fn step_counting(&mut self, class: NameClass) -> RangeOutput {
+        match class {
+            NameClass::Own => {
+                self.ops += 1; // counter compare
+                if self.cpt < self.range.max {
+                    self.ops += 1; // counter increment
+                    self.cpt += 1;
+                    RangeOutput::Progress
+                } else {
+                    // `[cpt=v] n/err`
+                    self.fail(ViolationKind::TooMany)
+                }
+            }
+            NameClass::Concurrent => {
+                self.ops += 1; // counter compare
+                if self.cpt >= self.range.min {
+                    // `[cpt>=u] C/ → s4`
+                    self.ops += 1;
+                    self.state = RangeState::Done;
+                    RangeOutput::Progress
+                } else {
+                    // `[cpt<u] C/err`
+                    self.fail(ViolationKind::PrematureInterrupt)
+                }
+            }
+            NameClass::Accept => {
+                self.ops += 1; // counter compare
+                if self.cpt >= self.range.min {
+                    // `[cpt>=u] Ac/ok`
+                    self.finish_ok()
+                } else {
+                    // `[cpt<u] Ac/err`
+                    self.fail(ViolationKind::PrematureStop)
+                }
+            }
+            NameClass::After => self.fail(ViolationKind::AfterName),
+            NameClass::Before => self.fail(ViolationKind::BeforeName),
+        }
+    }
+
+    /// `s4`: block complete, sibling active.
+    fn step_done(&mut self, class: NameClass) -> RangeOutput {
+        match class {
+            // `Af ∨ B ∨ n / err`: the block already closed.
+            NameClass::Own => self.fail(ViolationKind::BlockSplit),
+            NameClass::Concurrent => RangeOutput::Progress, // self-loop
+            NameClass::Accept => self.finish_ok(),
+            NameClass::After => self.fail(ViolationKind::AfterName),
+            NameClass::Before => self.fail(ViolationKind::BeforeName),
+        }
+    }
+
+    /// Whether this range, *as it stands*, is compatible with the fragment
+    /// terminating now: either its block is complete, or it never
+    /// participated (acceptable only under `∨`, which the fragment-level
+    /// aggregation checks).
+    pub fn completion(&self) -> RangeCompletion {
+        match self.state {
+            RangeState::Counting if self.cpt >= self.range.min => RangeCompletion::Complete,
+            RangeState::Done => RangeCompletion::Complete,
+            RangeState::Counting => RangeCompletion::Incomplete,
+            RangeState::Waiting | RangeState::WaitingOther => RangeCompletion::NotParticipated,
+            RangeState::Idle => RangeCompletion::NotParticipated,
+            RangeState::Error => RangeCompletion::Incomplete,
+        }
+    }
+
+    /// The names acceptable as the next event, from this recognizer's local
+    /// point of view (diagnostics).
+    pub fn expected(&self) -> NameSet {
+        let mut out = NameSet::new();
+        match self.state {
+            RangeState::Idle | RangeState::Error => {}
+            RangeState::Waiting => {
+                out.insert(self.range.name);
+                out.union_with(&self.ctx.concurrent);
+            }
+            RangeState::WaitingOther => {
+                out.insert(self.range.name);
+                out.union_with(&self.ctx.concurrent);
+                if self.ctx.semantics == FragmentOp::Any {
+                    out.union_with(&self.ctx.accept);
+                }
+            }
+            RangeState::Counting => {
+                if self.cpt < self.range.max {
+                    out.insert(self.range.name);
+                }
+                if self.cpt >= self.range.min {
+                    out.union_with(&self.ctx.concurrent);
+                    out.union_with(&self.ctx.accept);
+                }
+            }
+            RangeState::Done => {
+                out.union_with(&self.ctx.concurrent);
+                out.union_with(&self.ctx.accept);
+            }
+        }
+        out
+    }
+
+    /// Hard reset to `s0`.
+    pub fn reset(&mut self) {
+        self.state = RangeState::Idle;
+        self.cpt = 0;
+    }
+
+    /// Abstract operations executed so far (see `lomon_core::complexity`).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Mutable state footprint: 3 bits of automaton state plus a counter
+    /// wide enough for `v` — the paper's "Boolean and bounded Integer
+    /// variables" measure.
+    pub fn state_bits(&self) -> u64 {
+        3 + counter_bits(self.range.max)
+    }
+
+    /// Graphviz DOT rendering of this recognizer's automaton, with the
+    /// concrete `u`, `v` substituted — regenerates the paper's Fig. 5.
+    pub fn dot(&self, voc: &lomon_trace::Vocabulary) -> String {
+        let n = voc.resolve(self.range.name);
+        let (u, v) = (self.range.min, self.range.max);
+        let mut s = String::new();
+        s.push_str("digraph range_recognizer {\n  rankdir=LR;\n");
+        s.push_str("  node [shape=circle];\n  s5 [shape=doublecircle];\n");
+        s.push_str(&format!(
+            "  label=\"recognizer for {n}[{u},{v}] (ok/nok/err per Fig. 5)\";\n"
+        ));
+        let edges = [
+            ("s0", "s1", "start".to_owned()),
+            ("s0", "s3", format!("start∧{n} / cpt:=1")),
+            ("s0", "s2", "start∧C".to_owned()),
+            ("s1", "s3", format!("{n} / cpt:=1")),
+            ("s1", "s2", "C".to_owned()),
+            ("s1", "s5", "Af∨B∨Ac / err".to_owned()),
+            ("s2", "s3", format!("{n} / cpt:=1")),
+            ("s2", "s2", "C".to_owned()),
+            ("s2", "s0", "[s=∨] Ac / nok".to_owned()),
+            ("s2", "s5", "[s=∧] Ac / err".to_owned()),
+            ("s2", "s5", "Af∨B / err".to_owned()),
+            ("s3", "s3", format!("[cpt<{v}] {n} / cpt+=1")),
+            ("s3", "s5", format!("[cpt={v}] {n} / err")),
+            ("s3", "s4", format!("[cpt>={u}] C")),
+            ("s3", "s5", format!("[cpt<{u}] C∨Ac / err")),
+            ("s3", "s0", format!("[cpt>={u}] Ac / ok")),
+            ("s3", "s5", "Af∨B / err".to_owned()),
+            ("s4", "s4", "C".to_owned()),
+            ("s4", "s0", "Ac / ok".to_owned()),
+            ("s4", "s5", format!("Af∨B∨{n} / err")),
+            ("s5", "s5", "true / err".to_owned()),
+        ];
+        for (from, to, label) in edges {
+            s.push_str(&format!("  {from} -> {to} [label=\"{label}\"];\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// How a range relates to a potential fragment termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeCompletion {
+    /// Block finished (count within `[u,v]`).
+    Complete,
+    /// Participating but below the minimum (or in error).
+    Incomplete,
+    /// Never participated.
+    NotParticipated,
+}
+
+/// Bits needed to store a counter bounded by `max`.
+pub fn counter_bits(max: u32) -> u64 {
+    u64::from(32 - max.max(1).leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Fragment, LooseOrdering};
+    use crate::context::linear_contexts;
+    use lomon_trace::{Name, Vocabulary};
+
+    /// Build the Fig. 4 recognizer for `n3[2,8]` with context
+    /// `s=∨, B={n1,n2}, C={n4}, Ac={n5}, Af={i}`.
+    struct Fix {
+        voc: Vocabulary,
+        n: Vec<Name>,
+        i: Name,
+        rec: RangeRecognizer,
+    }
+
+    fn fig4_recognizer() -> Fix {
+        let mut voc = Vocabulary::new();
+        let n: Vec<Name> = (1..=5).map(|k| voc.input(&format!("n{k}"))).collect();
+        let i = voc.input("i");
+        let ordering = LooseOrdering::new(vec![
+            Fragment::new(FragmentOp::All, vec![Range::once(n[0]), Range::once(n[1])]),
+            Fragment::new(
+                FragmentOp::Any,
+                vec![Range::new(n[2], 2, 8), Range::once(n[3])],
+            ),
+            Fragment::singleton(Range::once(n[4])),
+        ]);
+        let ctxs = linear_contexts(&ordering, &[i].into_iter().collect());
+        let rec = RangeRecognizer::new(Range::new(n[2], 2, 8), ctxs[1][0].clone());
+        Fix { voc, n, i, rec }
+    }
+
+    #[test]
+    fn starts_idle_then_waits() {
+        let mut f = fig4_recognizer();
+        assert_eq!(f.rec.state(), RangeState::Idle);
+        f.rec.start();
+        assert_eq!(f.rec.state(), RangeState::Waiting);
+    }
+
+    #[test]
+    fn start_with_own_name_counts_immediately() {
+        let mut f = fig4_recognizer();
+        f.rec.start_with(f.n[2]);
+        assert_eq!(f.rec.state(), RangeState::Counting);
+        assert_eq!(f.rec.count(), 1);
+    }
+
+    #[test]
+    fn start_with_sibling_waits_in_s2() {
+        let mut f = fig4_recognizer();
+        f.rec.start_with(f.n[3]);
+        assert_eq!(f.rec.state(), RangeState::WaitingOther);
+    }
+
+    #[test]
+    fn counting_to_minimum_then_accept_is_ok() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        assert_eq!(f.rec.step(f.n[2]), RangeOutput::Progress);
+        assert_eq!(f.rec.step(f.n[2]), RangeOutput::Progress);
+        assert_eq!(f.rec.count(), 2);
+        assert_eq!(f.rec.step(f.n[4]), RangeOutput::Ok);
+        assert_eq!(f.rec.state(), RangeState::Idle);
+    }
+
+    #[test]
+    fn accept_below_minimum_errs() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[2]); // cpt = 1 < u = 2
+        assert_eq!(
+            f.rec.step(f.n[4]),
+            RangeOutput::Err(ViolationKind::PrematureStop)
+        );
+        assert_eq!(f.rec.state(), RangeState::Error);
+    }
+
+    #[test]
+    fn exceeding_maximum_errs() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        for _ in 0..8 {
+            assert_eq!(f.rec.step(f.n[2]), RangeOutput::Progress);
+        }
+        assert_eq!(f.rec.count(), 8);
+        assert_eq!(f.rec.step(f.n[2]), RangeOutput::Err(ViolationKind::TooMany));
+    }
+
+    #[test]
+    fn sibling_interrupt_after_min_parks_in_s4() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[2]);
+        f.rec.step(f.n[2]);
+        assert_eq!(f.rec.step(f.n[3]), RangeOutput::Progress);
+        assert_eq!(f.rec.state(), RangeState::Done);
+        // Stopping name from s4 gives ok.
+        assert_eq!(f.rec.step(f.n[4]), RangeOutput::Ok);
+    }
+
+    #[test]
+    fn sibling_interrupt_below_min_errs() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[2]); // cpt = 1 < 2
+        assert_eq!(
+            f.rec.step(f.n[3]),
+            RangeOutput::Err(ViolationKind::PrematureInterrupt)
+        );
+    }
+
+    #[test]
+    fn own_name_after_block_closed_errs() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[2]);
+        f.rec.step(f.n[2]);
+        f.rec.step(f.n[3]); // -> s4
+        assert_eq!(
+            f.rec.step(f.n[2]),
+            RangeOutput::Err(ViolationKind::BlockSplit)
+        );
+    }
+
+    #[test]
+    fn nok_when_skipped_in_any_fragment() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[3]); // sibling starts -> s2
+        assert_eq!(f.rec.state(), RangeState::WaitingOther);
+        assert_eq!(f.rec.step(f.n[4]), RangeOutput::Nok);
+        assert_eq!(f.rec.state(), RangeState::Idle);
+    }
+
+    #[test]
+    fn missing_range_in_all_fragment_errs() {
+        // n1 in the ∧ fragment F1, sibling n2, Ac = {n3, n4}.
+        let mut f = fig4_recognizer();
+        let ordering = LooseOrdering::new(vec![
+            Fragment::new(
+                FragmentOp::All,
+                vec![Range::once(f.n[0]), Range::once(f.n[1])],
+            ),
+            Fragment::singleton(Range::once(f.n[4])),
+        ]);
+        let ctxs = linear_contexts(&ordering, &[f.i].into_iter().collect());
+        let mut rec = RangeRecognizer::new(Range::once(f.n[0]), ctxs[0][0].clone());
+        rec.start();
+        assert_eq!(rec.step(f.n[1]), RangeOutput::Progress); // sibling -> s2
+        assert_eq!(
+            rec.step(f.n[4]),
+            RangeOutput::Err(ViolationKind::MissingRange)
+        );
+        let _ = &mut f;
+    }
+
+    #[test]
+    fn accept_in_s1_errs_fragment_skipped() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        assert_eq!(
+            f.rec.step(f.n[4]),
+            RangeOutput::Err(ViolationKind::PrematureStop)
+        );
+    }
+
+    #[test]
+    fn before_and_after_names_err_everywhere() {
+        // In s1.
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        assert_eq!(
+            f.rec.step(f.n[0]),
+            RangeOutput::Err(ViolationKind::BeforeName)
+        );
+        // In s3.
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[2]);
+        assert_eq!(f.rec.step(f.i), RangeOutput::Err(ViolationKind::AfterName));
+        // In s4.
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[2]);
+        f.rec.step(f.n[2]);
+        f.rec.step(f.n[3]);
+        assert_eq!(
+            f.rec.step(f.n[1]),
+            RangeOutput::Err(ViolationKind::BeforeName)
+        );
+    }
+
+    #[test]
+    fn error_state_is_sticky() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.i);
+        assert_eq!(f.rec.state(), RangeState::Error);
+        assert_eq!(f.rec.step(f.n[2]), RangeOutput::Progress);
+        assert_eq!(f.rec.state(), RangeState::Error);
+    }
+
+    #[test]
+    fn completion_reporting() {
+        let mut f = fig4_recognizer();
+        assert_eq!(f.rec.completion(), RangeCompletion::NotParticipated);
+        f.rec.start();
+        assert_eq!(f.rec.completion(), RangeCompletion::NotParticipated);
+        f.rec.step(f.n[2]);
+        assert_eq!(f.rec.completion(), RangeCompletion::Incomplete);
+        f.rec.step(f.n[2]);
+        assert_eq!(f.rec.completion(), RangeCompletion::Complete);
+    }
+
+    #[test]
+    fn expected_sets_track_state() {
+        let mut f = fig4_recognizer();
+        assert!(f.rec.expected().is_empty()); // idle
+        f.rec.start();
+        let exp = f.rec.expected();
+        assert!(exp.contains(f.n[2]) && exp.contains(f.n[3]));
+        assert!(!exp.contains(f.n[4]));
+        f.rec.step(f.n[2]); // cpt = 1 < u: only n3 would be wrong…
+        let exp = f.rec.expected();
+        assert!(exp.contains(f.n[2]));
+        assert!(!exp.contains(f.n[3]) && !exp.contains(f.n[4]));
+        f.rec.step(f.n[2]); // cpt = 2 ≥ u
+        let exp = f.rec.expected();
+        assert!(exp.contains(f.n[2]) && exp.contains(f.n[3]) && exp.contains(f.n[4]));
+    }
+
+    #[test]
+    fn expected_at_max_excludes_own_name() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        for _ in 0..8 {
+            f.rec.step(f.n[2]);
+        }
+        let exp = f.rec.expected();
+        assert!(!exp.contains(f.n[2]));
+        assert!(exp.contains(f.n[4]));
+    }
+
+    #[test]
+    fn reset_returns_to_idle() {
+        let mut f = fig4_recognizer();
+        f.rec.start();
+        f.rec.step(f.n[2]);
+        f.rec.reset();
+        assert_eq!(f.rec.state(), RangeState::Idle);
+        assert_eq!(f.rec.count(), 0);
+    }
+
+    #[test]
+    fn ops_accumulate_and_bits_are_constant() {
+        let mut f = fig4_recognizer();
+        let bits = f.rec.state_bits();
+        assert_eq!(bits, 3 + 4); // 8 needs 4 counter bits
+        let before = f.rec.ops();
+        f.rec.start();
+        f.rec.step(f.n[2]);
+        assert!(f.rec.ops() > before);
+        assert_eq!(f.rec.state_bits(), bits);
+    }
+
+    #[test]
+    fn counter_bits_examples() {
+        assert_eq!(counter_bits(1), 1);
+        assert_eq!(counter_bits(8), 4);
+        assert_eq!(counter_bits(60_000), 16);
+    }
+
+    #[test]
+    fn dot_export_mentions_states_and_bounds() {
+        let f = fig4_recognizer();
+        let dot = f.rec.dot(&f.voc);
+        for s in ["s0", "s1", "s2", "s3", "s4", "s5"] {
+            assert!(dot.contains(s));
+        }
+        assert!(dot.contains("n3[2,8]"));
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn state_labels_match_paper() {
+        assert_eq!(RangeState::Idle.label(), "s0");
+        assert_eq!(RangeState::Error.label(), "s5");
+    }
+}

@@ -1,0 +1,374 @@
+//! Well-formedness of loose-ordering patterns — the constraints column of
+//! the paper's Fig. 3.
+//!
+//! The constraints "mainly state that we should not reuse the same interface
+//! names in two ranges, or fragments, of the same property": disjointness is
+//! what lets the direct monitors classify every event in O(1) with no
+//! backtracking, so it is checked *before* any monitor is built.
+
+use lomon_trace::{Direction, Name, NameSet, Vocabulary};
+
+use crate::ast::{Antecedent, Fragment, LooseOrdering, Property, Range, TimedImplication};
+
+/// A well-formedness violation, with enough structure for precise messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WfError {
+    /// A range with `u = 0`: a possibly-empty block would make fragment
+    /// boundaries ambiguous. (The paper's examples all use `u ≥ 1`.)
+    ZeroMin {
+        /// The offending range's name.
+        name: Name,
+    },
+    /// A range with `u > v` denotes no sequence at all.
+    EmptyInterval {
+        /// The offending range's name.
+        name: Name,
+        /// Lower bound.
+        min: u32,
+        /// Upper bound.
+        max: u32,
+    },
+    /// A fragment with no ranges.
+    EmptyFragment,
+    /// A loose-ordering with no fragments.
+    EmptyOrdering,
+    /// The same name appears in two ranges of one property
+    /// (`i ≠ j ⇒ α(Ri) ∩ α(Rj) = ∅` and the fragment-level analogue).
+    DuplicateName {
+        /// The name used twice.
+        name: Name,
+    },
+    /// The trigger `i` of an antecedent also appears in `P`
+    /// (`α(P) ∩ {i} = ∅`).
+    TriggerInAntecedent {
+        /// The trigger name.
+        trigger: Name,
+    },
+    /// The trigger `i` of an antecedent is not an input (`i ∈ I`).
+    TriggerNotInput {
+        /// The trigger name.
+        trigger: Name,
+    },
+    /// A name of a timed implication's response `Q` is not an output
+    /// (`α(Q) ⊆ O`).
+    ResponseNotOutput {
+        /// The offending name.
+        name: Name,
+    },
+}
+
+impl WfError {
+    /// Human-readable message, resolving names against `voc`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        match self {
+            WfError::ZeroMin { name } => {
+                format!("range `{}` has a zero minimum; use u ≥ 1", voc.resolve(*name))
+            }
+            WfError::EmptyInterval { name, min, max } => format!(
+                "range `{}[{min},{max}]` is empty: the minimum exceeds the maximum",
+                voc.resolve(*name)
+            ),
+            WfError::EmptyFragment => "fragment has no ranges".to_owned(),
+            WfError::EmptyOrdering => "loose-ordering has no fragments".to_owned(),
+            WfError::DuplicateName { name } => format!(
+                "name `{}` is used by two ranges of the same property; \
+                 ranges and fragments must have disjoint alphabets",
+                voc.resolve(*name)
+            ),
+            WfError::TriggerInAntecedent { trigger } => format!(
+                "trigger `{}` also occurs inside the antecedent P",
+                voc.resolve(*trigger)
+            ),
+            WfError::TriggerNotInput { trigger } => format!(
+                "trigger `{}` must be an input of the component",
+                voc.resolve(*trigger)
+            ),
+            WfError::ResponseNotOutput { name } => format!(
+                "name `{}` in the response Q must be an output of the component",
+                voc.resolve(*name)
+            ),
+        }
+    }
+}
+
+fn check_range(range: &Range, seen: &mut NameSet, errors: &mut Vec<WfError>) {
+    if range.min == 0 {
+        errors.push(WfError::ZeroMin { name: range.name });
+    }
+    if range.min > range.max {
+        errors.push(WfError::EmptyInterval {
+            name: range.name,
+            min: range.min,
+            max: range.max,
+        });
+    }
+    if !seen.insert(range.name) {
+        errors.push(WfError::DuplicateName { name: range.name });
+    }
+}
+
+fn check_fragment(fragment: &Fragment, seen: &mut NameSet, errors: &mut Vec<WfError>) {
+    if fragment.ranges.is_empty() {
+        errors.push(WfError::EmptyFragment);
+    }
+    for range in &fragment.ranges {
+        check_range(range, seen, errors);
+    }
+}
+
+fn check_ordering(ordering: &LooseOrdering, seen: &mut NameSet, errors: &mut Vec<WfError>) {
+    if ordering.fragments.is_empty() {
+        errors.push(WfError::EmptyOrdering);
+    }
+    for fragment in &ordering.fragments {
+        check_fragment(fragment, seen, errors);
+    }
+}
+
+/// Check an antecedent requirement; returns all violations found.
+pub fn check_antecedent(a: &Antecedent, voc: &Vocabulary) -> Vec<WfError> {
+    let mut errors = Vec::new();
+    let mut seen = NameSet::new();
+    check_ordering(&a.antecedent, &mut seen, &mut errors);
+    if seen.contains(a.trigger) {
+        errors.push(WfError::TriggerInAntecedent { trigger: a.trigger });
+    }
+    if voc.direction(a.trigger) != Direction::Input {
+        errors.push(WfError::TriggerNotInput { trigger: a.trigger });
+    }
+    errors
+}
+
+/// Check a timed implication constraint; returns all violations found.
+pub fn check_timed(t: &TimedImplication, voc: &Vocabulary) -> Vec<WfError> {
+    let mut errors = Vec::new();
+    // P and Q are monitored as one concatenated (cyclic) ordering, so their
+    // alphabets must be mutually disjoint too: one shared `seen` set.
+    let mut seen = NameSet::new();
+    check_ordering(&t.premise, &mut seen, &mut errors);
+    check_ordering(&t.response, &mut seen, &mut errors);
+    for range in t.response.ranges() {
+        if voc.direction(range.name) != Direction::Output {
+            errors.push(WfError::ResponseNotOutput { name: range.name });
+        }
+    }
+    errors
+}
+
+/// Check a property; returns all violations found (empty = well-formed).
+pub fn check(property: &Property, voc: &Vocabulary) -> Vec<WfError> {
+    match property {
+        Property::Antecedent(a) => check_antecedent(a, voc),
+        Property::Timed(t) => check_timed(t, voc),
+    }
+}
+
+/// Check a property, returning it on success — the entry point used by
+/// monitor builders.
+///
+/// # Errors
+///
+/// Returns the list of violations if the property is not well-formed.
+pub fn validate(property: Property, voc: &Vocabulary) -> Result<Property, Vec<WfError>> {
+    let errors = check(&property, voc);
+    if errors.is_empty() {
+        Ok(property)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FragmentOp;
+    use lomon_trace::SimTime;
+
+    struct Fix {
+        voc: Vocabulary,
+        a: Name,
+        b: Name,
+        out1: Name,
+        out2: Name,
+        i: Name,
+    }
+
+    fn fix() -> Fix {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.input("b");
+        let out1 = voc.output("o1");
+        let out2 = voc.output("o2");
+        let i = voc.input("i");
+        Fix { voc, a, b, out1, out2, i }
+    }
+
+    fn ordering_of(names: &[Name]) -> LooseOrdering {
+        LooseOrdering::new(
+            names
+                .iter()
+                .map(|&n| Fragment::singleton(Range::once(n)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn good_antecedent_passes() {
+        let f = fix();
+        let a = Antecedent::new(ordering_of(&[f.a, f.b]), f.i, true);
+        assert!(check_antecedent(&a, &f.voc).is_empty());
+    }
+
+    #[test]
+    fn good_timed_passes() {
+        let f = fix();
+        let t = TimedImplication::new(
+            ordering_of(&[f.a]),
+            ordering_of(&[f.out1, f.out2]),
+            SimTime::from_ns(100),
+        );
+        assert!(check_timed(&t, &f.voc).is_empty());
+    }
+
+    #[test]
+    fn zero_min_detected() {
+        let f = fix();
+        let p = LooseOrdering::new(vec![Fragment::singleton(Range::new(f.a, 0, 3))]);
+        let errs = check_antecedent(&Antecedent::new(p, f.i, false), &f.voc);
+        assert!(matches!(errs[0], WfError::ZeroMin { name } if name == f.a));
+        assert!(errs[0].display(&f.voc).contains("zero minimum"));
+    }
+
+    #[test]
+    fn empty_interval_detected() {
+        let f = fix();
+        let p = LooseOrdering::new(vec![Fragment::singleton(Range::new(f.a, 5, 2))]);
+        let errs = check_antecedent(&Antecedent::new(p, f.i, false), &f.voc);
+        assert!(matches!(errs[0], WfError::EmptyInterval { min: 5, max: 2, .. }));
+    }
+
+    #[test]
+    fn duplicate_name_within_fragment_detected() {
+        let f = fix();
+        let frag = Fragment::new(FragmentOp::All, vec![Range::once(f.a), Range::once(f.a)]);
+        let p = LooseOrdering::new(vec![frag]);
+        let errs = check_antecedent(&Antecedent::new(p, f.i, false), &f.voc);
+        assert!(matches!(errs[0], WfError::DuplicateName { name } if name == f.a));
+    }
+
+    #[test]
+    fn duplicate_name_across_fragments_detected() {
+        let f = fix();
+        let p = ordering_of(&[f.a, f.b, f.a]);
+        let errs = check_antecedent(&Antecedent::new(p, f.i, false), &f.voc);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], WfError::DuplicateName { name } if name == f.a));
+    }
+
+    #[test]
+    fn duplicate_across_premise_and_response_detected() {
+        let f = fix();
+        let t = TimedImplication::new(
+            ordering_of(&[f.out1]),
+            ordering_of(&[f.out1]),
+            SimTime::from_ns(1),
+        );
+        let errs = check_timed(&t, &f.voc);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WfError::DuplicateName { name } if *name == f.out1)));
+    }
+
+    #[test]
+    fn trigger_in_antecedent_detected() {
+        let f = fix();
+        let p = ordering_of(&[f.a, f.i]);
+        let errs = check_antecedent(&Antecedent::new(p, f.i, true), &f.voc);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WfError::TriggerInAntecedent { trigger } if *trigger == f.i)));
+    }
+
+    #[test]
+    fn trigger_must_be_input() {
+        let f = fix();
+        let errs = check_antecedent(&Antecedent::new(ordering_of(&[f.a]), f.out1, true), &f.voc);
+        assert!(matches!(errs[0], WfError::TriggerNotInput { trigger } if trigger == f.out1));
+    }
+
+    #[test]
+    fn response_must_be_outputs() {
+        let f = fix();
+        let t = TimedImplication::new(
+            ordering_of(&[f.a]),
+            ordering_of(&[f.b]),
+            SimTime::from_ns(1),
+        );
+        let errs = check_timed(&t, &f.voc);
+        assert!(matches!(errs[0], WfError::ResponseNotOutput { name } if name == f.b));
+    }
+
+    #[test]
+    fn empty_structures_detected() {
+        let f = fix();
+        let p = LooseOrdering::new(vec![]);
+        let errs = check_antecedent(&Antecedent::new(p, f.i, false), &f.voc);
+        assert!(errs.contains(&WfError::EmptyOrdering));
+
+        let p = LooseOrdering::new(vec![Fragment::new(FragmentOp::Any, vec![])]);
+        let errs = check_antecedent(&Antecedent::new(p, f.i, false), &f.voc);
+        assert!(errs.contains(&WfError::EmptyFragment));
+    }
+
+    #[test]
+    fn validate_passes_through_good_property() {
+        let f = fix();
+        let prop: Property = Antecedent::new(ordering_of(&[f.a]), f.i, true).into();
+        assert!(validate(prop, &f.voc).is_ok());
+    }
+
+    #[test]
+    fn validate_reports_all_errors_at_once() {
+        let f = fix();
+        let p = LooseOrdering::new(vec![Fragment::singleton(Range::new(f.a, 0, 0))]);
+        let prop: Property = Antecedent::new(p, f.out1, false).into();
+        let errs = validate(prop, &f.voc).unwrap_err();
+        // zero min + trigger not input (interval [0,0] has min ≤ max, so no
+        // EmptyInterval here).
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn paper_example_2_is_well_formed() {
+        // (({set_imgAddr, set_glAddr, set_glSize}, ∧) << start, false)
+        let mut voc = Vocabulary::new();
+        let img = voc.input("set_imgAddr");
+        let gl = voc.input("set_glAddr");
+        let sz = voc.input("set_glSize");
+        let start = voc.input("start");
+        let frag = Fragment::new(
+            FragmentOp::All,
+            vec![Range::once(img), Range::once(gl), Range::once(sz)],
+        );
+        let a = Antecedent::new(LooseOrdering::new(vec![frag]), start, false);
+        assert!(check_antecedent(&a, &voc).is_empty());
+    }
+
+    #[test]
+    fn paper_example_3_is_well_formed() {
+        // (start ⇒ read_img[100,60000] < set_irq, T)
+        let mut voc = Vocabulary::new();
+        let start = voc.input("start");
+        let read_img = voc.output("read_img");
+        let set_irq = voc.output("set_irq");
+        let t = TimedImplication::new(
+            LooseOrdering::new(vec![Fragment::singleton(Range::once(start))]),
+            LooseOrdering::new(vec![
+                Fragment::singleton(Range::new(read_img, 100, 60_000)),
+                Fragment::singleton(Range::once(set_irq)),
+            ]),
+            SimTime::from_us(60),
+        );
+        assert!(check_timed(&t, &voc).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Kernel events (SystemC `sc_event` analogue).
+
+use crate::process::ProcessId;
+
+/// Identifier of a kernel event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
+impl EventId {
+    /// Dense index (creation order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuild from an index (no validation).
+    pub fn from_index(index: usize) -> Self {
+        EventId(index)
+    }
+}
+
+/// Book-keeping for one event: the processes waiting on its next
+/// notification (dynamic sensitivity; cleared when it fires).
+#[derive(Debug, Default)]
+pub struct EventRecord {
+    /// Waiting processes, woken in registration order.
+    pub waiters: Vec<ProcessId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_roundtrip() {
+        assert_eq!(EventId::from_index(2).index(), 2);
+    }
+
+    #[test]
+    fn record_default_is_empty() {
+        assert!(EventRecord::default().waiters.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! # lomon-kernel — a deterministic discrete-event simulation kernel
+//!
+//! The SystemC-kernel substitute of this reproduction (see DESIGN.md): the
+//! loose-ordering monitors only consume a totally ordered stream of
+//! interface events plus the current simulated time, so any deterministic
+//! DES kernel with events, delta cycles and (seeded) loose timing exercises
+//! the same code paths as OSCI SystemC.
+//!
+//! * [`sched`] — the scheduler: time-ordered queue with delta cycles and
+//!   insertion-order tie-breaking, one-shot callbacks, signals with
+//!   end-of-delta update semantics, a seeded RNG for the paper's
+//!   loose-timing `wait (90, 110, SC_NS)` idiom;
+//! * [`process`] — `SC_METHOD`-style processes resumed by the kernel;
+//! * [`event`] — `sc_event`-style notification objects.
+//!
+//! ```
+//! use lomon_kernel::{Process, ProcessId, Kernel, Simulator};
+//! use lomon_trace::SimTime;
+//!
+//! struct Blinker { blinks: u32 }
+//! impl Process for Blinker {
+//!     fn name(&self) -> &str { "blinker" }
+//!     fn resume(&mut self, pid: ProcessId, k: &mut Kernel) {
+//!         self.blinks += 1;
+//!         if self.blinks < 3 {
+//!             k.resume_in(pid, SimTime::from_ns(10));
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(42);
+//! let pid = sim.add_process(Blinker { blinks: 0 });
+//! sim.kernel().resume_in(pid, SimTime::ZERO);
+//! sim.run(100);
+//! assert_eq!(sim.now(), SimTime::from_ns(20));
+//! ```
+
+pub mod event;
+pub mod process;
+pub mod sched;
+
+pub use event::EventId;
+pub use process::{Process, ProcessId};
+pub use sched::{Kernel, KernelStats, SignalId, Simulator};

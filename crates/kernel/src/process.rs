@@ -1,0 +1,71 @@
+//! Processes: the kernel's unit of concurrent behaviour.
+
+use crate::sched::Kernel;
+
+/// Identifier of a registered process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Dense index (registration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuild from an index (no validation).
+    pub fn from_index(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+/// A simulation process in the SystemC `SC_METHOD` style: the kernel calls
+/// [`Process::resume`] whenever a timer, event or delta notification the
+/// process registered for fires; the process performs some work, possibly
+/// schedules itself or notifies others, and returns. State machines replace
+/// suspended stacks — the idiomatic shape for deterministic Rust
+/// simulations.
+pub trait Process: std::any::Any {
+    /// A short name for logs and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Called by the kernel when one of the process's triggers fires.
+    /// `pid` is the process's own id (for re-scheduling).
+    fn resume(&mut self, pid: ProcessId, kernel: &mut Kernel);
+}
+
+impl dyn Process {
+    /// Read a concrete process's state back (tests, post-run inspection).
+    pub fn downcast_ref<T: Process>(&self) -> Option<&T> {
+        (self as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable downcast.
+    pub fn downcast_mut<T: Process>(&mut self) -> Option<&mut T> {
+        (self as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let pid = ProcessId::from_index(3);
+        assert_eq!(pid.index(), 3);
+        assert_eq!(pid, ProcessId::from_index(3));
+    }
+
+    #[test]
+    fn downcasting_processes() {
+        struct P(u32);
+        impl Process for P {
+            fn name(&self) -> &str {
+                "p"
+            }
+            fn resume(&mut self, _pid: ProcessId, _k: &mut Kernel) {}
+        }
+        let p: Box<dyn Process> = Box::new(P(5));
+        assert_eq!(p.downcast_ref::<P>().map(|p| p.0), Some(5));
+    }
+}

@@ -1,0 +1,369 @@
+//! PSL/LTL formula AST over the run-length token alphabet.
+//!
+//! The paper's Section 5 translation encodes ranges by *lexing* maximal runs
+//! of a name into per-length tokens (`n n n` → `n⟨3⟩`), so the atoms of the
+//! resulting PSL formulas are predicates over [`LexedToken`]s rather than
+//! plain names. Three predicate shapes suffice:
+//!
+//! * an exact token (`n⟨3⟩`);
+//! * any token of a name with a run inside `[lo,hi]` (the "some token of
+//!   range R" disjunctions, kept symbolic so huge ranges stay representable);
+//! * any token of a name with a run *outside* `[lo,hi]` (the ill-length
+//!   tokens that are "not in the vocabulary" of the encoded property).
+//!
+//! The temporal operators are the PSL subset the translation needs: boolean
+//! connectives, (weak) `next`, strong `until!`, weak `until`, `always` and
+//! `eventually!`.
+
+use lomon_trace::{LexedToken, Name, Vocabulary};
+
+/// A predicate over run-length tokens — the atoms of our PSL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenTest {
+    /// Exactly the token `name⟨run⟩`.
+    Exact {
+        /// The token's name.
+        name: Name,
+        /// The required run length.
+        run: u32,
+    },
+    /// Any token `name⟨k⟩` with `lo ≤ k ≤ hi`.
+    InRange {
+        /// The token's name.
+        name: Name,
+        /// Minimum run length.
+        lo: u32,
+        /// Maximum run length.
+        hi: u32,
+    },
+    /// Any token `name⟨k⟩` with `k < lo` or `k > hi` — an ill-length run.
+    OutsideRange {
+        /// The token's name.
+        name: Name,
+        /// Minimum legal run length.
+        lo: u32,
+        /// Maximum legal run length.
+        hi: u32,
+    },
+    /// Any token of `name`, regardless of run length — a *name-level* atom
+    /// (used by the Asynch conjuncts, which pre-date the lexing).
+    AnyRun {
+        /// The token's name.
+        name: Name,
+    },
+}
+
+impl TokenTest {
+    /// Whether `token` satisfies this predicate.
+    pub fn matches(&self, token: LexedToken) -> bool {
+        match *self {
+            TokenTest::Exact { name, run } => token.name == name && token.run == run,
+            TokenTest::InRange { name, lo, hi } => {
+                token.name == name && token.run >= lo && token.run <= hi
+            }
+            TokenTest::OutsideRange { name, lo, hi } => {
+                token.name == name && (token.run < lo || token.run > hi)
+            }
+            TokenTest::AnyRun { name } => token.name == name,
+        }
+    }
+
+    /// The name this predicate constrains.
+    pub fn name(&self) -> Name {
+        match *self {
+            TokenTest::Exact { name, .. }
+            | TokenTest::InRange { name, .. }
+            | TokenTest::OutsideRange { name, .. }
+            | TokenTest::AnyRun { name } => name,
+        }
+    }
+
+    /// How many concrete tokens the predicate denotes (`None` = unbounded,
+    /// for [`TokenTest::OutsideRange`]). This is the *formula-size weight*
+    /// of the atom once the symbolic disjunction is expanded — the source of
+    /// the `(v−u+1)` factors in the ViaPSL cost model.
+    pub fn expanded_width(&self) -> Option<u64> {
+        match *self {
+            TokenTest::Exact { .. } => Some(1),
+            TokenTest::InRange { lo, hi, .. } => Some(u64::from(hi) - u64::from(lo) + 1),
+            TokenTest::OutsideRange { .. } => None,
+            TokenTest::AnyRun { .. } => Some(1),
+        }
+    }
+
+    /// Render against a vocabulary, e.g. `read_img⟨3⟩` or `read_img⟨2..8⟩`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        match *self {
+            TokenTest::Exact { name, run } => format!("{}⟨{run}⟩", voc.resolve(name)),
+            TokenTest::InRange { name, lo, hi } => {
+                format!("{}⟨{lo}..{hi}⟩", voc.resolve(name))
+            }
+            TokenTest::OutsideRange { name, lo, hi } => {
+                format!("{}⟨∉{lo}..{hi}⟩", voc.resolve(name))
+            }
+            TokenTest::AnyRun { name } => voc.resolve(name).to_owned(),
+        }
+    }
+}
+
+/// A formula of the PSL subset used by the Section 5 translation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Psl {
+    /// Boolean constant.
+    Const(bool),
+    /// A token predicate.
+    Atom(TokenTest),
+    /// Negation.
+    Not(Box<Psl>),
+    /// n-ary conjunction.
+    And(Vec<Psl>),
+    /// n-ary disjunction.
+    Or(Vec<Psl>),
+    /// Implication.
+    Implies(Box<Psl>, Box<Psl>),
+    /// Weak next: trivially true at the last position.
+    Next(Box<Psl>),
+    /// Strong until (`until!`): the right operand must eventually hold.
+    Until(Box<Psl>, Box<Psl>),
+    /// Weak until: strong until or the left operand holds forever.
+    WeakUntil(Box<Psl>, Box<Psl>),
+    /// `always φ` (`G φ`).
+    Always(Box<Psl>),
+    /// `eventually! φ` (`F! φ`).
+    Eventually(Box<Psl>),
+}
+
+impl Psl {
+    /// Smart conjunction (flattens, drops `true`, absorbs `false`).
+    pub fn and(parts: Vec<Psl>) -> Psl {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Psl::Const(true) => {}
+                Psl::Const(false) => return Psl::Const(false),
+                Psl::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Psl::Const(true),
+            1 => out.pop().expect("len checked"),
+            _ => Psl::And(out),
+        }
+    }
+
+    /// Smart disjunction (flattens, drops `false`, absorbs `true`).
+    pub fn or(parts: Vec<Psl>) -> Psl {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Psl::Const(false) => {}
+                Psl::Const(true) => return Psl::Const(true),
+                Psl::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Psl::Const(false),
+            1 => out.pop().expect("len checked"),
+            _ => Psl::Or(out),
+        }
+    }
+
+    /// `¬φ` (a constructor, not `std::ops::Not`, to match the other
+    /// builders).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(p: Psl) -> Psl {
+        Psl::Not(Box::new(p))
+    }
+
+    /// `φ → ψ`.
+    pub fn implies(p: Psl, q: Psl) -> Psl {
+        Psl::Implies(Box::new(p), Box::new(q))
+    }
+
+    /// `X φ` (weak).
+    pub fn next(p: Psl) -> Psl {
+        Psl::Next(Box::new(p))
+    }
+
+    /// `φ U! ψ`.
+    pub fn until(p: Psl, q: Psl) -> Psl {
+        Psl::Until(Box::new(p), Box::new(q))
+    }
+
+    /// `φ W ψ`.
+    pub fn weak_until(p: Psl, q: Psl) -> Psl {
+        Psl::WeakUntil(Box::new(p), Box::new(q))
+    }
+
+    /// `G φ`.
+    pub fn always(p: Psl) -> Psl {
+        Psl::Always(Box::new(p))
+    }
+
+    /// `F! φ`.
+    pub fn eventually(p: Psl) -> Psl {
+        Psl::Eventually(Box::new(p))
+    }
+
+    /// Number of AST nodes, counting symbolic range atoms with weight 1
+    /// (the compact representation actually held in memory).
+    pub fn node_count(&self) -> u64 {
+        1 + match self {
+            Psl::Const(_) | Psl::Atom(_) => 0,
+            Psl::Not(p) | Psl::Next(p) | Psl::Always(p) | Psl::Eventually(p) => p.node_count(),
+            Psl::And(ps) | Psl::Or(ps) => ps.iter().map(Psl::node_count).sum(),
+            Psl::Implies(p, q) | Psl::Until(p, q) | Psl::WeakUntil(p, q) => {
+                p.node_count() + q.node_count()
+            }
+        }
+    }
+
+    /// Number of AST nodes once every symbolic range atom is expanded into
+    /// its disjunction of exact tokens — the size a PSL tool without our
+    /// symbolic atoms would have to handle ("the new vocabulary of `n[1,2]`
+    /// is `{n1, n2}`"). `OutsideRange` atoms count 1 (complement tests).
+    pub fn expanded_node_count(&self) -> u64 {
+        match self {
+            Psl::Const(_) => 1,
+            Psl::Atom(t) => match t.expanded_width() {
+                // k exact atoms plus the (k−1)-ary disjunction node.
+                Some(k) if k > 1 => 2 * k - 1,
+                _ => 1,
+            },
+            Psl::Not(p) | Psl::Next(p) | Psl::Always(p) | Psl::Eventually(p) => {
+                1 + p.expanded_node_count()
+            }
+            Psl::And(ps) | Psl::Or(ps) => {
+                1 + ps.iter().map(Psl::expanded_node_count).sum::<u64>()
+            }
+            Psl::Implies(p, q) | Psl::Until(p, q) | Psl::WeakUntil(p, q) => {
+                1 + p.expanded_node_count() + q.expanded_node_count()
+            }
+        }
+    }
+
+    /// Pretty-print in PSL-ish concrete syntax.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        match self {
+            Psl::Const(true) => "true".into(),
+            Psl::Const(false) => "false".into(),
+            Psl::Atom(t) => t.display(voc),
+            Psl::Not(p) => format!("!({})", p.display(voc)),
+            Psl::And(ps) => {
+                let parts: Vec<_> = ps.iter().map(|p| p.display(voc)).collect();
+                format!("({})", parts.join(" && "))
+            }
+            Psl::Or(ps) => {
+                let parts: Vec<_> = ps.iter().map(|p| p.display(voc)).collect();
+                format!("({})", parts.join(" || "))
+            }
+            Psl::Implies(p, q) => format!("({} -> {})", p.display(voc), q.display(voc)),
+            Psl::Next(p) => format!("next({})", p.display(voc)),
+            Psl::Until(p, q) => format!("({} until! {})", p.display(voc), q.display(voc)),
+            Psl::WeakUntil(p, q) => format!("({} until {})", p.display(voc), q.display(voc)),
+            Psl::Always(p) => format!("always({})", p.display(voc)),
+            Psl::Eventually(p) => format!("eventually!({})", p.display(voc)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voc() -> (Vocabulary, Name, Name) {
+        let mut v = Vocabulary::new();
+        let n = v.input("n");
+        let i = v.input("i");
+        (v, n, i)
+    }
+
+    fn tok(name: Name, run: u32) -> LexedToken {
+        LexedToken { name, run }
+    }
+
+    #[test]
+    fn token_tests_match() {
+        let (_v, n, i) = voc();
+        assert!(TokenTest::Exact { name: n, run: 3 }.matches(tok(n, 3)));
+        assert!(!TokenTest::Exact { name: n, run: 3 }.matches(tok(n, 2)));
+        assert!(!TokenTest::Exact { name: n, run: 3 }.matches(tok(i, 3)));
+        let in_range = TokenTest::InRange { name: n, lo: 2, hi: 8 };
+        assert!(in_range.matches(tok(n, 2)) && in_range.matches(tok(n, 8)));
+        assert!(!in_range.matches(tok(n, 1)) && !in_range.matches(tok(n, 9)));
+        let outside = TokenTest::OutsideRange { name: n, lo: 2, hi: 8 };
+        assert!(outside.matches(tok(n, 1)) && outside.matches(tok(n, 9)));
+        assert!(!outside.matches(tok(n, 5)));
+        assert!(!outside.matches(tok(i, 1)));
+    }
+
+    #[test]
+    fn expanded_width() {
+        let (_v, n, _i) = voc();
+        assert_eq!(TokenTest::Exact { name: n, run: 1 }.expanded_width(), Some(1));
+        assert_eq!(
+            TokenTest::InRange { name: n, lo: 100, hi: 60_000 }.expanded_width(),
+            Some(59_901)
+        );
+        assert_eq!(
+            TokenTest::OutsideRange { name: n, lo: 1, hi: 2 }.expanded_width(),
+            None
+        );
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let (_v, n, _i) = voc();
+        let a = Psl::Atom(TokenTest::Exact { name: n, run: 1 });
+        assert_eq!(Psl::and(vec![]), Psl::Const(true));
+        assert_eq!(Psl::and(vec![Psl::Const(true), a.clone()]), a);
+        assert_eq!(
+            Psl::and(vec![Psl::Const(false), a.clone()]),
+            Psl::Const(false)
+        );
+        assert_eq!(Psl::or(vec![]), Psl::Const(false));
+        assert_eq!(Psl::or(vec![Psl::Const(true), a.clone()]), Psl::Const(true));
+        // Nested conjunctions flatten.
+        let nested = Psl::and(vec![Psl::and(vec![a.clone(), a.clone()]), a.clone()]);
+        assert_eq!(nested.node_count(), 4); // And + 3 atoms
+    }
+
+    #[test]
+    fn node_counts() {
+        let (_v, n, i) = voc();
+        let t = Psl::Atom(TokenTest::Exact { name: n, run: 1 });
+        let trig = Psl::Atom(TokenTest::Exact { name: i, run: 1 });
+        // always(t -> next(!t until! i))
+        let f = Psl::always(Psl::implies(
+            t.clone(),
+            Psl::next(Psl::until(Psl::not(t.clone()), trig)),
+        ));
+        assert_eq!(f.node_count(), 8);
+        assert_eq!(f.expanded_node_count(), 8); // no symbolic atoms
+    }
+
+    #[test]
+    fn expanded_count_blows_up_with_ranges() {
+        let (_v, n, _i) = voc();
+        let sym = Psl::Atom(TokenTest::InRange { name: n, lo: 100, hi: 60_000 });
+        assert_eq!(sym.node_count(), 1);
+        assert_eq!(sym.expanded_node_count(), 2 * 59_901 - 1);
+    }
+
+    #[test]
+    fn display_renders_operators() {
+        let (v, n, i) = voc();
+        let t = Psl::Atom(TokenTest::Exact { name: n, run: 1 });
+        let trig = Psl::Atom(TokenTest::Exact { name: i, run: 1 });
+        let f = Psl::always(Psl::implies(
+            t.clone(),
+            Psl::next(Psl::until(Psl::not(t), trig)),
+        ));
+        let text = f.display(&v);
+        assert!(text.contains("always("));
+        assert!(text.contains("until!"));
+        assert!(text.contains("n⟨1⟩"));
+    }
+}

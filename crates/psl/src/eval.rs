@@ -1,0 +1,313 @@
+//! Three-valued finite-trace evaluation of PSL formulas.
+//!
+//! This is the *specification* semantics of the PSL subset: an impartial
+//! (RV-LTL-style) evaluation over the finite token trace observed so far.
+//! Positions past the end of the trace evaluate to [`Truth::Unknown`]:
+//! a formula is
+//!
+//! * [`Truth::False`] only when the observed prefix already makes it false
+//!   on every extension (the monitoring verdict "violated");
+//! * [`Truth::True`] only when it is already true on every extension;
+//! * [`Truth::Unknown`] otherwise.
+//!
+//! The recursive evaluator is deliberately simple (and O(|φ|·|w|) per
+//! query) — it is the oracle that the efficient observer network in
+//! [`crate::monitor`] is tested against, playing the role SPOT plays for
+//! the paper's translation.
+
+use lomon_trace::LexedToken;
+
+use crate::ast::Psl;
+
+/// Kleene three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Definitely false on the observed prefix (violation).
+    False,
+    /// Definitely true on the observed prefix.
+    True,
+    /// Not yet determined.
+    Unknown,
+}
+
+impl Truth {
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+}
+
+/// Evaluate `formula` at position `pos` of the token trace.
+fn eval_at(formula: &Psl, tokens: &[LexedToken], pos: usize) -> Truth {
+    if pos > tokens.len() {
+        unreachable!("evaluation past the virtual end position");
+    }
+    match formula {
+        Psl::Const(true) => Truth::True,
+        Psl::Const(false) => Truth::False,
+        Psl::Atom(test) => {
+            if pos == tokens.len() {
+                Truth::Unknown
+            } else if test.matches(tokens[pos]) {
+                Truth::True
+            } else {
+                Truth::False
+            }
+        }
+        Psl::Not(p) => eval_at(p, tokens, pos).not(),
+        Psl::And(ps) => ps
+            .iter()
+            .fold(Truth::True, |acc, p| acc.and(eval_at(p, tokens, pos))),
+        Psl::Or(ps) => ps
+            .iter()
+            .fold(Truth::False, |acc, p| acc.or(eval_at(p, tokens, pos))),
+        Psl::Implies(p, q) => eval_at(p, tokens, pos)
+            .not()
+            .or(eval_at(q, tokens, pos)),
+        Psl::Next(p) => {
+            if pos >= tokens.len() {
+                Truth::Unknown
+            } else {
+                // The continuation beyond the trace is unknown, so `next`
+                // at the last position is unknown (impartiality), which
+                // `eval_at(_, _, len)` yields for every temporal operand.
+                eval_at(p, tokens, pos + 1)
+            }
+        }
+        Psl::Until(p, q) => {
+            if pos == tokens.len() {
+                return Truth::Unknown;
+            }
+            // φ U! ψ ≡ ψ ∨ (φ ∧ X(φ U! ψ))
+            let now = eval_at(q, tokens, pos);
+            let hold = eval_at(p, tokens, pos);
+            now.or(hold.and(eval_until(p, q, tokens, pos + 1, Truth::Unknown)))
+        }
+        Psl::WeakUntil(p, q) => {
+            if pos == tokens.len() {
+                return Truth::Unknown;
+            }
+            let now = eval_at(q, tokens, pos);
+            let hold = eval_at(p, tokens, pos);
+            now.or(hold.and(eval_until(p, q, tokens, pos + 1, Truth::Unknown)))
+        }
+        Psl::Always(p) => {
+            let mut acc = Truth::Unknown; // the unseen future
+            for k in (pos..tokens.len()).rev() {
+                acc = eval_at(p, tokens, k).and(acc);
+                if acc == Truth::False {
+                    return Truth::False;
+                }
+            }
+            acc
+        }
+        Psl::Eventually(p) => {
+            let mut acc = Truth::Unknown; // the unseen future
+            for k in (pos..tokens.len()).rev() {
+                acc = eval_at(p, tokens, k).or(acc);
+                if acc == Truth::True {
+                    return Truth::True;
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// Iterative unrolling of `φ U ψ` from `pos`, with the given value at the
+/// end of the trace (`Unknown` for both until flavours under impartial
+/// finite-trace semantics).
+fn eval_until(p: &Psl, q: &Psl, tokens: &[LexedToken], pos: usize, at_end: Truth) -> Truth {
+    let mut acc = at_end;
+    for k in (pos..tokens.len()).rev() {
+        let now = eval_at(q, tokens, k);
+        let hold = eval_at(p, tokens, k);
+        acc = now.or(hold.and(acc));
+        // No early exit: `acc` depends on the suffix, computed right-to-left.
+    }
+    acc
+}
+
+/// Evaluate `formula` over the whole token trace (position 0).
+pub fn eval(formula: &Psl, tokens: &[LexedToken]) -> Truth {
+    eval_at(formula, tokens, 0)
+}
+
+/// The length of the shortest prefix of `tokens` on which `formula` is
+/// already [`Truth::False`], if any. (Index of the offending token =
+/// result − 1.)
+pub fn first_false_prefix(formula: &Psl, tokens: &[LexedToken]) -> Option<usize> {
+    for k in 0..=tokens.len() {
+        if eval(formula, &tokens[..k]) == Truth::False {
+            return Some(k);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TokenTest;
+    use lomon_trace::{Name, Vocabulary};
+
+    struct Fix {
+        n: Name,
+        i: Name,
+    }
+
+    fn fix() -> Fix {
+        let mut voc = Vocabulary::new();
+        Fix {
+            n: voc.input("n"),
+            i: voc.input("i"),
+        }
+    }
+
+    fn tok(name: Name, run: u32) -> LexedToken {
+        LexedToken { name, run }
+    }
+
+    fn atom(name: Name) -> Psl {
+        Psl::Atom(TokenTest::Exact { name, run: 1 })
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        let f = fix();
+        assert_eq!(eval(&Psl::Const(true), &[]), Truth::True);
+        assert_eq!(eval(&Psl::Const(false), &[]), Truth::False);
+        assert_eq!(eval(&atom(f.n), &[]), Truth::Unknown);
+        assert_eq!(eval(&atom(f.n), &[tok(f.n, 1)]), Truth::True);
+        assert_eq!(eval(&atom(f.n), &[tok(f.i, 1)]), Truth::False);
+    }
+
+    #[test]
+    fn boolean_connectives_are_kleene() {
+        let f = fix();
+        let unknown = atom(f.n); // on empty trace
+        let and = Psl::and(vec![Psl::Const(false), unknown.clone()]);
+        assert_eq!(eval(&and, &[]), Truth::False);
+        let or = Psl::or(vec![Psl::Const(true), unknown.clone()]);
+        assert_eq!(eval(&or, &[]), Truth::True);
+        assert_eq!(eval(&Psl::not(unknown), &[]), Truth::Unknown);
+    }
+
+    #[test]
+    fn next_is_impartial_at_the_edge() {
+        let f = fix();
+        let x_n = Psl::next(atom(f.n));
+        assert_eq!(eval(&x_n, &[]), Truth::Unknown);
+        assert_eq!(eval(&x_n, &[tok(f.i, 1)]), Truth::Unknown); // next pos unseen
+        assert_eq!(eval(&x_n, &[tok(f.i, 1), tok(f.n, 1)]), Truth::True);
+        assert_eq!(eval(&x_n, &[tok(f.i, 1), tok(f.i, 1)]), Truth::False);
+    }
+
+    #[test]
+    fn strong_until_requires_witness() {
+        let f = fix();
+        // ¬i U! n
+        let u = Psl::until(Psl::not(atom(f.i)), atom(f.n));
+        assert_eq!(eval(&u, &[]), Truth::Unknown);
+        assert_eq!(eval(&u, &[tok(f.n, 1)]), Truth::True);
+        assert_eq!(eval(&u, &[tok(f.i, 1)]), Truth::False); // i before n
+        let other = {
+            let mut voc = Vocabulary::new();
+            voc.input("n");
+            voc.input("i");
+            voc.input("other")
+        };
+        assert_eq!(eval(&u, &[tok(other, 1)]), Truth::Unknown); // still waiting
+        assert_eq!(eval(&u, &[tok(other, 1), tok(f.n, 1)]), Truth::True);
+    }
+
+    #[test]
+    fn always_detects_violation_position() {
+        let f = fix();
+        // always(n → X(¬n U! i))  — the MaxOne conjunct.
+        let max_one = Psl::always(Psl::implies(
+            atom(f.n),
+            Psl::next(Psl::until(Psl::not(atom(f.n)), atom(f.i))),
+        ));
+        let good = [tok(f.n, 1), tok(f.i, 1), tok(f.n, 1), tok(f.i, 1)];
+        assert_ne!(eval(&max_one, &good), Truth::False);
+        let bad = [tok(f.n, 1), tok(f.n, 1)];
+        assert_eq!(eval(&max_one, &bad), Truth::False);
+        assert_eq!(first_false_prefix(&max_one, &bad), Some(2));
+    }
+
+    #[test]
+    fn weak_until_on_finite_prefix() {
+        let f = fix();
+        // n W i: n holds until an i (or forever).
+        let w = Psl::weak_until(atom(f.n), atom(f.i));
+        assert_eq!(eval(&w, &[tok(f.n, 1), tok(f.n, 1)]), Truth::Unknown);
+        assert_eq!(eval(&w, &[tok(f.i, 1)]), Truth::True);
+        assert_eq!(
+            eval(&w, &[tok(f.n, 1), tok(f.i, 1)]),
+            Truth::True
+        );
+        // A non-n, non-i token breaks it definitively.
+        let mut voc = Vocabulary::new();
+        voc.input("n");
+        voc.input("i");
+        let other = voc.input("other");
+        assert_eq!(eval(&w, &[tok(other, 1)]), Truth::False);
+    }
+
+    #[test]
+    fn eventually_finds_witness() {
+        let f = fix();
+        let ev = Psl::eventually(atom(f.i));
+        assert_eq!(eval(&ev, &[]), Truth::Unknown);
+        assert_eq!(eval(&ev, &[tok(f.n, 1)]), Truth::Unknown);
+        assert_eq!(eval(&ev, &[tok(f.n, 1), tok(f.i, 1)]), Truth::True);
+    }
+
+    #[test]
+    fn falsehood_is_stable_under_extension() {
+        let f = fix();
+        let max_one = Psl::always(Psl::implies(
+            atom(f.n),
+            Psl::next(Psl::until(Psl::not(atom(f.n)), atom(f.i))),
+        ));
+        let bad = [tok(f.n, 1), tok(f.n, 1), tok(f.i, 1), tok(f.n, 1)];
+        for k in 2..=bad.len() {
+            assert_eq!(eval(&max_one, &bad[..k]), Truth::False, "prefix {k}");
+        }
+    }
+
+    #[test]
+    fn range_tokens_in_atoms() {
+        let f = fix();
+        let in_range = Psl::Atom(TokenTest::InRange { name: f.n, lo: 2, hi: 8 });
+        assert_eq!(eval(&in_range, &[tok(f.n, 5)]), Truth::True);
+        assert_eq!(eval(&in_range, &[tok(f.n, 1)]), Truth::False);
+        let bad = Psl::always(Psl::not(Psl::Atom(TokenTest::OutsideRange {
+            name: f.n,
+            lo: 2,
+            hi: 8,
+        })));
+        assert_eq!(eval(&bad, &[tok(f.n, 9)]), Truth::False);
+        assert_ne!(eval(&bad, &[tok(f.n, 3)]), Truth::False);
+    }
+}

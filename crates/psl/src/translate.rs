@@ -1,0 +1,754 @@
+//! Translation of loose-ordering patterns into PSL (paper Section 5).
+//!
+//! Ranges are encoded by run-length lexing (a run `n…n` of length `k`
+//! becomes the token `n⟨k⟩`), and the property becomes a big conjunction of
+//! small temporal formulas. The families follow the paper, made fully
+//! precise (the paper sketches them; our reconstruction is validated against
+//! the independent pattern semantics by property tests):
+//!
+//! * **Asynch** — `always ¬(x ∧ y)` for every name pair: no two interface
+//!   names at once. Trivially true in our sequence model, but counted, as
+//!   the paper does.
+//! * **BadToken** — runs of a ranged name with a length outside `[u,v]` are
+//!   not in the encoded vocabulary: `always ¬n⟨∉u..v⟩`.
+//! * **MaxOne** — `always(n⟨k⟩ → next(¬n⟨k⟩ until! I))`: each token occurs
+//!   at most once per episode. One conjunct **per exact token** —
+//!   `v−u+1` conjuncts per range.
+//! * **Range** — `always(n⟨k⟩ → (¬n⟨k'⟩ until! I))` for each ordered pair of
+//!   distinct tokens of one range: at most one token per range per episode.
+//!   `(v−u+1)·(v−u)` conjuncts — **the quadratic blow-up** of Fig. 6.
+//! * **Order** — `always(TOK(x) → (¬TOK(y) until! I))` for names `x` of a
+//!   fragment and `y` of the *preceding* fragment: once a fragment starts,
+//!   the previous one is over.
+//! * **Precede** — `¬TOK(F_j) until! TOK(R)` for each range `R` of the
+//!   preceding fragment (folded into one disjunctive target for
+//!   `∨`-fragments): a fragment may not start before its predecessor is
+//!   complete. (Re-armed at each episode boundary when repeated.)
+//! * **BeforeI** / **AfterI** — `¬I until! TOK(R)` for every range of every
+//!   fragment: the whole antecedent is observed before the trigger; when
+//!   repeated, the same obligations re-arm right after each trigger.
+//!
+//! `I` is the *episode boundary*: the trigger token `i⟨1⟩` for an antecedent
+//! `(P << i, b)`, or the tokens of `Q`'s final range for a timed implication
+//! (paper: "consider the end of Q as the reset point"). Timed implications
+//! whose response ends in a multi-range fragment have no single reset token
+//! and are reported as [`TranslateError::Unsupported`] (all the paper's
+//! configurations end in a single range).
+//!
+//! Each conjunct also yields one **observer** — the modular sub-monitor of
+//! the Pierre & Ferro style synthesis — whose runtime cost is proportional
+//! to the conjunct's (expanded) formula size. That proportionality is the
+//! paper's ViaPSL cost model; see [`crate::monitor`] and
+//! [`crate::complexity`].
+
+use lomon_core::ast::{Fragment, FragmentOp, Property, Range};
+use lomon_trace::{LexedToken, Name, NameSet, Vocabulary};
+
+use crate::ast::{Psl, TokenTest};
+
+/// A disjunctive set of token predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TokenSet(pub Vec<TokenTest>);
+
+impl TokenSet {
+    /// Whether any predicate matches.
+    pub fn matches(&self, token: LexedToken) -> bool {
+        self.0.iter().any(|t| t.matches(token))
+    }
+
+    /// The expanded formula weight of the disjunction.
+    pub fn weight(&self) -> u64 {
+        let total: u64 = self
+            .0
+            .iter()
+            .map(|t| t.expanded_width().map_or(1, |w| 2 * w - 1))
+            .sum();
+        if self.0.len() > 1 {
+            total + 1 // the disjunction node
+        } else {
+            total
+        }
+    }
+
+    /// The disjunction as a formula.
+    pub fn formula(&self) -> Psl {
+        Psl::or(self.0.iter().map(|&t| Psl::Atom(t)).collect())
+    }
+
+    /// Render as `a⟨1⟩ ∨ b⟨2..4⟩` for diagnostics.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        self.0
+            .iter()
+            .map(|t| t.display(voc))
+            .collect::<Vec<_>>()
+            .join(" ∨ ")
+    }
+}
+
+/// The conjunct family an observer belongs to (for diagnostics and the
+/// per-family cost breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// `always ¬(x ∧ y)`.
+    Asynch,
+    /// `always ¬n⟨∉u..v⟩`.
+    BadToken,
+    /// `always(t → X(¬t U! I))`.
+    MaxOne,
+    /// `always(t → (¬t' U! I))`.
+    Range,
+    /// `always(TOK(x) → (¬TOK(y) U! I))`.
+    Order,
+    /// `¬TOK(F_j) U! TOK(R)` (+ re-arm).
+    Precede,
+    /// `¬I U! TOK(R)` (+ re-arm = AfterI).
+    BeforeI,
+}
+
+impl Family {
+    /// The paper's name for the family.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Asynch => "Asynch",
+            Family::BadToken => "BadToken",
+            Family::MaxOne => "MaxOne",
+            Family::Range => "Range",
+            Family::Order => "Order",
+            Family::Precede => "Precede",
+            Family::BeforeI => "BeforeI/AfterI",
+        }
+    }
+}
+
+/// One modular sub-monitor, corresponding to one conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observer {
+    /// Never fires in the sequence model; carries its formula weight.
+    Asynch {
+        /// First name of the pair.
+        x: Name,
+        /// Second name of the pair.
+        y: Name,
+    },
+    /// Fires when an ill-length token appears.
+    Forbid {
+        /// The ill-length predicate.
+        test: TokenTest,
+        /// For one-shot properties the invariant only holds up to the first
+        /// episode boundary: `Some(I)` scopes the conjunct with `W I`.
+        scope: Option<TokenSet>,
+    },
+    /// The triggered-until obligation shared by MaxOne/Range/Order/Precede/
+    /// BeforeI: while *active*, a `target` token discharges it and an
+    /// `avoid` token violates it; `triggers` (re-)arm it.
+    Triggered {
+        /// Which family the conjunct belongs to.
+        family: Family,
+        /// Active at episode start (Precede/BeforeI).
+        init_active: bool,
+        /// Tokens that arm the obligation.
+        triggers: TokenSet,
+        /// Tokens that violate an active obligation.
+        avoid: TokenSet,
+        /// Tokens that discharge an active obligation.
+        target: TokenSet,
+        /// For one-shot properties, `Some(I)` scopes the conjunct with
+        /// `W I` (constraints stop applying after the first boundary).
+        scope: Option<TokenSet>,
+    },
+}
+
+impl Observer {
+    /// The family of this observer.
+    pub fn family(&self) -> Family {
+        match self {
+            Observer::Asynch { .. } => Family::Asynch,
+            Observer::Forbid { .. } => Family::BadToken,
+            Observer::Triggered { family, .. } => *family,
+        }
+    }
+
+    /// The expanded formula weight of the corresponding conjunct — the
+    /// per-event work the modular synthesis spends on it.
+    pub fn weight(&self) -> u64 {
+        conjunct_weight(self)
+    }
+}
+
+/// A complete translation: observers + materialized formula + lexer config.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// One observer per conjunct.
+    pub observers: Vec<Observer>,
+    /// The whole property as one PSL conjunction (compact symbolic atoms).
+    pub formula: Psl,
+    /// Ranged names the run-length lexer must collapse, with their bounds.
+    pub collapsible: Vec<Range>,
+    /// The episode-boundary token set `I`.
+    pub trigger: TokenSet,
+    /// Whether episodes repeat (`b` for antecedents; always for timed).
+    pub repeated: bool,
+    /// The property alphabet (projection set).
+    pub alphabet: NameSet,
+}
+
+/// Why a property could not be translated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The pattern shape is outside the encoding's domain.
+    Unsupported(String),
+    /// Materializing would exceed the conjunct budget (use
+    /// [`crate::complexity::viapsl_cost`] for the closed-form size instead).
+    TooLarge {
+        /// Conjuncts the translation would need.
+        conjuncts: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::Unsupported(why) => write!(f, "unsupported pattern: {why}"),
+            TranslateError::TooLarge { conjuncts, limit } => write!(
+                f,
+                "translation needs {conjuncts} conjuncts, over the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Options for [`translate`].
+#[derive(Debug, Clone, Copy)]
+pub struct TranslateOptions {
+    /// Upper bound on materialized conjuncts (the Range family alone needs
+    /// `(v−u+1)(v−u)` of them per range).
+    pub conjunct_limit: u64,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions {
+            conjunct_limit: 200_000,
+        }
+    }
+}
+
+/// The normalized shape shared by both root patterns: content fragments
+/// followed by an episode-boundary token set.
+pub(crate) struct EpisodeShape {
+    pub content: Vec<Fragment>,
+    pub trigger: TokenSet,
+    pub trigger_range: Option<Range>,
+    pub repeated: bool,
+    pub alphabet: NameSet,
+}
+
+pub(crate) fn episode_shape(property: &Property) -> Result<EpisodeShape, TranslateError> {
+    match property {
+        Property::Antecedent(a) => Ok(EpisodeShape {
+            content: a.antecedent.fragments.clone(),
+            trigger: TokenSet(vec![TokenTest::Exact {
+                name: a.trigger,
+                run: 1,
+            }]),
+            trigger_range: None,
+            repeated: a.repeated,
+            alphabet: a.alpha(),
+        }),
+        Property::Timed(t) => {
+            let mut content = t.premise.fragments.clone();
+            content.extend(t.response.fragments.iter().cloned());
+            let last = content.pop().expect("well-formed response is non-empty");
+            if last.ranges.len() != 1 {
+                return Err(TranslateError::Unsupported(
+                    "the response must end in a single-range fragment to have \
+                     a well-defined reset point"
+                        .into(),
+                ));
+            }
+            let range = last.ranges[0].clone();
+            let trigger = TokenSet(vec![token_of(&range)]);
+            Ok(EpisodeShape {
+                content,
+                trigger,
+                trigger_range: Some(range),
+                repeated: true,
+                alphabet: t.alpha(),
+            })
+        }
+    }
+}
+
+/// The symbolic "some token of R" predicate.
+fn token_of(range: &Range) -> TokenTest {
+    if range.is_trivial() {
+        TokenTest::Exact {
+            name: range.name,
+            run: 1,
+        }
+    } else {
+        TokenTest::InRange {
+            name: range.name,
+            lo: range.min,
+            hi: range.max,
+        }
+    }
+}
+
+/// Tokens of a whole fragment (union over its ranges).
+fn tokens_of_fragment(fragment: &Fragment) -> TokenSet {
+    TokenSet(fragment.ranges.iter().map(token_of).collect())
+}
+
+/// Expanded formula weight of one conjunct (must stay consistent with
+/// [`conjunct_formula`]; checked by tests against
+/// [`Psl::expanded_node_count`]).
+fn conjunct_weight(observer: &Observer) -> u64 {
+    match observer {
+        // always(not(and(x, y))) = 5 nodes with name-level atoms.
+        Observer::Asynch { .. } => 5,
+        // always(not(atom)) = 3 nodes; W-scoping replaces the `always` by a
+        // weak until with the boundary disjunction as second operand.
+        Observer::Forbid { scope, .. } => 3 + scope.as_ref().map_or(0, TokenSet::weight),
+        Observer::Triggered {
+            family,
+            init_active,
+            triggers,
+            avoid,
+            target,
+            scope,
+        } => {
+            // body = until(not(avoid), target)
+            let body = 1 + 1 + avoid.weight() + target.weight();
+            let scope_w = scope.as_ref().map_or(0, TokenSet::weight);
+            match family {
+                // always(implies(t, next(body_until)))  [W-scoped: +scope]
+                Family::MaxOne => 3 + triggers.weight() + body + scope_w,
+                // always(implies(t, body_until))  [W-scoped: +scope]
+                Family::Range | Family::Order => 2 + triggers.weight() + body + scope_w,
+                // Precede/BeforeI: body [∧ always(trig → next(body))]
+                Family::Precede | Family::BeforeI => {
+                    debug_assert!(*init_active);
+                    if triggers.0.is_empty() {
+                        body
+                    } else {
+                        1 + body + (3 + triggers.weight() + body)
+                    }
+                }
+                Family::Asynch | Family::BadToken => unreachable!("not Triggered"),
+            }
+        }
+    }
+}
+
+/// The PSL formula of one conjunct (compact symbolic atoms).
+fn conjunct_formula(observer: &Observer) -> Psl {
+    match observer {
+        Observer::Asynch { x, y } => Psl::always(Psl::not(Psl::And(vec![
+            Psl::Atom(TokenTest::AnyRun { name: *x }),
+            Psl::Atom(TokenTest::AnyRun { name: *y }),
+        ]))),
+        Observer::Forbid { test, scope } => {
+            let inner = Psl::not(Psl::Atom(*test));
+            match scope {
+                Some(i) => Psl::weak_until(inner, i.formula()),
+                None => Psl::always(inner),
+            }
+        }
+        Observer::Triggered {
+            family,
+            init_active,
+            triggers,
+            avoid,
+            target,
+            scope,
+        } => {
+            let body = || Psl::until(Psl::not(avoid.formula()), target.formula());
+            let wrap = |inner: Psl| match scope {
+                Some(i) => Psl::weak_until(inner, i.formula()),
+                None => Psl::always(inner),
+            };
+            match family {
+                Family::MaxOne => wrap(Psl::implies(
+                    triggers.formula(),
+                    Psl::next(body()),
+                )),
+                Family::Range | Family::Order => {
+                    wrap(Psl::implies(triggers.formula(), body()))
+                }
+                Family::Precede | Family::BeforeI => {
+                    debug_assert!(*init_active);
+                    if triggers.0.is_empty() {
+                        body()
+                    } else {
+                        Psl::And(vec![
+                            body(),
+                            Psl::always(Psl::implies(triggers.formula(), Psl::next(body()))),
+                        ])
+                    }
+                }
+                Family::Asynch | Family::BadToken => unreachable!("not Triggered"),
+            }
+        }
+    }
+}
+
+/// Translate a (well-formed) property into observers + formula.
+///
+/// # Errors
+///
+/// [`TranslateError::Unsupported`] for timed implications without a
+/// single-range reset point; [`TranslateError::TooLarge`] when the conjunct
+/// count exceeds `options.conjunct_limit` (as it does for
+/// `n[100,60000]`-style ranges — use the closed-form cost instead).
+pub fn translate(
+    property: &Property,
+    options: TranslateOptions,
+) -> Result<Translation, TranslateError> {
+    let shape = episode_shape(property)?;
+    let needed = crate::complexity::conjunct_count(property)?;
+    if needed > options.conjunct_limit {
+        return Err(TranslateError::TooLarge {
+            conjuncts: needed,
+            limit: options.conjunct_limit,
+        });
+    }
+
+    let mut observers = Vec::new();
+    let content = &shape.content;
+    let trigger = &shape.trigger;
+    // The trigger tokens that re-arm per-episode obligations.
+    let rearm = if shape.repeated {
+        trigger.clone()
+    } else {
+        TokenSet::default()
+    };
+    // For one-shot properties the invariant conjuncts stop applying after
+    // the first (validated) boundary.
+    let scope = if shape.repeated {
+        None
+    } else {
+        Some(trigger.clone())
+    };
+
+    // Asynch: every unordered pair of names of α.
+    let names: Vec<Name> = shape.alphabet.iter().collect();
+    for (ix, &x) in names.iter().enumerate() {
+        for &y in &names[ix + 1..] {
+            observers.push(Observer::Asynch { x, y });
+        }
+    }
+
+    // BadToken: ill-length runs of every non-trivial range (incl. trigger).
+    let mut all_ranges: Vec<&Range> = content.iter().flat_map(|f| f.ranges.iter()).collect();
+    if let Some(r) = &shape.trigger_range {
+        all_ranges.push(r);
+    }
+    for range in &all_ranges {
+        if !range.is_trivial() {
+            observers.push(Observer::Forbid {
+                test: TokenTest::OutsideRange {
+                    name: range.name,
+                    lo: range.min,
+                    hi: range.max,
+                },
+                scope: scope.clone(),
+            });
+        }
+    }
+
+    // MaxOne and Range: per exact token (pair) of each content range.
+    for fragment in content {
+        for range in &fragment.ranges {
+            for k in range.min..=range.max {
+                let t = TokenTest::Exact {
+                    name: range.name,
+                    run: k,
+                };
+                observers.push(Observer::Triggered {
+                    family: Family::MaxOne,
+                    init_active: false,
+                    triggers: TokenSet(vec![t]),
+                    avoid: TokenSet(vec![t]),
+                    target: trigger.clone(),
+                    scope: scope.clone(),
+                });
+                for k2 in range.min..=range.max {
+                    if k2 != k {
+                        observers.push(Observer::Triggered {
+                            family: Family::Range,
+                            init_active: false,
+                            triggers: TokenSet(vec![t]),
+                            avoid: TokenSet(vec![TokenTest::Exact {
+                                name: range.name,
+                                run: k2,
+                            }]),
+                            target: trigger.clone(),
+                            scope: scope.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Order: name pairs of adjacent fragments.
+    for j in 1..content.len() {
+        for x in &content[j].ranges {
+            for y in &content[j - 1].ranges {
+                observers.push(Observer::Triggered {
+                    family: Family::Order,
+                    init_active: false,
+                    triggers: TokenSet(vec![token_of(x)]),
+                    avoid: TokenSet(vec![token_of(y)]),
+                    target: trigger.clone(),
+                    scope: scope.clone(),
+                });
+            }
+        }
+    }
+
+    // Precede: a fragment may not start before its predecessor completes.
+    for j in 1..content.len() {
+        let avoid = tokens_of_fragment(&content[j]);
+        for target in fragment_obligations(&content[j - 1]) {
+            observers.push(Observer::Triggered {
+                family: Family::Precede,
+                init_active: true,
+                triggers: rearm.clone(),
+                avoid: avoid.clone(),
+                target,
+                scope: None,
+            });
+        }
+    }
+
+    // BeforeI/AfterI: every fragment observed before each episode boundary.
+    for fragment in content {
+        for target in fragment_obligations(fragment) {
+            observers.push(Observer::Triggered {
+                family: Family::BeforeI,
+                init_active: true,
+                triggers: rearm.clone(),
+                avoid: trigger.clone(),
+                target,
+                scope: None,
+            });
+        }
+    }
+
+    let formula = Psl::and(observers.iter().map(conjunct_formula).collect());
+    let collapsible = all_ranges
+        .iter()
+        .filter(|r| !r.is_trivial())
+        .map(|&r| r.clone())
+        .collect();
+
+    Ok(Translation {
+        observers,
+        formula,
+        collapsible,
+        trigger: shape.trigger,
+        repeated: shape.repeated,
+        alphabet: shape.alphabet,
+    })
+}
+
+/// The per-fragment observation obligations: one target per range for `∧`,
+/// one disjunctive target for `∨`.
+fn fragment_obligations(fragment: &Fragment) -> Vec<TokenSet> {
+    match fragment.op {
+        FragmentOp::All => fragment
+            .ranges
+            .iter()
+            .map(|r| TokenSet(vec![token_of(r)]))
+            .collect(),
+        FragmentOp::Any => vec![tokens_of_fragment(fragment)],
+    }
+}
+
+/// Convenience: translate `P << i` / `P ⇒ Q` described by an ordering and a
+/// trigger (used by tests).
+pub fn translate_default(property: &Property) -> Result<Translation, TranslateError> {
+    translate(property, TranslateOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lomon_core::ast::{Antecedent, TimedImplication};
+    use lomon_core::parse::parse_property;
+    use lomon_trace::SimTime;
+
+    fn parse(text: &str) -> (Vocabulary, Property) {
+        let mut voc = Vocabulary::new();
+        let p = parse_property(text, &mut voc).expect(text);
+        (voc, p)
+    }
+
+    fn count_family(t: &Translation, family: Family) -> usize {
+        t.observers.iter().filter(|o| o.family() == family).count()
+    }
+
+    #[test]
+    fn row1_structure() {
+        // (n << i, true)
+        let (_voc, p) = parse("n << i repeated");
+        let t = translate_default(&p).expect("translates");
+        assert_eq!(count_family(&t, Family::Asynch), 1); // pair (n, i)
+        assert_eq!(count_family(&t, Family::BadToken), 0); // trivial range
+        assert_eq!(count_family(&t, Family::MaxOne), 1);
+        assert_eq!(count_family(&t, Family::Range), 0);
+        assert_eq!(count_family(&t, Family::Order), 0);
+        assert_eq!(count_family(&t, Family::Precede), 0);
+        assert_eq!(count_family(&t, Family::BeforeI), 1);
+        assert!(t.repeated);
+        assert!(t.collapsible.is_empty());
+    }
+
+    #[test]
+    fn ranged_row_blows_up_quadratically() {
+        let (_voc, p) = parse("n[2,8] << i repeated");
+        let t = translate_default(&p).expect("translates");
+        // width 7: 7 MaxOne + 7·6 Range conjuncts.
+        assert_eq!(count_family(&t, Family::MaxOne), 7);
+        assert_eq!(count_family(&t, Family::Range), 42);
+        assert_eq!(count_family(&t, Family::BadToken), 1);
+        assert_eq!(t.collapsible.len(), 1);
+    }
+
+    #[test]
+    fn huge_range_hits_the_limit() {
+        let (_voc, p) = parse("n[100,60000] << i repeated");
+        match translate_default(&p) {
+            Err(TranslateError::TooLarge { conjuncts, .. }) => {
+                // ≈ 59901² conjuncts from the Range family alone.
+                assert!(conjuncts > 3_000_000_000);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig4_structure() {
+        let (_voc, p) = parse("all{n1, n2} < any{n3[2,8], n4} < n5 << i once");
+        let t = translate_default(&p).expect("translates");
+        // Order pairs: |F2|·|F1| + |F3|·|F2| = 2·2 + 1·2 = 6.
+        assert_eq!(count_family(&t, Family::Order), 6);
+        // Precede: F1 is ∧ (2 obligations), F2 is ∨ (1 obligation) = 3.
+        assert_eq!(count_family(&t, Family::Precede), 3);
+        // BeforeI: F1 ∧ → 2, F2 ∨ → 1, F3 → 1 = 4.
+        assert_eq!(count_family(&t, Family::BeforeI), 4);
+        // One-shot: no re-arm triggers on the obligations.
+        assert!(!t.repeated);
+        for o in &t.observers {
+            if let Observer::Triggered { triggers, family, .. } = o {
+                if matches!(family, Family::Precede | Family::BeforeI) {
+                    assert!(triggers.0.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timed_reset_point_is_final_range() {
+        let (_voc, p) = parse("start => read_img[2,4] < set_irq within 1 ms");
+        let t = translate_default(&p).expect("translates");
+        // Trigger = set_irq⟨1⟩; content = [start][read_img[2,4]].
+        assert_eq!(t.trigger.0.len(), 1);
+        assert!(t.repeated);
+        assert_eq!(count_family(&t, Family::MaxOne), 1 + 3); // start + 3 read tokens
+        assert_eq!(count_family(&t, Family::Range), 6); // 3·2 read pairs
+        assert_eq!(count_family(&t, Family::Order), 1); // (read, start)
+        assert_eq!(count_family(&t, Family::BadToken), 1); // read_img
+        assert_eq!(t.collapsible.len(), 1);
+    }
+
+    #[test]
+    fn timed_with_ranged_reset_point() {
+        let (_voc, p) = parse("start => read_img[2,4] within 1 ms");
+        let t = translate_default(&p).expect("translates");
+        // The reset point is the read range itself: its tokens form I.
+        assert_eq!(t.trigger.0.len(), 1);
+        assert!(matches!(
+            t.trigger.0[0],
+            TokenTest::InRange { lo: 2, hi: 4, .. }
+        ));
+        // read_img is the trigger, not content: no MaxOne for it.
+        assert_eq!(count_family(&t, Family::MaxOne), 1); // start only
+    }
+
+    #[test]
+    fn timed_multi_range_reset_is_unsupported() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let o1 = voc.output("o1");
+        let o2 = voc.output("o2");
+        let p: Property = TimedImplication::new(
+            lomon_core::ast::LooseOrdering::new(vec![Fragment::singleton(Range::once(a))]),
+            lomon_core::ast::LooseOrdering::new(vec![Fragment::new(
+                FragmentOp::All,
+                vec![Range::once(o1), Range::once(o2)],
+            )]),
+            SimTime::from_ns(10),
+        )
+        .into();
+        assert!(matches!(
+            translate_default(&p),
+            Err(TranslateError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn observer_weights_match_formula_sizes() {
+        for text in [
+            "n << i repeated",
+            "n[2,8] << i repeated",
+            "all{n1, n2} < any{n3[2,8], n4} < n5 << i once",
+            "all{a, b, c} << go repeated",
+            "start => read_img[2,4] < set_irq within 1 ms",
+        ] {
+            let (_voc, p) = parse(text);
+            let t = translate_default(&p).expect(text);
+            for o in &t.observers {
+                let formula = conjunct_formula(o);
+                assert_eq!(
+                    o.weight(),
+                    formula.expanded_node_count(),
+                    "weight mismatch for {o:?} in {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn formula_displays_paper_shapes() {
+        let (voc, p) = parse("n << i repeated");
+        let t = translate_default(&p).expect("translates");
+        let text = t.formula.display(&voc);
+        assert!(text.contains("always("), "{text}");
+        assert!(text.contains("until!"), "{text}");
+        assert!(text.contains("n⟨1⟩"), "{text}");
+    }
+
+    #[test]
+    fn antecedent_shape_uses_exact_trigger() {
+        let mut voc = Vocabulary::new();
+        let n = voc.input("n");
+        let i = voc.input("i");
+        let p: Property = Antecedent::new(
+            lomon_core::ast::LooseOrdering::new(vec![Fragment::singleton(Range::once(n))]),
+            i,
+            true,
+        )
+        .into();
+        let shape = episode_shape(&p).expect("shape");
+        assert_eq!(shape.trigger.0, vec![TokenTest::Exact { name: i, run: 1 }]);
+        assert!(shape.repeated);
+        assert!(shape.trigger_range.is_none());
+    }
+}

@@ -1,0 +1,253 @@
+//! Cross-strategy equivalence: Drct monitors, ViaPSL observer monitors, the
+//! independent NFA pattern semantics and the three-valued PSL evaluation
+//! must all agree on (untimed) acceptance — the validation the paper
+//! performs with SPOT and Lustre testing tools.
+
+use proptest::prelude::*;
+
+use lomon_core::ast::{
+    Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication,
+};
+use lomon_core::monitor::build_monitor;
+use lomon_core::semantics::PatternOracle;
+use lomon_core::verdict::{Monitor, Verdict};
+use lomon_core::wf;
+use lomon_psl::eval::{eval, Truth};
+use lomon_psl::monitor::PslMonitor;
+use lomon_psl::translate::{translate, TranslateOptions};
+use lomon_trace::{Name, NameSet, RunLengthLexer, SimTime, Trace, Vocabulary};
+
+#[derive(Debug, Clone)]
+struct PatternSpec {
+    fragments: Vec<(bool, Vec<(u32, u32)>)>,
+    repeated: bool,
+}
+
+fn fragment_strategy() -> impl Strategy<Value = (bool, Vec<(u32, u32)>)> {
+    (
+        any::<bool>(),
+        prop::collection::vec((1u32..=3, 0u32..=2), 1..=3),
+    )
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PatternSpec> {
+    (
+        prop::collection::vec(fragment_strategy(), 1..=3),
+        any::<bool>(),
+    )
+        .prop_map(|(fragments, repeated)| PatternSpec {
+            fragments,
+            repeated,
+        })
+}
+
+fn build_ordering(
+    spec: &[(bool, Vec<(u32, u32)>)],
+    voc: &mut Vocabulary,
+    prefix: &str,
+    output: bool,
+) -> LooseOrdering {
+    let mut counter = 0;
+    LooseOrdering::new(
+        spec.iter()
+            .map(|(any_op, ranges)| {
+                let op = if *any_op { FragmentOp::Any } else { FragmentOp::All };
+                let ranges = ranges
+                    .iter()
+                    .map(|&(u, extra)| {
+                        let text = format!("{prefix}{counter}");
+                        let name = if output {
+                            voc.output(&text)
+                        } else {
+                            voc.input(&text)
+                        };
+                        counter += 1;
+                        Range::new(name, u, u + extra)
+                    })
+                    .collect();
+                Fragment::new(op, ranges)
+            })
+            .collect(),
+    )
+}
+
+/// Run every implementation over `trace` and check they agree on untimed
+/// acceptance (and on `Satisfied` for one-shot antecedents).
+fn check_all(property: &Property, voc: &Vocabulary, trace: &Trace) {
+    // 1. Independent pattern semantics.
+    let oracle = PatternOracle::new(property);
+    let oracle_ok = oracle.check(trace).is_ok();
+
+    // 2. Direct monitor.
+    let mut drct = build_monitor(property.clone(), voc).expect("well-formed");
+    for &e in trace.iter() {
+        drct.observe(e);
+    }
+    // No finish(): timed deadlines must not interfere (bounds are huge, but
+    // end-of-trace deadline checks would still fire on unanswered P).
+    let drct_ok = drct.verdict() != Verdict::Violated;
+
+    // 3. ViaPSL observer monitor.
+    let translation =
+        translate(property, TranslateOptions::default()).expect("supported, small");
+    let mut viapsl = PslMonitor::from_translation(translation.clone());
+    for &e in trace.iter() {
+        viapsl.observe(e);
+    }
+    viapsl.finish(trace.end_time());
+    let viapsl_ok = viapsl.verdict() != Verdict::Violated;
+
+    // 4. Three-valued evaluation of the materialized formula on the lexed
+    //    token stream.
+    let mut collapsible = NameSet::new();
+    for r in &translation.collapsible {
+        collapsible.insert(r.name);
+    }
+    let mut lexer = RunLengthLexer::new(collapsible);
+    for r in &translation.collapsible {
+        lexer = lexer.with_bound(r.name, r.max);
+    }
+    let mut tokens = Vec::new();
+    for &e in trace.iter() {
+        if property.alpha().contains(e.name) {
+            tokens.extend(lexer.push(e).into_iter().map(|l| l.token));
+        }
+    }
+    // A pending run at end of trace is extendable: the evaluation is False
+    // only if the tokens so far are False, or every completion of the
+    // pending run makes them False.
+    let eval_ok = match lexer.finish() {
+        None => eval(&translation.formula, &tokens) != Truth::False,
+        Some(pending) => {
+            if eval(&translation.formula, &tokens) == Truth::False {
+                false
+            } else {
+                let bound = translation
+                    .collapsible
+                    .iter()
+                    .find(|r| r.name == pending.token.name)
+                    .map(|r| r.max)
+                    .unwrap_or(pending.token.run);
+                !(pending.token.run..=bound + 1).all(|run| {
+                    let mut with = tokens.clone();
+                    with.push(lomon_trace::LexedToken {
+                        name: pending.token.name,
+                        run,
+                    });
+                    eval(&translation.formula, &with) == Truth::False
+                })
+            }
+        }
+    };
+
+    let word: Vec<&str> = trace.names().map(|n| voc.resolve(n)).collect();
+    assert_eq!(
+        drct_ok,
+        oracle_ok,
+        "Drct vs oracle on {} over {word:?}",
+        property.display(voc)
+    );
+    assert_eq!(
+        viapsl_ok,
+        oracle_ok,
+        "ViaPSL vs oracle on {} over {word:?}",
+        property.display(voc)
+    );
+    assert_eq!(
+        eval_ok,
+        oracle_ok,
+        "PSL eval vs oracle on {} over {word:?}\nformula: {}\ntokens: {tokens:?}",
+        property.display(voc),
+        translation.formula.display(voc)
+    );
+
+    if let Property::Antecedent(a) = property {
+        if !a.repeated && oracle_ok {
+            assert_eq!(
+                viapsl.verdict() == Verdict::Satisfied,
+                drct.verdict() == Verdict::Satisfied,
+                "Satisfied mismatch on {} over {word:?}",
+                property.display(voc)
+            );
+        }
+    }
+}
+
+fn universe_trace(indices: &[usize], universe: &[Name]) -> Trace {
+    Trace::from_pairs(
+        indices
+            .iter()
+            .enumerate()
+            .map(|(k, &ix)| (SimTime::from_ns(k as u64 + 1), universe[ix % universe.len()])),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn antecedent_strategies_agree(
+        spec in pattern_strategy(),
+        indices in prop::collection::vec(0usize..16, 0..24),
+    ) {
+        let mut voc = Vocabulary::new();
+        let ordering = build_ordering(&spec.fragments, &mut voc, "n", false);
+        let trigger = voc.input("trigger");
+        let property: Property = Antecedent::new(ordering, trigger, spec.repeated).into();
+        prop_assume!(wf::check(&property, &voc).is_empty());
+        voc.input("noise");
+        let universe: Vec<Name> = voc.iter().collect();
+        check_all(&property, &voc, &universe_trace(&indices, &universe));
+    }
+
+    #[test]
+    fn timed_strategies_agree(
+        premise in pattern_strategy(),
+        response in pattern_strategy(),
+        indices in prop::collection::vec(0usize..16, 0..24),
+    ) {
+        let mut voc = Vocabulary::new();
+        let p = build_ordering(&premise.fragments, &mut voc, "p", false);
+        let q = build_ordering(&response.fragments, &mut voc, "q", true);
+        // The translation needs a single-range reset point.
+        prop_assume!(q.fragments.last().is_some_and(|f| f.ranges.len() == 1));
+        let property: Property =
+            TimedImplication::new(p, q, SimTime::from_sec(1)).into();
+        prop_assume!(wf::check(&property, &voc).is_empty());
+        voc.input("noise");
+        let universe: Vec<Name> = voc.iter().collect();
+        check_all(&property, &voc, &universe_trace(&indices, &universe));
+    }
+
+    /// Guided walks: mostly follow the Drct monitor's expected set so the
+    /// traces regularly reach deep, valid configurations.
+    #[test]
+    fn guided_walks_agree_across_strategies(
+        spec in pattern_strategy(),
+        choices in prop::collection::vec((0usize..8, 0u8..10), 1..40),
+    ) {
+        let mut voc = Vocabulary::new();
+        let ordering = build_ordering(&spec.fragments, &mut voc, "n", false);
+        let trigger = voc.input("trigger");
+        let property: Property = Antecedent::new(ordering, trigger, spec.repeated).into();
+        prop_assume!(wf::check(&property, &voc).is_empty());
+        let universe: Vec<Name> = voc.iter().collect();
+
+        let mut scout = build_monitor(property.clone(), &voc).expect("well-formed");
+        let mut names = Vec::new();
+        for &(pick, misbehave) in &choices {
+            let expected: Vec<Name> = scout.expected().iter().collect();
+            let name = if misbehave == 0 || expected.is_empty() {
+                universe[pick % universe.len()]
+            } else {
+                expected[pick % expected.len()]
+            };
+            names.push(name);
+            scout.observe(lomon_trace::TimedEvent::new(
+                name,
+                SimTime::from_ns(names.len() as u64),
+            ));
+        }
+        check_all(&property, &voc, &Trace::from_names(names));
+    }
+}

@@ -1,0 +1,22 @@
+//! # lomon-sync — a miniature synchronous dataflow runtime
+//!
+//! The paper validates its monitor constructions by programming them in
+//! **Lustre** and comparing against the intuitive semantics with automatic
+//! testing tools (Section 6). This crate replays that methodology:
+//!
+//! * [`network`] — a small synchronous language runtime: boolean/integer
+//!   signals, combinational operators and unit-delay registers, advancing
+//!   in lockstep ticks;
+//! * [`recognizer_net`] — the Fig. 5 elementary range recognizer written a
+//!   *second* time as dataflow equations over that runtime.
+//!
+//! The crate's integration tests drive the network encoding and the
+//! imperative `lomon_core` recognizer with identical input sequences and
+//! require identical states and outputs at every tick — an independent
+//! check of the most intricate piece of the reproduction.
+
+pub mod network;
+pub mod recognizer_net;
+
+pub use network::{Network, NetworkBuilder, Signal, Value};
+pub use recognizer_net::{ClassInput, NetOutput, NetState, RangeRecognizerNet};

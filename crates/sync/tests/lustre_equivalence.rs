@@ -1,0 +1,187 @@
+//! The synchronous-network recognizer and the imperative recognizer are two
+//! independent encodings of the paper's Fig. 5 automaton; they must agree on
+//! every input sequence (the paper's Lustre-based validation, with proptest
+//! as the automatic testing tool).
+
+use proptest::prelude::*;
+
+use lomon_core::ast::{FragmentOp, Range};
+use lomon_core::context::RangeContext;
+use lomon_core::recognizer::{RangeOutput, RangeRecognizer, RangeState};
+use lomon_sync::{ClassInput, NetState, RangeRecognizerNet};
+use lomon_trace::{Name, NameSet, Vocabulary};
+
+/// Build an imperative recognizer with a synthetic single-name-per-class
+/// context, plus the names to drive it with.
+fn imperative(u: u32, v: u32, is_or: bool) -> (RangeRecognizer, [Name; 5]) {
+    let mut voc = Vocabulary::new();
+    let own = voc.input("own");
+    let conc = voc.input("conc");
+    let acc = voc.input("acc");
+    let aft = voc.input("aft");
+    let bef = voc.input("bef");
+    let ctx = RangeContext {
+        before: [bef].into_iter().collect::<NameSet>(),
+        concurrent: [conc].into_iter().collect(),
+        accept: [acc].into_iter().collect(),
+        after: [aft].into_iter().collect(),
+        semantics: if is_or { FragmentOp::Any } else { FragmentOp::All },
+    };
+    (
+        RangeRecognizer::new(Range::new(own, u, v), ctx),
+        [own, conc, acc, aft, bef],
+    )
+}
+
+fn class_name(names: &[Name; 5], class: ClassInput) -> Name {
+    match class {
+        ClassInput::Own => names[0],
+        ClassInput::Concurrent => names[1],
+        ClassInput::Accept => names[2],
+        ClassInput::After => names[3],
+        ClassInput::Before => names[4],
+    }
+}
+
+fn class_of(ix: u8) -> ClassInput {
+    match ix % 5 {
+        0 => ClassInput::Own,
+        1 => ClassInput::Concurrent,
+        2 => ClassInput::Accept,
+        3 => ClassInput::After,
+        _ => ClassInput::Before,
+    }
+}
+
+fn states_match(net: NetState, imp: RangeState) -> bool {
+    matches!(
+        (net, imp),
+        (NetState::Idle, RangeState::Idle)
+            | (NetState::Waiting, RangeState::Waiting)
+            | (NetState::WaitingOther, RangeState::WaitingOther)
+            | (NetState::Counting, RangeState::Counting)
+            | (NetState::Done, RangeState::Done)
+            | (NetState::Error, RangeState::Error)
+    )
+}
+
+fn outputs_match(net: lomon_sync::NetOutput, imp: RangeOutput) -> bool {
+    match imp {
+        RangeOutput::Progress => !net.ok && !net.nok && !net.err,
+        RangeOutput::Ok => net.ok && !net.nok && !net.err,
+        RangeOutput::Nok => net.nok && !net.ok && !net.err,
+        RangeOutput::Err(_) => net.err && !net.ok && !net.nok,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Activation with a plain `start`, then an arbitrary event sequence.
+    #[test]
+    fn plain_start_equivalence(
+        u in 1u32..=4,
+        extra in 0u32..=3,
+        is_or in any::<bool>(),
+        moves in prop::collection::vec(0u8..5, 0..30),
+    ) {
+        let v = u + extra;
+        let (mut imp, names) = imperative(u, v, is_or);
+        let mut net = RangeRecognizerNet::new(u, v, is_or);
+
+        imp.start();
+        net.step(true, None);
+        prop_assert!(states_match(net.state(), imp.state()));
+
+        let mut stopped = false;
+        for &mv in &moves {
+            let class = class_of(mv);
+            let imp_out = imp.step(class_name(&names, class));
+            let net_out = net.step(false, Some(class));
+            prop_assert!(
+                outputs_match(net_out, imp_out),
+                "outputs diverge: net {net_out:?} vs imp {imp_out:?} (u={u} v={v} or={is_or})"
+            );
+            prop_assert!(
+                states_match(net.state(), imp.state()),
+                "states diverge: net {:?} vs imp {:?}",
+                net.state(),
+                imp.state()
+            );
+            if net.state() == NetState::Counting || net.state() == NetState::Done {
+                prop_assert_eq!(net.count(), i64::from(imp.count()));
+            }
+            // Once terminated (ok/nok), both sit in Idle; further inputs
+            // must keep them in lockstep (both ignore).
+            if imp_out.is_terminal_ok() {
+                stopped = true;
+            }
+            if stopped {
+                prop_assert_eq!(net.state(), NetState::Idle);
+            }
+        }
+    }
+
+    /// Activation coinciding with an event of the fragment (`start∧n`,
+    /// `start∧C`) — the handover case.
+    #[test]
+    fn coincident_start_equivalence(
+        u in 1u32..=4,
+        extra in 0u32..=3,
+        is_or in any::<bool>(),
+        own_first in any::<bool>(),
+        moves in prop::collection::vec(0u8..5, 0..30),
+    ) {
+        let v = u + extra;
+        let (mut imp, names) = imperative(u, v, is_or);
+        let mut net = RangeRecognizerNet::new(u, v, is_or);
+
+        let class = if own_first { ClassInput::Own } else { ClassInput::Concurrent };
+        imp.start_with(class_name(&names, class));
+        net.step(true, Some(class));
+        prop_assert!(states_match(net.state(), imp.state()));
+        if own_first {
+            prop_assert_eq!(net.count(), 1);
+            prop_assert_eq!(imp.count(), 1);
+        }
+
+        for &mv in &moves {
+            let class = class_of(mv);
+            let imp_out = imp.step(class_name(&names, class));
+            let net_out = net.step(false, Some(class));
+            prop_assert!(outputs_match(net_out, imp_out));
+            prop_assert!(states_match(net.state(), imp.state()));
+        }
+    }
+
+    /// No-event ticks in the network must not change anything (the
+    /// imperative recognizer simply is not stepped).
+    #[test]
+    fn idle_ticks_are_neutral(
+        u in 1u32..=3,
+        extra in 0u32..=2,
+        is_or in any::<bool>(),
+        moves in prop::collection::vec((0u8..5, any::<bool>()), 0..20),
+    ) {
+        let v = u + extra;
+        let (mut imp, names) = imperative(u, v, is_or);
+        let mut net = RangeRecognizerNet::new(u, v, is_or);
+        imp.start();
+        net.step(true, None);
+
+        for &(mv, idle_tick) in &moves {
+            if idle_tick {
+                let before = net.state();
+                let out = net.step(false, None);
+                prop_assert!(!out.ok && !out.nok && !out.err);
+                prop_assert_eq!(net.state(), before);
+            } else {
+                let class = class_of(mv);
+                let imp_out = imp.step(class_name(&names, class));
+                let net_out = net.step(false, Some(class));
+                prop_assert!(outputs_match(net_out, imp_out));
+                prop_assert!(states_match(net.state(), imp.state()));
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The bus: an address map routing transactions to target ports.
+//!
+//! In TLM-LT the bus is a combinational address decoder plus forwarding of
+//! `b_transport` calls; here the decoder is explicit and the forwarding is
+//! done by the platform (which owns the components), keeping the borrow
+//! checker and the architecture honest at once.
+
+use crate::payload::GenericPayload;
+
+/// Identifier of a target port (assigned at mapping time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub usize);
+
+/// One mapped address region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First address of the region.
+    pub base: u64,
+    /// Size in bytes (addresses `base..base+size`).
+    pub size: u64,
+    /// The target port that claims the region.
+    pub port: PortId,
+}
+
+impl Region {
+    fn contains(&self, address: u64) -> bool {
+        address >= self.base && address - self.base < self.size
+    }
+
+    fn overlaps(&self, other: &Region) -> bool {
+        self.base < other.base + other.size && other.base < self.base + self.size
+    }
+}
+
+/// The address decoder.
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    regions: Vec<Region>,
+}
+
+impl AddressMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map `base..base+size` to a new port; returns the port id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty or overlaps an existing one.
+    pub fn map(&mut self, base: u64, size: u64) -> PortId {
+        assert!(size > 0, "empty region");
+        let region = Region {
+            base,
+            size,
+            port: PortId(self.regions.len()),
+        };
+        for existing in &self.regions {
+            assert!(
+                !existing.overlaps(&region),
+                "region {base:#x}+{size:#x} overlaps {existing:?}"
+            );
+        }
+        self.regions.push(region);
+        region.port
+    }
+
+    /// Decode an address into `(port, offset)`.
+    pub fn decode(&self, address: u64) -> Option<(PortId, u64)> {
+        self.regions
+            .iter()
+            .find(|r| r.contains(address))
+            .map(|r| (r.port, address - r.base))
+    }
+
+    /// Decode a transaction; on failure, marks it with an address error.
+    pub fn route(&self, payload: &mut GenericPayload) -> Option<(PortId, u64)> {
+        match self.decode(payload.address) {
+            Some(hit) => Some(hit),
+            None => {
+                payload.response = crate::payload::TlmResponse::AddressError;
+                None
+            }
+        }
+    }
+
+    /// The mapped regions (for documentation dumps).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::TlmResponse;
+
+    #[test]
+    fn decode_routes_by_region() {
+        let mut map = AddressMap::new();
+        let mem = map.map(0x0000, 0x1000);
+        let ipu = map.map(0x2000, 0x100);
+        assert_eq!(map.decode(0x0004), Some((mem, 0x4)));
+        assert_eq!(map.decode(0x0fff), Some((mem, 0xfff)));
+        assert_eq!(map.decode(0x2004), Some((ipu, 0x4)));
+        assert_eq!(map.decode(0x1500), None);
+        assert_eq!(map.decode(0x20ff), Some((ipu, 0xff)));
+        assert_eq!(map.decode(0x2100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_rejected() {
+        let mut map = AddressMap::new();
+        map.map(0x0, 0x100);
+        map.map(0x80, 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_region_rejected() {
+        let mut map = AddressMap::new();
+        map.map(0x0, 0);
+    }
+
+    #[test]
+    fn route_marks_unmapped_addresses() {
+        let mut map = AddressMap::new();
+        map.map(0x0, 0x10);
+        let mut t = GenericPayload::read(0x100);
+        assert!(map.route(&mut t).is_none());
+        assert_eq!(t.response, TlmResponse::AddressError);
+        let mut t = GenericPayload::read(0x8);
+        assert!(map.route(&mut t).is_some());
+        assert_eq!(t.response, TlmResponse::Incomplete);
+    }
+
+    #[test]
+    fn adjacent_regions_allowed() {
+        let mut map = AddressMap::new();
+        map.map(0x0, 0x100);
+        map.map(0x100, 0x100); // touches, does not overlap
+        assert_eq!(map.regions().len(), 2);
+    }
+}

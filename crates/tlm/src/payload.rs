@@ -1,0 +1,93 @@
+//! The generic payload — the TLM-2.0 transaction object, reduced to what
+//! loose-ordering monitoring needs: command, address, one data word and a
+//! response status. Blocking transport (`b_transport`) is a plain function
+//! call, exactly as in TLM-LT.
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlmCommand {
+    /// Load a word from the target.
+    Read,
+    /// Store a word to the target.
+    Write,
+}
+
+/// Transaction outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlmResponse {
+    /// Not yet processed by a target.
+    Incomplete,
+    /// Completed successfully.
+    Ok,
+    /// No target claims the address.
+    AddressError,
+    /// The target rejected the access (e.g. write to a read-only register).
+    CommandError,
+}
+
+/// A TLM generic-payload transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenericPayload {
+    /// Read or write.
+    pub command: TlmCommand,
+    /// Global bus address.
+    pub address: u64,
+    /// Data word: written value for writes, filled by the target for reads.
+    pub data: u64,
+    /// Response status, set by the target.
+    pub response: TlmResponse,
+}
+
+impl GenericPayload {
+    /// A read transaction at `address`.
+    pub fn read(address: u64) -> Self {
+        GenericPayload {
+            command: TlmCommand::Read,
+            address,
+            data: 0,
+            response: TlmResponse::Incomplete,
+        }
+    }
+
+    /// A write of `data` at `address`.
+    pub fn write(address: u64, data: u64) -> Self {
+        GenericPayload {
+            command: TlmCommand::Write,
+            address,
+            data,
+            response: TlmResponse::Incomplete,
+        }
+    }
+
+    /// Whether the transaction completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.response == TlmResponse::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let r = GenericPayload::read(0x40);
+        assert_eq!(r.command, TlmCommand::Read);
+        assert_eq!(r.address, 0x40);
+        assert_eq!(r.response, TlmResponse::Incomplete);
+        assert!(!r.is_ok());
+
+        let w = GenericPayload::write(0x44, 7);
+        assert_eq!(w.command, TlmCommand::Write);
+        assert_eq!(w.data, 7);
+    }
+
+    #[test]
+    fn ok_after_response() {
+        let mut t = GenericPayload::read(0);
+        t.response = TlmResponse::Ok;
+        assert!(t.is_ok());
+        t.response = TlmResponse::AddressError;
+        assert!(!t.is_ok());
+    }
+}

@@ -1,0 +1,64 @@
+//! Timed interface events.
+
+use crate::{Name, SimTime};
+
+/// One occurrence of an interface name at an instant of simulated time.
+///
+/// Loose-ordering properties are interpreted over sequences of such events;
+/// "only one name at a time can occur due to asynchrony of considered
+/// models" (paper, Section 4), so a trace is a plain sequence — two events
+/// may carry the same timestamp (e.g. within one delta cycle) but they are
+/// still totally ordered by their position.
+///
+/// # Example
+///
+/// ```
+/// use lomon_trace::{Direction, SimTime, TimedEvent, Vocabulary};
+/// let mut voc = Vocabulary::new();
+/// let start = voc.input("start");
+/// let ev = TimedEvent::new(start, SimTime::from_ns(42));
+/// assert_eq!(ev.time.as_ns(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimedEvent {
+    /// Which interface name occurred.
+    pub name: Name,
+    /// When it occurred (absolute simulated time).
+    pub time: SimTime,
+}
+
+impl TimedEvent {
+    /// Create an event of `name` at `time`.
+    pub fn new(name: Name, time: SimTime) -> Self {
+        TimedEvent { name, time }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vocabulary;
+
+    #[test]
+    fn construction_and_fields() {
+        let mut voc = Vocabulary::new();
+        let n = voc.input("x");
+        let ev = TimedEvent::new(n, SimTime::from_ns(5));
+        assert_eq!(ev.name, n);
+        assert_eq!(ev.time, SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn events_compare_by_value() {
+        let mut voc = Vocabulary::new();
+        let n = voc.input("x");
+        assert_eq!(
+            TimedEvent::new(n, SimTime::ZERO),
+            TimedEvent::new(n, SimTime::ZERO)
+        );
+        assert_ne!(
+            TimedEvent::new(n, SimTime::ZERO),
+            TimedEvent::new(n, SimTime::from_ns(1))
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Text format for traces.
+//!
+//! Trace-replay monitoring (the mode this reproduction targets, since there
+//! are no SystemC bindings for Rust) needs a durable trace representation.
+//! The format is line-oriented and human-editable:
+//!
+//! ```text
+//! # comment
+//! 10ns  in  set_imgAddr
+//! 12ns  in  set_glAddr
+//! 30ns  in  start
+//! end 500ns
+//! ```
+//!
+//! Each event line is `<time> <direction> <name>`; `direction` is `in` or
+//! `out`. An optional final `end <time>` line records when observation
+//! stopped (needed to detect deadlines that expired after the last event).
+
+use std::fmt::Write as _;
+
+use crate::name::Direction;
+use crate::time::parse_sim_time;
+use crate::{Trace, Vocabulary};
+
+/// Error produced by [`read_trace`], with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line where the problem was found.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parse a trace from its text representation, interning names into `voc`.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] with the offending line on malformed input,
+/// unknown directions, bad time literals, or non-monotone timestamps.
+pub fn read_trace(text: &str, voc: &mut Vocabulary) -> Result<Trace, TraceParseError> {
+    let mut trace = Trace::new();
+    let mut last_time = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let first = fields.next().expect("non-empty line has a field");
+        if first == "end" {
+            let time_text = fields.next().ok_or_else(|| TraceParseError {
+                line: line_no,
+                message: "`end` requires a time".into(),
+            })?;
+            let time = parse_sim_time(time_text).map_err(|message| TraceParseError {
+                line: line_no,
+                message,
+            })?;
+            if let Some(last) = last_time {
+                if time < last {
+                    return Err(TraceParseError {
+                        line: line_no,
+                        message: format!("end time {time} precedes last event at {last}"),
+                    });
+                }
+            }
+            trace.set_end_time(time);
+            continue;
+        }
+        let time = parse_sim_time(first).map_err(|message| TraceParseError {
+            line: line_no,
+            message,
+        })?;
+        let dir_text = fields.next().ok_or_else(|| TraceParseError {
+            line: line_no,
+            message: "missing direction (`in` or `out`)".into(),
+        })?;
+        let direction = match dir_text {
+            "in" => Direction::Input,
+            "out" => Direction::Output,
+            other => {
+                return Err(TraceParseError {
+                    line: line_no,
+                    message: format!("unknown direction `{other}` (expected `in` or `out`)"),
+                })
+            }
+        };
+        let name_text = fields.next().ok_or_else(|| TraceParseError {
+            line: line_no,
+            message: "missing event name".into(),
+        })?;
+        if let Some(junk) = fields.next() {
+            return Err(TraceParseError {
+                line: line_no,
+                message: format!("unexpected trailing field `{junk}`"),
+            });
+        }
+        if let Some(last) = last_time {
+            if time < last {
+                return Err(TraceParseError {
+                    line: line_no,
+                    message: format!("timestamp {time} precedes previous event at {last}"),
+                });
+            }
+        }
+        last_time = Some(time);
+        let name = voc.intern(name_text, direction);
+        trace.push(name, time);
+    }
+    Ok(trace)
+}
+
+/// Render a trace in the text format accepted by [`read_trace`].
+pub fn write_trace(trace: &Trace, voc: &Vocabulary) -> String {
+    let mut out = String::new();
+    for e in trace.iter() {
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            e.time,
+            voc.direction(e.name).label(),
+            voc.resolve(e.name)
+        );
+    }
+    // Only emit `end` when it adds information beyond the last event.
+    let end = trace.end_time();
+    if trace.is_empty() || end > trace.events().last().expect("non-empty").time {
+        let _ = writeln!(out, "end {end}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    #[test]
+    fn read_basic_trace() {
+        let mut voc = Vocabulary::new();
+        let text = "# configuration phase\n10ns in set_imgAddr\n12ns in start\n\n20ns out set_irq\nend 100ns\n";
+        let trace = read_trace(text, &mut voc).expect("parses");
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.end_time(), SimTime::from_ns(100));
+        let set_irq = voc.lookup("set_irq").expect("interned");
+        assert_eq!(voc.direction(set_irq), Direction::Output);
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.output("b");
+        let mut t = Trace::from_pairs([(SimTime::from_ns(1), a), (SimTime::from_us(2), b)]);
+        t.set_end_time(SimTime::from_ms(1));
+        let text = write_trace(&t, &voc);
+        let mut voc2 = Vocabulary::new();
+        let t2 = read_trace(&text, &mut voc2).expect("parses");
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.end_time(), SimTime::from_ms(1));
+        assert_eq!(voc2.resolve(t2.events()[0].name), "a");
+        assert_eq!(voc2.resolve(t2.events()[1].name), "b");
+        assert_eq!(voc2.direction(t2.events()[1].name), Direction::Output);
+    }
+
+    #[test]
+    fn roundtrip_without_explicit_end() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let t = Trace::from_pairs([(SimTime::from_ns(1), a)]);
+        let text = write_trace(&t, &voc);
+        assert!(!text.contains("end"), "no redundant end line: {text}");
+        let mut voc2 = Vocabulary::new();
+        let t2 = read_trace(&text, &mut voc2).expect("parses");
+        assert_eq!(t2.end_time(), SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let voc = Vocabulary::new();
+        let t = Trace::new();
+        let text = write_trace(&t, &voc);
+        let mut voc2 = Vocabulary::new();
+        let t2 = read_trace(&text, &mut voc2).expect("parses");
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut voc = Vocabulary::new();
+        let err = read_trace("10ns in a\n5ns in b\n", &mut voc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("precedes"));
+
+        let err = read_trace("10ns sideways a\n", &mut voc).unwrap_err();
+        assert!(err.message.contains("unknown direction"));
+
+        let err = read_trace("10ns in\n", &mut voc).unwrap_err();
+        assert!(err.message.contains("missing event name"));
+
+        let err = read_trace("banana in a\n", &mut voc).unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = read_trace("10ns in a extra\n", &mut voc).unwrap_err();
+        assert!(err.message.contains("trailing"));
+
+        let err = read_trace("end\n", &mut voc).unwrap_err();
+        assert!(err.message.contains("requires a time"));
+
+        let err = read_trace("10ns in a\nend 5ns\n", &mut voc).unwrap_err();
+        assert!(err.message.contains("precedes last event"));
+    }
+
+    #[test]
+    fn display_of_error() {
+        let err = TraceParseError {
+            line: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(err.to_string(), "trace line 3: boom");
+    }
+}

@@ -1,0 +1,284 @@
+//! Run-length lexing of traces — the paper's "lexical analyzer".
+//!
+//! Section 5 of the paper encodes a range `n[u,v]` in PSL by treating
+//! *sequences of consecutive occurrences* of `n` as new vocabulary elements:
+//! the run `n n n` becomes the single token `n⟨3⟩`. A PSL formula over the
+//! token alphabet then only needs equality tests instead of counting. The
+//! transformation is performed online by this transducer; its runtime cost
+//! is the `∆` term the paper adds to every ViaPSL complexity figure.
+//!
+//! The transducer buffers the current run of a *collapsible* name and emits
+//! its token when a different name (or end of trace) is observed — so token
+//! emission lags the input by exactly one run. Names that are not
+//! collapsible (not used in any non-trivial range) pass through as runs of
+//! length 1… unless they repeat, in which case they form runs too: the token
+//! alphabet is uniform, which keeps downstream logic simple.
+
+use crate::{Name, NameSet, SimTime, TimedEvent};
+
+/// A run-length token: `name` repeated `run` times consecutively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LexedToken {
+    /// The repeated interface name.
+    pub name: Name,
+    /// Length of the maximal run (≥ 1).
+    pub run: u32,
+}
+
+/// A token with the timestamps of its run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LexedEvent {
+    /// The run-length token.
+    pub token: LexedToken,
+    /// Timestamp of the first event of the run.
+    pub first_time: SimTime,
+    /// Timestamp of the last event of the run.
+    pub last_time: SimTime,
+}
+
+/// Online run-length transducer over timed events.
+///
+/// # Example
+///
+/// ```
+/// use lomon_trace::{NameSet, RunLengthLexer, SimTime, TimedEvent, Vocabulary};
+/// let mut voc = Vocabulary::new();
+/// let n = voc.input("n");
+/// let i = voc.input("i");
+///
+/// let mut lexer = RunLengthLexer::new([n].into_iter().collect::<NameSet>());
+/// assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(1))).is_empty());
+/// assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(2))).is_empty());
+/// let out = lexer.push(TimedEvent::new(i, SimTime::from_ns(3)));
+/// assert_eq!(out.len(), 2); // the n⟨2⟩ run, then i⟨1⟩ flushed eagerly
+/// assert_eq!(out[0].token.run, 2);
+/// assert_eq!(out[1].token.run, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunLengthLexer {
+    /// Names whose runs are collapsed into multi-length tokens. Runs of
+    /// other names are emitted eagerly, one token per event.
+    collapsible: NameSet,
+    /// Per-name run bound: when a run exceeds its bound, the (over-long)
+    /// token is emitted *immediately* instead of waiting for the run to
+    /// end, so downstream monitors detect `TooMany`-style violations at the
+    /// same event as the direct monitors.
+    bounds: std::collections::HashMap<Name, u32>,
+    current: Option<(Name, u32, SimTime, SimTime)>,
+    ops: u64,
+}
+
+impl RunLengthLexer {
+    /// Create a lexer collapsing runs of the given names.
+    pub fn new(collapsible: NameSet) -> Self {
+        RunLengthLexer {
+            collapsible,
+            bounds: std::collections::HashMap::new(),
+            current: None,
+            ops: 0,
+        }
+    }
+
+    /// Emit runs of `name` eagerly once they exceed `max_run` (see the
+    /// `bounds` field). Returns `self` for chaining.
+    pub fn with_bound(mut self, name: Name, max_run: u32) -> Self {
+        self.bounds.insert(name, max_run);
+        self
+    }
+
+    /// Feed one event; returns the tokens completed by this event (0–2).
+    ///
+    /// A collapsible run is completed only by the *next* different event;
+    /// non-collapsible events complete immediately (run length 1), flushing
+    /// any pending run first.
+    pub fn push(&mut self, event: TimedEvent) -> Vec<LexedEvent> {
+        // Cost model for ∆: one comparison + one update per event.
+        self.ops += 2;
+        let mut out = Vec::new();
+        match self.current {
+            Some((name, run, first, _last)) if name == event.name => {
+                let run = run + 1;
+                if self.bounds.get(&name).is_some_and(|&max| run > max) {
+                    // Over-long run: emit it now so violations surface at
+                    // the event that caused them.
+                    self.current = None;
+                    out.push(LexedEvent {
+                        token: LexedToken { name, run },
+                        first_time: first,
+                        last_time: event.time,
+                    });
+                } else {
+                    self.current = Some((name, run, first, event.time));
+                }
+            }
+            Some((name, run, first, last)) => {
+                out.push(LexedEvent {
+                    token: LexedToken { name, run },
+                    first_time: first,
+                    last_time: last,
+                });
+                self.start_run(event, &mut out);
+            }
+            None => {
+                self.start_run(event, &mut out);
+            }
+        }
+        out
+    }
+
+    fn start_run(&mut self, event: TimedEvent, out: &mut Vec<LexedEvent>) {
+        if self.collapsible.contains(event.name) {
+            self.current = Some((event.name, 1, event.time, event.time));
+        } else {
+            self.current = None;
+            out.push(LexedEvent {
+                token: LexedToken {
+                    name: event.name,
+                    run: 1,
+                },
+                first_time: event.time,
+                last_time: event.time,
+            });
+        }
+    }
+
+    /// Flush the pending run at end of observation, if any.
+    pub fn finish(&mut self) -> Option<LexedEvent> {
+        self.ops += 1;
+        self.current
+            .take()
+            .map(|(name, run, first, last)| LexedEvent {
+                token: LexedToken { name, run },
+                first_time: first,
+                last_time: last,
+            })
+    }
+
+    /// Operations executed so far (the measured `∆` contribution).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Bits of mutable state the transducer keeps: the current name id,
+    /// a presence flag, two timestamps and a run counter wide enough for
+    /// `max_run`.
+    pub fn state_bits(max_run: u64) -> u64 {
+        let counter = 64 - max_run.max(1).leading_zeros() as u64;
+        // name id (32) + present flag (1) + first/last timestamps (2×64)
+        32 + 1 + 128 + counter
+    }
+
+    /// Lex a whole trace, including the final flush.
+    pub fn lex_trace(collapsible: NameSet, trace: &crate::Trace) -> Vec<LexedEvent> {
+        let mut lexer = RunLengthLexer::new(collapsible);
+        let mut out = Vec::new();
+        for &event in trace.iter() {
+            out.extend(lexer.push(event));
+        }
+        out.extend(lexer.finish());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Trace, Vocabulary};
+
+    fn setup() -> (Vocabulary, Name, Name, Name) {
+        let mut voc = Vocabulary::new();
+        let n = voc.input("n");
+        let m = voc.input("m");
+        let i = voc.input("i");
+        (voc, n, m, i)
+    }
+
+    #[test]
+    fn collapses_runs_of_collapsible_names() {
+        let (_voc, n, _m, i) = setup();
+        let trace = Trace::from_names([n, n, n, i, n, i]);
+        let tokens = RunLengthLexer::lex_trace([n].into_iter().collect(), &trace);
+        let summary: Vec<(Name, u32)> = tokens.iter().map(|t| (t.token.name, t.token.run)).collect();
+        assert_eq!(summary, vec![(n, 3), (i, 1), (n, 1), (i, 1)]);
+    }
+
+    #[test]
+    fn run_timestamps_span_the_run() {
+        let (_voc, n, _m, i) = setup();
+        let trace = Trace::from_pairs([
+            (SimTime::from_ns(5), n),
+            (SimTime::from_ns(9), n),
+            (SimTime::from_ns(20), i),
+        ]);
+        let tokens = RunLengthLexer::lex_trace([n].into_iter().collect(), &trace);
+        assert_eq!(tokens[0].first_time, SimTime::from_ns(5));
+        assert_eq!(tokens[0].last_time, SimTime::from_ns(9));
+        assert_eq!(tokens[1].first_time, SimTime::from_ns(20));
+    }
+
+    #[test]
+    fn non_collapsible_repeats_still_tokenize_per_event() {
+        let (_voc, n, m, _i) = setup();
+        let trace = Trace::from_names([m, m, n, n]);
+        let tokens = RunLengthLexer::lex_trace([n].into_iter().collect(), &trace);
+        let summary: Vec<(Name, u32)> = tokens.iter().map(|t| (t.token.name, t.token.run)).collect();
+        // m is not collapsible: each occurrence is its own run of length 1.
+        assert_eq!(summary, vec![(m, 1), (m, 1), (n, 2)]);
+    }
+
+    #[test]
+    fn finish_flushes_pending_run() {
+        let (_voc, n, _m, _i) = setup();
+        let mut lexer = RunLengthLexer::new([n].into_iter().collect());
+        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(1))).is_empty());
+        let flushed = lexer.finish().expect("pending run");
+        assert_eq!(flushed.token, LexedToken { name: n, run: 1 });
+        assert_eq!(lexer.finish(), None);
+    }
+
+    #[test]
+    fn empty_trace_produces_no_tokens() {
+        let tokens = RunLengthLexer::lex_trace(NameSet::new(), &Trace::new());
+        assert!(tokens.is_empty());
+    }
+
+    #[test]
+    fn ops_grow_linearly_with_events() {
+        let (_voc, n, _m, i) = setup();
+        let trace = Trace::from_names(vec![n; 100].into_iter().chain([i]));
+        let mut lexer = RunLengthLexer::new([n].into_iter().collect());
+        for &e in trace.iter() {
+            lexer.push(e);
+        }
+        lexer.finish();
+        assert_eq!(lexer.ops(), 2 * 101 + 1);
+    }
+
+    #[test]
+    fn bounded_runs_emit_eagerly_on_overflow() {
+        let (_voc, n, _m, i) = setup();
+        let mut lexer = RunLengthLexer::new([n].into_iter().collect()).with_bound(n, 2);
+        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(1))).is_empty());
+        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(2))).is_empty());
+        // Third n exceeds the bound: the over-long token comes out now.
+        let out = lexer.push(TimedEvent::new(n, SimTime::from_ns(3)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, LexedToken { name: n, run: 3 });
+        assert_eq!(out[0].last_time, SimTime::from_ns(3));
+        // The run was flushed; a following i is its own token, and a new n
+        // starts a fresh run.
+        let out = lexer.push(TimedEvent::new(i, SimTime::from_ns(4)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token.name, i);
+        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(5))).is_empty());
+        assert_eq!(lexer.finish().unwrap().token, LexedToken { name: n, run: 1 });
+    }
+
+    #[test]
+    fn state_bits_scale_with_counter_width() {
+        let small = RunLengthLexer::state_bits(1);
+        let large = RunLengthLexer::state_bits(60_000);
+        assert!(large > small);
+        assert_eq!(large - small, 16 - 1); // 60000 needs 16 bits, 1 needs 1
+    }
+}

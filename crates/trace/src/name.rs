@@ -1,0 +1,422 @@
+//! Interned interface names and the vocabulary that owns them.
+//!
+//! The paper's patterns are written on the vocabulary of the input/output
+//! interface `(I, O)` of a component (Section 4). A [`Vocabulary`] interns
+//! strings into compact [`Name`] handles and records, for each name, whether
+//! it is an input or an output of the monitored component — the grammar's
+//! side conditions (`i ∈ I`, `α(Q) ⊆ O`) are checked against this
+//! classification.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Whether an interface name is an input or an output of the monitored
+/// component.
+///
+/// The paper (Section 3): "an input of the IPU is any action of the other
+/// components that affects the IPU […]; output is any activity performed by
+/// the IPU that affects other components".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// An action of the environment observed by the component (e.g.
+    /// `set_imgAddr`, `start`).
+    Input,
+    /// An activity performed by the component (e.g. `read_img`, `set_irq`).
+    Output,
+}
+
+impl Direction {
+    /// Short lowercase label used by the trace text format.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Input => "in",
+            Direction::Output => "out",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A cheap, copyable handle for one interned interface name.
+///
+/// `Name`s are only meaningful relative to the [`Vocabulary`] that produced
+/// them; use [`Vocabulary::resolve`] to get the string back.
+///
+/// # Example
+///
+/// ```
+/// use lomon_trace::{Direction, Vocabulary};
+/// let mut voc = Vocabulary::new();
+/// let n = voc.intern("start", Direction::Input);
+/// assert_eq!(voc.resolve(n), "start");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(u32);
+
+impl Name {
+    /// The dense index of this name inside its vocabulary (0-based intern
+    /// order). Useful for index-based lookup tables in monitors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a name from a dense index previously obtained with
+    /// [`Name::index`].
+    ///
+    /// This performs no validation; resolving a fabricated name against the
+    /// wrong vocabulary panics.
+    pub fn from_index(index: usize) -> Self {
+        Name(index as u32)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.0)
+    }
+}
+
+/// String interner and input/output classifier for interface names.
+///
+/// A vocabulary is append-only: interning the same string twice returns the
+/// same [`Name`]. Re-interning with a *different* [`Direction`] keeps the
+/// original direction (first writer wins) — interfaces do not change
+/// direction mid-run — and the mismatch can be detected with
+/// [`Vocabulary::direction`].
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    directions: Vec<Direction>,
+    by_string: HashMap<String, Name>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `text` as a name with the given direction, returning the
+    /// existing handle if `text` was interned before.
+    pub fn intern(&mut self, text: &str, direction: Direction) -> Name {
+        if let Some(&name) = self.by_string.get(text) {
+            return name;
+        }
+        let name = Name(self.names.len() as u32);
+        self.names.push(text.to_owned());
+        self.directions.push(direction);
+        self.by_string.insert(text.to_owned(), name);
+        name
+    }
+
+    /// Intern an input name (shorthand for [`Vocabulary::intern`] with
+    /// [`Direction::Input`]).
+    pub fn input(&mut self, text: &str) -> Name {
+        self.intern(text, Direction::Input)
+    }
+
+    /// Intern an output name (shorthand for [`Vocabulary::intern`] with
+    /// [`Direction::Output`]).
+    pub fn output(&mut self, text: &str) -> Name {
+        self.intern(text, Direction::Output)
+    }
+
+    /// Look up a previously interned name without inserting.
+    pub fn lookup(&self, text: &str) -> Option<Name> {
+        self.by_string.get(text).copied()
+    }
+
+    /// The string for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` does not belong to this vocabulary.
+    pub fn resolve(&self, name: Name) -> &str {
+        &self.names[name.index()]
+    }
+
+    /// The direction recorded for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` does not belong to this vocabulary.
+    pub fn direction(&self, name: Name) -> Direction {
+        self.directions[name.index()]
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no name has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all names in intern order.
+    pub fn iter(&self) -> impl Iterator<Item = Name> + '_ {
+        (0..self.names.len() as u32).map(Name)
+    }
+
+    /// Render a name set as `{a, b, c}` (sorted by intern order) for
+    /// diagnostics.
+    pub fn display_set(&self, set: &NameSet) -> String {
+        let mut out = String::from("{");
+        for (k, name) in set.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(self.resolve(name));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A set of [`Name`]s backed by a bit vector.
+///
+/// Monitors consult name sets (the recognition context `B, C, Ac, Af` of the
+/// paper's Fig. 5) on every event, so membership must be O(1) and allocation
+/// free. Names intern densely from zero, which makes a bitset the natural
+/// representation.
+///
+/// # Example
+///
+/// ```
+/// use lomon_trace::{Direction, NameSet, Vocabulary};
+/// let mut voc = Vocabulary::new();
+/// let a = voc.input("a");
+/// let b = voc.input("b");
+/// let mut set = NameSet::new();
+/// set.insert(a);
+/// assert!(set.contains(a) && !set.contains(b));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct NameSet {
+    bits: Vec<u64>,
+}
+
+impl NameSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a name. Returns `true` if it was not already present.
+    pub fn insert(&mut self, name: Name) -> bool {
+        let (word, bit) = (name.index() / 64, name.index() % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let had = self.bits[word] & (1 << bit) != 0;
+        self.bits[word] |= 1 << bit;
+        !had
+    }
+
+    /// Remove a name. Returns `true` if it was present.
+    pub fn remove(&mut self, name: Name) -> bool {
+        let (word, bit) = (name.index() / 64, name.index() % 64);
+        if word >= self.bits.len() {
+            return false;
+        }
+        let had = self.bits[word] & (1 << bit) != 0;
+        self.bits[word] &= !(1 << bit);
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, name: Name) -> bool {
+        let (word, bit) = (name.index() / 64, name.index() % 64);
+        self.bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of names in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over members in increasing intern order.
+    pub fn iter(&self) -> impl Iterator<Item = Name> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |bit| {
+                if w & (1u64 << bit) != 0 {
+                    Some(Name::from_index(wi * 64 + bit))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NameSet) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        for (dst, src) in self.bits.iter_mut().zip(&other.bits) {
+            *dst |= src;
+        }
+    }
+
+    /// Whether `self` and `other` share at least one name.
+    pub fn intersects(&self, other: &NameSet) -> bool {
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &NameSet) -> bool {
+        self.bits
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.bits.get(i).copied().unwrap_or(0) == 0)
+    }
+}
+
+impl fmt::Debug for NameSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Name> for NameSet {
+    fn from_iter<T: IntoIterator<Item = Name>>(iter: T) -> Self {
+        let mut set = NameSet::new();
+        for n in iter {
+            set.insert(n);
+        }
+        set
+    }
+}
+
+impl Extend<Name> for NameSet {
+    fn extend<T: IntoIterator<Item = Name>>(&mut self, iter: T) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut voc = Vocabulary::new();
+        let a1 = voc.intern("start", Direction::Input);
+        let a2 = voc.intern("start", Direction::Input);
+        assert_eq!(a1, a2);
+        assert_eq!(voc.len(), 1);
+    }
+
+    #[test]
+    fn first_direction_wins() {
+        let mut voc = Vocabulary::new();
+        let n = voc.intern("irq", Direction::Output);
+        let same = voc.intern("irq", Direction::Input);
+        assert_eq!(n, same);
+        assert_eq!(voc.direction(n), Direction::Output);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut voc = Vocabulary::new();
+        let names: Vec<_> = ["a", "b", "c_long_name"]
+            .iter()
+            .map(|s| voc.input(s))
+            .collect();
+        for (i, text) in ["a", "b", "c_long_name"].iter().enumerate() {
+            assert_eq!(voc.resolve(names[i]), *text);
+            assert_eq!(voc.lookup(text), Some(names[i]));
+        }
+        assert_eq!(voc.lookup("missing"), None);
+    }
+
+    #[test]
+    fn name_index_roundtrip() {
+        let mut voc = Vocabulary::new();
+        let n = voc.input("x");
+        assert_eq!(Name::from_index(n.index()), n);
+    }
+
+    #[test]
+    fn vocabulary_iter_in_order() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.output("b");
+        let collected: Vec<_> = voc.iter().collect();
+        assert_eq!(collected, vec![a, b]);
+    }
+
+    #[test]
+    fn nameset_insert_contains_remove() {
+        let mut voc = Vocabulary::new();
+        // Force a second bitset word by interning > 64 names.
+        let names: Vec<_> = (0..70).map(|i| voc.input(&format!("n{i}"))).collect();
+        let mut set = NameSet::new();
+        assert!(set.insert(names[0]));
+        assert!(!set.insert(names[0]));
+        assert!(set.insert(names[69]));
+        assert!(set.contains(names[0]) && set.contains(names[69]));
+        assert!(!set.contains(names[1]));
+        assert_eq!(set.len(), 2);
+        assert!(set.remove(names[0]));
+        assert!(!set.remove(names[0]));
+        assert!(!set.contains(names[0]));
+    }
+
+    #[test]
+    fn nameset_iter_sorted() {
+        let mut voc = Vocabulary::new();
+        let names: Vec<_> = (0..5).map(|i| voc.input(&format!("n{i}"))).collect();
+        let set: NameSet = [names[4], names[1], names[2]].into_iter().collect();
+        let out: Vec<_> = set.iter().collect();
+        assert_eq!(out, vec![names[1], names[2], names[4]]);
+    }
+
+    #[test]
+    fn nameset_union_and_intersects() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.input("b");
+        let c = voc.input("c");
+        let mut s1: NameSet = [a].into_iter().collect();
+        let s2: NameSet = [b, c].into_iter().collect();
+        assert!(!s1.intersects(&s2));
+        s1.union_with(&s2);
+        assert!(s1.contains(b) && s1.contains(c));
+        assert!(s1.intersects(&s2));
+        assert!(s2.is_subset(&s1));
+        assert!(!s1.is_subset(&s2));
+    }
+
+    #[test]
+    fn nameset_empty_properties() {
+        let set = NameSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.iter().count(), 0);
+        let other = NameSet::new();
+        assert!(set.is_subset(&other));
+        assert!(!set.intersects(&other));
+    }
+
+    #[test]
+    fn display_set_renders_sorted_names() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("alpha");
+        let b = voc.input("beta");
+        let set: NameSet = [b, a].into_iter().collect();
+        assert_eq!(voc.display_set(&set), "{alpha, beta}");
+    }
+}

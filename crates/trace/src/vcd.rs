@@ -1,0 +1,159 @@
+//! VCD (Value Change Dump) export of interface traces.
+//!
+//! Loose-ordering traces live in an EDA workflow, and the lingua franca for
+//! looking at anything over simulated time is a waveform viewer. This
+//! module renders a [`Trace`] as an IEEE-1364 VCD file: each interface name
+//! becomes a 1-bit wire that pulses for one timestep at each occurrence, so
+//! GTKWave & friends display the event stream directly.
+
+use std::fmt::Write as _;
+
+use crate::{Name, Trace, Vocabulary};
+
+/// Render `trace` as a VCD document.
+///
+/// Every name of `voc` that occurs in the trace becomes a wire; each event
+/// is a `1` at its timestamp followed by a `0` one picosecond later (the
+/// timescale is 1 ps, matching [`crate::SimTime`]'s resolution).
+pub fn write_vcd(trace: &Trace, voc: &Vocabulary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date lomon trace export $end");
+    let _ = writeln!(out, "$version lomon 0.1.0 $end");
+    let _ = writeln!(out, "$timescale 1 ps $end");
+    let _ = writeln!(out, "$scope module interface $end");
+
+    // Only names that actually occur, in intern order; VCD id codes are
+    // printable ASCII starting at '!'.
+    let mut used: Vec<Name> = Vec::new();
+    for event in trace.iter() {
+        if !used.contains(&event.name) {
+            used.push(event.name);
+        }
+    }
+    used.sort_by_key(|n| n.index());
+    let id = |idx: usize| -> char { (b'!' + idx as u8) as char };
+    for (idx, &name) in used.iter().enumerate() {
+        let _ = writeln!(out, "$var wire 1 {} {} $end", id(idx), voc.resolve(name));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Initial values.
+    let _ = writeln!(out, "#0");
+    let _ = writeln!(out, "$dumpvars");
+    for idx in 0..used.len() {
+        let _ = writeln!(out, "0{}", id(idx));
+    }
+    let _ = writeln!(out, "$end");
+
+    // Pulses: group events by timestamp; drop each pulse 1 ps later
+    // (events at t and t+1ps merge into a longer pulse, which is fine).
+    let mut pending_drop: Vec<(u64, usize)> = Vec::new();
+    let mut k = 0;
+    let events = trace.events();
+    while k < events.len() {
+        let t = events[k].time.as_ps();
+        // Emit any scheduled falls strictly before t.
+        emit_falls(&mut out, &mut pending_drop, t, id);
+        let _ = writeln!(out, "#{t}");
+        while k < events.len() && events[k].time.as_ps() == t {
+            let idx = used
+                .iter()
+                .position(|&n| n == events[k].name)
+                .expect("name collected above");
+            let _ = writeln!(out, "1{}", id(idx));
+            pending_drop.push((t + 1, idx));
+            k += 1;
+        }
+    }
+    emit_falls(&mut out, &mut pending_drop, u64::MAX, id);
+    let end = trace.end_time().as_ps();
+    let _ = writeln!(out, "#{}", end.max(1));
+    out
+}
+
+fn emit_falls(
+    out: &mut String,
+    pending: &mut Vec<(u64, usize)>,
+    before: u64,
+    id: impl Fn(usize) -> char,
+) {
+    pending.sort_unstable();
+    let mut rest = Vec::new();
+    let mut current: Option<u64> = None;
+    for &(t, idx) in pending.iter() {
+        if t < before {
+            if current != Some(t) {
+                let _ = writeln!(out, "#{t}");
+                current = Some(t);
+            }
+            let _ = writeln!(out, "0{}", id(idx));
+        } else {
+            rest.push((t, idx));
+        }
+    }
+    *pending = rest;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    #[test]
+    fn vcd_structure() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("set_imgAddr");
+        let b = voc.output("set_irq");
+        let mut trace = Trace::from_pairs([
+            (SimTime::from_ns(1), a),
+            (SimTime::from_ns(2), b),
+            (SimTime::from_ns(2), a),
+        ]);
+        trace.set_end_time(SimTime::from_ns(5));
+        let vcd = write_vcd(&trace, &voc);
+        assert!(vcd.contains("$timescale 1 ps $end"));
+        assert!(vcd.contains("$var wire 1 ! set_imgAddr $end"));
+        assert!(vcd.contains("$var wire 1 \" set_irq $end"));
+        assert!(vcd.contains("#1000"));
+        assert!(vcd.contains("#2000"));
+        // Pulses rise and fall.
+        assert!(vcd.contains("1!"));
+        assert!(vcd.contains("0!"));
+        // End-time marker.
+        assert!(vcd.trim_end().ends_with("#5000"));
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_header() {
+        let voc = Vocabulary::new();
+        let vcd = write_vcd(&Trace::new(), &voc);
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("#0"));
+    }
+
+    #[test]
+    fn only_occurring_names_become_wires() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let _unused = voc.input("unused");
+        let trace = Trace::from_pairs([(SimTime::from_ns(1), a)]);
+        let vcd = write_vcd(&trace, &voc);
+        assert!(vcd.contains("$var wire 1 ! a $end"));
+        assert!(!vcd.contains("unused"));
+    }
+
+    #[test]
+    fn same_time_events_share_a_timestamp_line() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let b = voc.input("b");
+        let mut trace =
+            Trace::from_pairs([(SimTime::from_ns(3), a), (SimTime::from_ns(3), b)]);
+        trace.set_end_time(SimTime::from_ns(10));
+        let vcd = write_vcd(&trace, &voc);
+        let stamps: Vec<&str> = vcd.lines().filter(|l| l.starts_with('#')).collect();
+        // #0 (init), #3000 (both events), #3001 (falls), #10000 (end).
+        assert_eq!(stamps, vec!["#0", "#3000", "#3001", "#10000"]);
+    }
+}

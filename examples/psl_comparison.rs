@@ -1,0 +1,56 @@
+//! The ViaPSL pipeline made visible: translate a loose-ordering property
+//! into PSL (paper Section 5), print the formula, and compare the two
+//! monitoring strategies' costs — a miniature of the paper's Fig. 6.
+//!
+//! ```sh
+//! cargo run --example psl_comparison
+//! ```
+
+use lomon::core::complexity::{drct_cost, measure_drct};
+use lomon::core::parse::parse_property;
+use lomon::gen::{generate, GeneratorConfig};
+use lomon::psl::complexity::viapsl_cost;
+use lomon::psl::translate::{translate, TranslateOptions};
+use lomon::trace::Vocabulary;
+
+fn main() {
+    // A small pattern whose translation is printable…
+    let mut voc = Vocabulary::new();
+    let small = parse_property("all{a, b} < c[2,3] << i repeated", &mut voc).unwrap();
+    println!("property      : {}", small.display(&voc));
+    let translation = translate(&small, TranslateOptions::default()).expect("translates");
+    println!(
+        "PSL conjuncts : {} observers, formula below",
+        translation.observers.len()
+    );
+    println!("{}", translation.formula.display(&voc));
+    println!();
+
+    // …and the six Fig. 6 configurations compared in cost.
+    println!(
+        "{:<46} {:>12} {:>12} {:>14} {:>14}",
+        "configuration", "Drct ops", "Drct bits", "ViaPSL ops", "ViaPSL bits"
+    );
+    for text in [
+        "n << i repeated",
+        "n[100,60000] << i repeated",
+        "all{n1, n2, n3, n4} << i once",
+        "all{n1, n2, n3, n4, n5} << i once",
+        "n1 => n2 < n3 < n4 within 1 ms",
+        "n1 => n2[100,60000] < n3 < n4 within 1 ms",
+    ] {
+        let mut voc = Vocabulary::new();
+        let property = parse_property(text, &mut voc).unwrap();
+        let workload = generate(&property, &GeneratorConfig::new(1)).trace;
+        let drct = measure_drct(&property, &workload, &voc);
+        let bits = drct_cost(&property).state_bits;
+        let psl = viapsl_cost(&property).expect("translatable");
+        println!(
+            "{:<46} {:>12.1} {:>12} {:>14} {:>14}",
+            text, drct.ops_per_event, bits, psl.ops_per_event, psl.state_bits
+        );
+    }
+    println!();
+    println!("The ranged rows cost ViaPSL ten orders of magnitude more than");
+    println!("Drct — the paper's headline result, reproduced from scratch.");
+}

@@ -1,0 +1,135 @@
+//! `lomon` — command-line trace-replay monitoring.
+//!
+//! The practical entry point of the reproduction: check recorded traces
+//! (e.g. dumped from a real SystemC model) against loose-ordering
+//! properties, convert traces to VCD for waveform viewers, or generate
+//! labelled stimuli from a property.
+//!
+//! ```text
+//! lomon check <trace-file> <property>...      replay a trace against properties
+//! lomon vcd   <trace-file>                    print the trace as VCD
+//! lomon gen   <property> [seed [episodes]]    print a generated satisfying trace
+//! lomon demo                                  record + check a platform run
+//! ```
+
+use std::process::ExitCode;
+
+use lomon::core::monitor::build_monitor;
+use lomon::core::parse::parse_property;
+use lomon::core::verdict::{run_to_end, Monitor};
+use lomon::gen::{generate, GeneratorConfig};
+use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
+use lomon::trace::{read_trace, write_trace, write_vcd, Vocabulary};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() >= 3 => check(&args[1], &args[2..]),
+        Some("vcd") if args.len() == 2 => vcd(&args[1]),
+        Some("gen") if args.len() >= 2 => gen(&args[1], &args[2..]),
+        Some("demo") => demo(),
+        _ => {
+            eprintln!("usage:");
+            eprintln!("  lomon check <trace-file> <property>...");
+            eprintln!("  lomon vcd   <trace-file>");
+            eprintln!("  lomon gen   <property> [seed [episodes]]");
+            eprintln!("  lomon demo");
+            eprintln!();
+            eprintln!("property example:");
+            eprintln!("  'all{{set_imgAddr, set_glAddr, set_glSize}} << start once'");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str, voc: &mut Vocabulary) -> Result<lomon::trace::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    read_trace(&text, voc).map_err(|e| e.to_string())
+}
+
+fn check(path: &str, properties: &[String]) -> ExitCode {
+    let mut voc = Vocabulary::new();
+    let trace = match load(path, &mut voc) {
+        Ok(t) => t,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}: {} events, end at {}", trace.len(), trace.end_time());
+    let mut failures = 0;
+    for text in properties {
+        let property = match parse_property(text, &mut voc) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error in property:\n{}", e.display_with_source(text));
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut monitor = match build_monitor(property, &voc) {
+            Ok(m) => m,
+            Err(errors) => {
+                for e in errors {
+                    eprintln!("ill-formed property `{text}`: {}", e.display(&voc));
+                }
+                return ExitCode::FAILURE;
+            }
+        };
+        let verdict = run_to_end(&mut monitor, &trace);
+        println!("  [{verdict}] {text}");
+        if let Some(violation) = monitor.violation() {
+            println!("      {}", violation.display(&voc));
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn vcd(path: &str) -> ExitCode {
+    let mut voc = Vocabulary::new();
+    match load(path, &mut voc) {
+        Ok(trace) => {
+            print!("{}", write_vcd(&trace, &voc));
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn gen(text: &str, rest: &[String]) -> ExitCode {
+    let seed = rest.first().and_then(|s| s.parse().ok()).unwrap_or(1u64);
+    let episodes = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(3u32);
+    let mut voc = Vocabulary::new();
+    let property = match parse_property(text, &mut voc) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error in property:\n{}", e.display_with_source(text));
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = GeneratorConfig {
+        episodes,
+        ..GeneratorConfig::new(seed)
+    };
+    let generated = generate(&property, &config);
+    print!("{}", write_trace(&generated.trace, &voc));
+    ExitCode::SUCCESS
+}
+
+fn demo() -> ExitCode {
+    let report = run_scenario(&ScenarioConfig::nominal(1));
+    println!("# trace recorded from the face-recognition platform (seed 1)");
+    print!("{}", write_trace(&report.trace, &report.vocabulary));
+    eprintln!();
+    for (label, verdict) in &report.verdicts {
+        eprintln!("online verdict: {label} → {verdict}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,12 @@
+//! # lomon — loose-ordering monitors for SystemC/TLM-style models
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-code map.
+
+pub use lomon_core as core;
+pub use lomon_gen as gen;
+pub use lomon_kernel as kernel;
+pub use lomon_psl as psl;
+pub use lomon_sync as sync;
+pub use lomon_tlm as tlm;
+pub use lomon_trace as trace;

@@ -1,0 +1,165 @@
+//! The paper's running examples, checked end to end exactly as stated in
+//! the text (Sections 3 and 4).
+
+use lomon::core::monitor::build_monitor;
+use lomon::core::parse::parse_property;
+use lomon::core::semantics::{ordering_nfa, PatternOracle};
+use lomon::core::verdict::{run_to_end, Verdict, ViolationKind};
+use lomon::core::Monitor;
+use lomon::trace::{Name, SimTime, Trace, Vocabulary};
+
+/// Example 1: `ℓ = n1[2,8] < ({n2, n3}, ∨)` — "first we have several n1 in
+/// a row (the number of occurrences of n1 is in [2,8]); then we have either
+/// n2 or n3, or both in any order."
+#[test]
+fn example1_loose_ordering_language() {
+    let mut voc = Vocabulary::new();
+    let ordering =
+        lomon::core::parse::parse_ordering("n1[2,8] < any{n2, n3}", &mut voc).expect("parses");
+    let nfa = ordering_nfa(&ordering);
+    let n = |s: &str| voc.lookup(s).unwrap();
+    let (n1, n2, n3) = (n("n1"), n("n2"), n("n3"));
+
+    let word = |xs: &[Name]| xs.to_vec();
+    for good in [
+        word(&[n1, n1, n2]),
+        word(&[n1, n1, n1, n3]),
+        word(&[n1, n1, n2, n3]),
+        word(&[n1, n1, n3, n2]),
+    ] {
+        assert!(nfa.accepts(good.iter()), "{good:?}");
+    }
+    for bad in [
+        word(&[n1, n2]),           // only one n1
+        word(&[n2, n1, n1]),       // fragment order broken
+        word(&[n1, n1]),           // second fragment missing
+        word(&[n1, n1, n2, n2]),   // n2 twice
+    ] {
+        assert!(!nfa.accepts(bad.iter()), "{bad:?}");
+    }
+    // Nine n1's exceed the range.
+    let too_many = [n1; 9];
+    assert!(!nfa.accepts_prefix(too_many.iter()));
+}
+
+/// Example 2: the IPU's configuration registers must all be written, in any
+/// order, before recognition starts.
+#[test]
+fn example2_antecedent() {
+    let mut voc = Vocabulary::new();
+    let property = parse_property(
+        "all{set_imgAddr, set_glAddr, set_glSize} << start once",
+        &mut voc,
+    )
+    .expect("parses");
+    let n = |s: &str| voc.lookup(s).unwrap();
+    let (img, gl, sz, start) = (n("set_imgAddr"), n("set_glAddr"), n("set_glSize"), n("start"));
+
+    // All six permutations are accepted.
+    let perms = [
+        [img, gl, sz],
+        [img, sz, gl],
+        [gl, img, sz],
+        [gl, sz, img],
+        [sz, img, gl],
+        [sz, gl, img],
+    ];
+    for perm in perms {
+        let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+        let trace = Trace::from_names(perm.into_iter().chain([start]));
+        assert_eq!(run_to_end(&mut monitor, &trace), Verdict::Satisfied, "{perm:?}");
+    }
+
+    // Missing any single register is rejected at `start`.
+    for keep in perms[0].iter().copied().take(2).zip(perms[0].iter().copied().skip(1)) {
+        let (a, b) = keep;
+        let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+        let trace = Trace::from_names([a, b, start]);
+        assert_eq!(run_to_end(&mut monitor, &trace), Verdict::Violated);
+        let violation = monitor.violation().expect("diagnostic");
+        assert_eq!(violation.kind, ViolationKind::MissingRange);
+    }
+}
+
+/// Example 3: `(start ⇒ read_img[100,60000] < set_irq, T)` with the paper's
+/// literal bounds — the monitor is insensitive to the huge range.
+#[test]
+fn example3_timed_implication_full_bounds() {
+    let mut voc = Vocabulary::new();
+    let property = parse_property(
+        "start => read_img[100,60000] < set_irq within 60000 us",
+        &mut voc,
+    )
+    .expect("parses");
+    let n = |s: &str| voc.lookup(s).unwrap();
+    let (start, read, irq) = (n("start"), n("read_img"), n("set_irq"));
+
+    // 150 reads, nicely inside [100, 60000]; irq within the budget.
+    let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+    let mut trace = Trace::new();
+    trace.push(start, SimTime::from_us(1));
+    for k in 0..150u64 {
+        trace.push(read, SimTime::from_us(2 + k));
+    }
+    trace.push(irq, SimTime::from_us(200));
+    assert_eq!(run_to_end(&mut monitor, &trace), Verdict::PresumablySatisfied);
+
+    // 99 reads are too few.
+    let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+    let mut trace = Trace::new();
+    trace.push(start, SimTime::from_us(1));
+    for k in 0..99u64 {
+        trace.push(read, SimTime::from_us(2 + k));
+    }
+    trace.push(irq, SimTime::from_us(200));
+    assert_eq!(run_to_end(&mut monitor, &trace), Verdict::Violated);
+
+    // An irq far beyond the budget is a deadline miss.
+    let mut monitor = build_monitor(property, &voc).expect("well-formed");
+    let mut trace = Trace::new();
+    trace.push(start, SimTime::from_us(1));
+    for k in 0..150u64 {
+        trace.push(read, SimTime::from_us(2 + k));
+    }
+    trace.push(irq, SimTime::from_sec(300));
+    assert_eq!(run_to_end(&mut monitor, &trace), Verdict::Violated);
+    assert_eq!(
+        monitor.violation().unwrap().kind,
+        ViolationKind::DeadlineMiss
+    );
+}
+
+/// The Fig. 4 property with its full attribute machinery, against the
+/// reference oracle on characteristic traces.
+#[test]
+fn fig4_property_characteristic_traces() {
+    let mut voc = Vocabulary::new();
+    let property = parse_property(
+        "all{n1, n2} < any{n3[2,8], n4} < n5 << i repeated",
+        &mut voc,
+    )
+    .expect("parses");
+    let oracle = PatternOracle::new(&property);
+    let n = |s: &str| voc.lookup(s).unwrap();
+    let (n1, n2, n3, n4, n5, i) = (n("n1"), n("n2"), n("n3"), n("n4"), n("n5"), n("i"));
+
+    let cases: Vec<(Vec<Name>, bool)> = vec![
+        (vec![n1, n2, n3, n3, n5, i], true),
+        (vec![n2, n1, n4, n5, i], true),
+        (vec![n1, n2, n3, n3, n3, n4, n5, i], true),
+        (vec![n1, n2, n4, n3, n3, n5, i], true),
+        (vec![n1, n2, n3, n3, n5, i, n2, n1, n4, n5, i], true), // two episodes
+        (vec![n1, n3, n3, n5, i], false),                       // n2 missing
+        (vec![n1, n2, n3, n5, i], false),                       // one n3 only
+        (vec![n1, n2, n5, i], false),                           // F2 skipped
+        (vec![n1, n2, n3, n3, n4, n3, n5, i], false),           // n3 split
+        (vec![i], false),                                       // trigger first
+    ];
+    for (word, expect_ok) in cases {
+        let trace = Trace::from_names(word.clone());
+        assert_eq!(oracle.check(&trace).is_ok(), expect_ok, "oracle on {word:?}");
+        let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+        let verdict = run_to_end(&mut monitor, &trace);
+        assert_eq!(verdict.is_ok(), expect_ok, "monitor on {word:?}");
+    }
+}
