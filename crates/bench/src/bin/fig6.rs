@@ -8,11 +8,17 @@ use lomon_bench::{evaluate_row, fig6_rows, scale};
 
 fn main() {
     println!("Fig. 6 — Comparison of Drct and ViaPSL strategies");
-    println!("(paper numbers | this repository; ViaPSL entries exclude the lexer Δ, shown separately)");
+    println!(
+        "(paper numbers | this repository; ViaPSL entries exclude the lexer Δ, shown separately)"
+    );
     println!();
     println!(
         "{:<34} {:>22} {:>22} {:>26} {:>26}",
-        "Configuration", "Drct time (ops)", "Drct space (bits)", "ViaPSL time (ops)", "ViaPSL space (bits)"
+        "Configuration",
+        "Drct time (ops)",
+        "Drct space (bits)",
+        "ViaPSL time (ops)",
+        "ViaPSL space (bits)"
     );
     println!("{}", "-".repeat(135));
     for row in fig6_rows() {
@@ -47,14 +53,20 @@ fn main() {
             "{:<34} {:>22} {:>22} {:>26} {:>26}",
             row.label,
             format!("{} | {}", scale(row.paper.drct_ops), scale(result.drct_ops)),
-            format!("{} | {}", scale(row.paper.drct_bits), scale(result.drct_bits as f64)),
+            format!(
+                "{} | {}",
+                scale(row.paper.drct_bits),
+                scale(result.drct_bits as f64)
+            ),
             viapsl_ops,
             viapsl_bits,
         );
         if result.delta.0 > 0 {
             println!(
                 "{:<34} {:>22} {:>22} {:>26} {:>26}",
-                "", "", "",
+                "",
+                "",
+                "",
                 format!("Δ = {} ops/event", result.delta.0),
                 format!("Δ = {} bits", result.delta.1),
             );

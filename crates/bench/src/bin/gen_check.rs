@@ -27,8 +27,11 @@ fn main() {
         // reachable target for uniform sampling — the partial figure is
         // informative as-is).
         let wide = row.text.contains("60000");
-        let (positives_n, mutants_n, coverage_cap) =
-            if wide { (5u64, 10u32, 5u32) } else { (50, 100, 300) };
+        let (positives_n, mutants_n, coverage_cap) = if wide {
+            (5u64, 10u32, 5u32)
+        } else {
+            (50, 100, 300)
+        };
 
         // Positives: generated traces, all must be accepted.
         let mut positives = 0;

@@ -127,7 +127,11 @@ impl Monitor for AntecedentMonitor {
                     self.verdict = Verdict::Satisfied;
                 }
             }
-            OrderingStep::Error { kind, fragment, range } => {
+            OrderingStep::Error {
+                kind,
+                fragment,
+                range,
+            } => {
                 self.verdict = Verdict::Violated;
                 self.violation = Some(Violation {
                     kind,

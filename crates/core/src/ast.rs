@@ -163,7 +163,11 @@ impl LooseOrdering {
 
     /// `max_j |α(F_j)|` — the Drct per-event time measure.
     pub fn max_fragment_alpha(&self) -> usize {
-        self.fragments.iter().map(Fragment::alpha_len).max().unwrap_or(0)
+        self.fragments
+            .iter()
+            .map(Fragment::alpha_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `Σ_j |α(F_j)|` — the Drct space measure.

@@ -114,7 +114,11 @@ pub struct MeasuredCost {
 ///
 /// Panics if the property is not well-formed — measurement presumes a valid
 /// monitor.
-pub fn measure_drct(property: &Property, trace: &Trace, voc: &lomon_trace::Vocabulary) -> MeasuredCost {
+pub fn measure_drct(
+    property: &Property,
+    trace: &Trace,
+    voc: &lomon_trace::Vocabulary,
+) -> MeasuredCost {
     let monitor = crate::monitor::build_monitor(property.clone(), voc)
         .expect("property must be well-formed for measurement");
     let mut monitor: PropertyMonitor = monitor.without_diagnostics();
@@ -158,12 +162,8 @@ mod tests {
     #[test]
     fn theta_grows_with_fragment_size() {
         let mut voc = Vocabulary::new();
-        let c4 = drct_cost(
-            &parse_property("all{n1, n2, n3, n4} << i once", &mut voc).unwrap(),
-        );
-        let c5 = drct_cost(
-            &parse_property("all{n1, n2, n3, n4, n5} << i once", &mut voc).unwrap(),
-        );
+        let c4 = drct_cost(&parse_property("all{n1, n2, n3, n4} << i once", &mut voc).unwrap());
+        let c5 = drct_cost(&parse_property("all{n1, n2, n3, n4, n5} << i once", &mut voc).unwrap());
         assert_eq!(c4.theta_time, 4);
         assert_eq!(c5.theta_time, 5);
         assert!(c5.state_bits > c4.state_bits);
@@ -172,9 +172,7 @@ mod tests {
     #[test]
     fn timed_cost_covers_both_sides() {
         let mut voc = Vocabulary::new();
-        let c = drct_cost(
-            &parse_property("n1 => n2 < n3 < n4 within 1 ms", &mut voc).unwrap(),
-        );
+        let c = drct_cost(&parse_property("n1 => n2 < n3 < n4 within 1 ms", &mut voc).unwrap());
         assert_eq!(c.theta_time, 1); // all fragments are singletons
         assert_eq!(c.theta_space, 4);
         assert_eq!(c.max_bound, 1);

@@ -258,11 +258,7 @@ impl LooseOrderingRecognizer {
         Self::from_parts(fragments, contexts, true)
     }
 
-    fn from_parts(
-        fragments: &[Fragment],
-        contexts: Vec<Vec<RangeContext>>,
-        cyclic: bool,
-    ) -> Self {
+    fn from_parts(fragments: &[Fragment], contexts: Vec<Vec<RangeContext>>, cyclic: bool) -> Self {
         assert!(!fragments.is_empty(), "ordering must have fragments");
         LooseOrderingRecognizer {
             fragments: fragments
@@ -358,8 +354,7 @@ impl LooseOrderingRecognizer {
     /// Mutable state bits: the fragments' recognizers plus the active-index
     /// register.
     pub fn state_bits(&self) -> u64 {
-        let index_bits =
-            u64::from(usize::BITS - self.fragments.len().max(1).leading_zeros());
+        let index_bits = u64::from(usize::BITS - self.fragments.len().max(1).leading_zeros());
         self.fragments
             .iter()
             .map(FragmentRecognizer::state_bits)
@@ -414,10 +409,16 @@ mod tests {
         // n2 n1 | n3 n3 n3 | n5 | i
         assert_eq!(f.rec.step(f.n[1]), OrderingStep::Progress);
         assert_eq!(f.rec.step(f.n[0]), OrderingStep::Progress);
-        assert_eq!(f.rec.step(f.n[2]), OrderingStep::Handover { from: 0, to: 1 });
+        assert_eq!(
+            f.rec.step(f.n[2]),
+            OrderingStep::Handover { from: 0, to: 1 }
+        );
         assert_eq!(f.rec.step(f.n[2]), OrderingStep::Progress);
         assert_eq!(f.rec.step(f.n[2]), OrderingStep::Progress);
-        assert_eq!(f.rec.step(f.n[4]), OrderingStep::Handover { from: 1, to: 2 });
+        assert_eq!(
+            f.rec.step(f.n[4]),
+            OrderingStep::Handover { from: 1, to: 2 }
+        );
         assert_eq!(f.rec.step(f.i), OrderingStep::Complete);
     }
 
@@ -431,14 +432,20 @@ mod tests {
         f.rec.step(f.n[3]); // n4 first (handover)
         f.rec.step(f.n[2]);
         f.rec.step(f.n[2]); // n3 block after
-        assert_eq!(f.rec.step(f.n[4]), OrderingStep::Handover { from: 1, to: 2 });
+        assert_eq!(
+            f.rec.step(f.n[4]),
+            OrderingStep::Handover { from: 1, to: 2 }
+        );
 
         let mut f = fig4();
         for ev in [f.n[0], f.n[1], f.n[3]] {
             f.rec.step(ev);
         }
         // n4 alone then n5: n3 skipped, allowed under ∨.
-        assert_eq!(f.rec.step(f.n[4]), OrderingStep::Handover { from: 1, to: 2 });
+        assert_eq!(
+            f.rec.step(f.n[4]),
+            OrderingStep::Handover { from: 1, to: 2 }
+        );
     }
 
     #[test]
@@ -464,7 +471,11 @@ mod tests {
         f.rec.step(f.n[0]);
         // n3 while n2 has not occurred: fragment 0 incomplete.
         match f.rec.step(f.n[2]) {
-            OrderingStep::Error { kind, fragment, range } => {
+            OrderingStep::Error {
+                kind,
+                fragment,
+                range,
+            } => {
                 assert_eq!(kind, ViolationKind::MissingRange);
                 assert_eq!(fragment, 0);
                 assert_eq!(range, 1); // n2's recognizer

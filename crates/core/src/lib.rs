@@ -69,9 +69,7 @@ pub mod verdict;
 pub mod wf;
 
 pub use antecedent::AntecedentMonitor;
-pub use ast::{
-    Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication,
-};
+pub use ast::{Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication};
 pub use monitor::{build_monitor, PropertyMonitor};
 pub use timed::TimedImplicationMonitor;
 pub use verdict::{run_to_end, Monitor, Verdict, Violation, ViolationKind};

@@ -46,7 +46,10 @@ pub enum PropertyMonitor {
 /// .into();
 /// let monitor = build_monitor(prop, &voc).expect("well-formed");
 /// ```
-pub fn build_monitor(property: Property, voc: &Vocabulary) -> Result<PropertyMonitor, Vec<WfError>> {
+pub fn build_monitor(
+    property: Property,
+    voc: &Vocabulary,
+) -> Result<PropertyMonitor, Vec<WfError>> {
     let property = wf::validate(property, voc)?;
     Ok(match property {
         Property::Antecedent(a) => PropertyMonitor::Antecedent(AntecedentMonitor::new(a)),
@@ -66,9 +69,7 @@ impl PropertyMonitor {
     /// Disable diagnostics (expected-set snapshots) on the wrapped monitor.
     pub fn without_diagnostics(self) -> Self {
         match self {
-            PropertyMonitor::Antecedent(m) => {
-                PropertyMonitor::Antecedent(m.without_diagnostics())
-            }
+            PropertyMonitor::Antecedent(m) => PropertyMonitor::Antecedent(m.without_diagnostics()),
             PropertyMonitor::Timed(m) => PropertyMonitor::Timed(m.without_diagnostics()),
         }
     }

@@ -81,7 +81,11 @@ impl ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}..{}: {}", self.start, self.end, self.message)
+        write!(
+            f,
+            "parse error at {}..{}: {}",
+            self.start, self.end, self.message
+        )
     }
 }
 
@@ -179,22 +183,18 @@ impl<'a> Lexer<'a> {
                         lx.pos += 1;
                         Tok::Implies
                     } else {
-                        return Err(ParseError::new(
-                            (start, lx.pos),
-                            "expected `=>` after `=`",
-                        ));
+                        return Err(ParseError::new((start, lx.pos), "expected `=>` after `=`"));
                     }
                 }
                 c if c.is_ascii_digit() => {
                     let digits = lx.take_while(|c| c.is_ascii_digit());
-                    let value: u64 = digits.parse().map_err(|_| {
-                        ParseError::new((start, lx.pos), "number too large")
-                    })?;
+                    let value: u64 = digits
+                        .parse()
+                        .map_err(|_| ParseError::new((start, lx.pos), "number too large"))?;
                     Tok::Int(value)
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
-                    let word =
-                        lx.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+                    let word = lx.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
                     if lx.peek() == Some(':') && (word == "in" || word == "out") {
                         lx.pos += 1;
                         if word == "in" {
@@ -436,7 +436,10 @@ impl<'v> Parser<'v> {
             }
             other => Err(ParseError::new(
                 self.span(),
-                format!("expected `<<` or `=>` after the ordering, found {}", other.describe()),
+                format!(
+                    "expected `<<` or `=>` after the ordering, found {}",
+                    other.describe()
+                ),
             )),
         }
     }
@@ -547,11 +550,8 @@ mod tests {
     #[test]
     fn parses_fig4_property() {
         let mut voc = Vocabulary::new();
-        let prop = parse_property(
-            "all{n1, n2} < any{n3[2,8], n4} < n5 << i once",
-            &mut voc,
-        )
-        .expect("parses");
+        let prop = parse_property("all{n1, n2} < any{n3[2,8], n4} < n5 << i once", &mut voc)
+            .expect("parses");
         let Property::Antecedent(a) = &prop else {
             panic!("expected antecedent")
         };
@@ -575,15 +575,24 @@ mod tests {
     fn direction_defaults_and_overrides() {
         let mut voc = Vocabulary::new();
         parse_property("out:ready < go => done within 5 ns", &mut voc).expect("parses");
-        assert_eq!(voc.direction(voc.lookup("ready").unwrap()), Direction::Output);
+        assert_eq!(
+            voc.direction(voc.lookup("ready").unwrap()),
+            Direction::Output
+        );
         assert_eq!(voc.direction(voc.lookup("go").unwrap()), Direction::Input);
-        assert_eq!(voc.direction(voc.lookup("done").unwrap()), Direction::Output);
+        assert_eq!(
+            voc.direction(voc.lookup("done").unwrap()),
+            Direction::Output
+        );
 
         let mut voc = Vocabulary::new();
         parse_property("a => in:ack < reply within 1 us", &mut voc).expect("parses");
         // Explicit in: override inside Q (will fail wf, but parsing honors it).
         assert_eq!(voc.direction(voc.lookup("ack").unwrap()), Direction::Input);
-        assert_eq!(voc.direction(voc.lookup("reply").unwrap()), Direction::Output);
+        assert_eq!(
+            voc.direction(voc.lookup("reply").unwrap()),
+            Direction::Output
+        );
     }
 
     #[test]
@@ -607,7 +616,11 @@ mod tests {
     fn error_missing_operator() {
         let mut voc = Vocabulary::new();
         let err = parse_property("a b", &mut voc).unwrap_err();
-        assert!(err.message.contains("expected `<<` or `=>`"), "{}", err.message);
+        assert!(
+            err.message.contains("expected `<<` or `=>`"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

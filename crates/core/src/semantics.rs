@@ -85,8 +85,7 @@ impl Nfa {
         for acc in self.accepting.iter_mut().take(offset) {
             *acc = false;
         }
-        self.accepting
-            .extend(other.accepting.iter().copied());
+        self.accepting.extend(other.accepting.iter().copied());
         self
     }
 
@@ -398,7 +397,10 @@ mod tests {
     fn any_fragment_subsets() {
         let mut voc = Vocabulary::new();
         let ns = names(&mut voc, 2);
-        let f = Fragment::new(FragmentOp::Any, vec![Range::once(ns[0]), Range::once(ns[1])]);
+        let f = Fragment::new(
+            FragmentOp::Any,
+            vec![Range::once(ns[0]), Range::once(ns[1])],
+        );
         let nfa = fragment_nfa(&f);
         assert!(nfa.accepts([&ns[0]]));
         assert!(nfa.accepts([&ns[1]]));

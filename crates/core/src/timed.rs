@@ -219,7 +219,12 @@ impl Monitor for TimedImplicationMonitor {
         self.ops += 1; // deadline compare
         if let Some(deadline) = self.hard_deadline() {
             if event.time > deadline {
-                self.miss_deadline(ViolationKind::DeadlineMiss, deadline, Some(event), event.time);
+                self.miss_deadline(
+                    ViolationKind::DeadlineMiss,
+                    deadline,
+                    Some(event),
+                    event.time,
+                );
                 return self.verdict;
             }
         }
@@ -246,7 +251,11 @@ impl Monitor for TimedImplicationMonitor {
                 self.last_consumed = Some(event.time);
             }
             OrderingStep::Complete => unreachable!("cyclic recognizers never complete"),
-            OrderingStep::Error { kind, fragment, range } => {
+            OrderingStep::Error {
+                kind,
+                fragment,
+                range,
+            } => {
                 self.verdict = Verdict::Violated;
                 self.violation = Some(Violation {
                     kind,
@@ -258,7 +267,11 @@ impl Monitor for TimedImplicationMonitor {
                         self.episodes + 1,
                         fragment + 1,
                         self.recognizer.fragments().len(),
-                        if fragment < self.premise_len { "in P" } else { "in Q" },
+                        if fragment < self.premise_len {
+                            "in P"
+                        } else {
+                            "in Q"
+                        },
                         range + 1,
                     ),
                 });
@@ -278,8 +291,15 @@ impl Monitor for TimedImplicationMonitor {
             let start = self.episode_start.expect("episode started");
             self.ops += 1; // budget compare
             if event.time.saturating_sub(start) > self.property.bound {
-                let deadline = start.checked_add(self.property.bound).unwrap_or(SimTime::MAX);
-                self.miss_deadline(ViolationKind::DeadlineMiss, deadline, Some(event), event.time);
+                let deadline = start
+                    .checked_add(self.property.bound)
+                    .unwrap_or(SimTime::MAX);
+                self.miss_deadline(
+                    ViolationKind::DeadlineMiss,
+                    deadline,
+                    Some(event),
+                    event.time,
+                );
                 return self.verdict;
             }
         }
@@ -309,7 +329,12 @@ impl Monitor for TimedImplicationMonitor {
         // more: a complete-but-unanswered P counts with its latest end.
         if let Some(deadline) = self.open_deadline() {
             if end_time > deadline {
-                self.miss_deadline(ViolationKind::DeadlineExpiredAtEnd, deadline, None, end_time);
+                self.miss_deadline(
+                    ViolationKind::DeadlineExpiredAtEnd,
+                    deadline,
+                    None,
+                    end_time,
+                );
             }
             // Otherwise the obligation is still open within budget:
             // Pending (inconclusive at end of observation).
@@ -414,7 +439,10 @@ mod tests {
             (at(40), e.read),
             (at(50), e.irq),
         ]);
-        assert_eq!(run_to_end(&mut e.monitor, &trace), Verdict::PresumablySatisfied);
+        assert_eq!(
+            run_to_end(&mut e.monitor, &trace),
+            Verdict::PresumablySatisfied
+        );
     }
 
     #[test]
@@ -444,7 +472,10 @@ mod tests {
             (at(100), e.read),
             (at(105), e.irq),
         ]);
-        assert_eq!(run_to_end(&mut e.monitor, &trace), Verdict::PresumablySatisfied);
+        assert_eq!(
+            run_to_end(&mut e.monitor, &trace),
+            Verdict::PresumablySatisfied
+        );
     }
 
     #[test]
@@ -529,7 +560,10 @@ mod tests {
             (at(1040), e.read),
             (at(1090), e.irq),
         ]);
-        assert_eq!(run_to_end(&mut e.monitor, &trace), Verdict::PresumablySatisfied);
+        assert_eq!(
+            run_to_end(&mut e.monitor, &trace),
+            Verdict::PresumablySatisfied
+        );
         assert_eq!(e.monitor.episodes(), 1); // wrap counted on 2nd start
     }
 
@@ -613,7 +647,10 @@ mod tests {
             (at(80), start), // P's end moves to 80ns → deadline 180ns
             (at(150), irq),
         ]);
-        assert_eq!(run_to_end(&mut monitor, &trace), Verdict::PresumablySatisfied);
+        assert_eq!(
+            run_to_end(&mut monitor, &trace),
+            Verdict::PresumablySatisfied
+        );
     }
 
     #[test]
@@ -680,7 +717,10 @@ mod tests {
             (at(30), read),  // earliest completion at 30ns — within budget
             (at(500), read), // extension beyond the deadline: still fine
         ]);
-        assert_eq!(run_to_end(&mut monitor, &trace), Verdict::PresumablySatisfied);
+        assert_eq!(
+            run_to_end(&mut monitor, &trace),
+            Verdict::PresumablySatisfied
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl WfError {
     pub fn display(&self, voc: &Vocabulary) -> String {
         match self {
             WfError::ZeroMin { name } => {
-                format!("range `{}` has a zero minimum; use u ≥ 1", voc.resolve(*name))
+                format!(
+                    "range `{}` has a zero minimum; use u ≥ 1",
+                    voc.resolve(*name)
+                )
             }
             WfError::EmptyInterval { name, min, max } => format!(
                 "range `{}[{min},{max}]` is empty: the minimum exceeds the maximum",
@@ -200,7 +203,14 @@ mod tests {
         let out1 = voc.output("o1");
         let out2 = voc.output("o2");
         let i = voc.input("i");
-        Fix { voc, a, b, out1, out2, i }
+        Fix {
+            voc,
+            a,
+            b,
+            out1,
+            out2,
+            i,
+        }
     }
 
     fn ordering_of(names: &[Name]) -> LooseOrdering {
@@ -244,7 +254,10 @@ mod tests {
         let f = fix();
         let p = LooseOrdering::new(vec![Fragment::singleton(Range::new(f.a, 5, 2))]);
         let errs = check_antecedent(&Antecedent::new(p, f.i, false), &f.voc);
-        assert!(matches!(errs[0], WfError::EmptyInterval { min: 5, max: 2, .. }));
+        assert!(matches!(
+            errs[0],
+            WfError::EmptyInterval { min: 5, max: 2, .. }
+        ));
     }
 
     #[test]

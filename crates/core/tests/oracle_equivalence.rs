@@ -56,7 +56,11 @@ fn build_ordering(
     let fragments = spec
         .iter()
         .map(|(any_op, ranges)| {
-            let op = if *any_op { FragmentOp::Any } else { FragmentOp::All };
+            let op = if *any_op {
+                FragmentOp::Any
+            } else {
+                FragmentOp::All
+            };
             let ranges = ranges
                 .iter()
                 .map(|&(u, extra)| {
@@ -85,7 +89,11 @@ fn build_timed(spec: &PatternSpec, other: &PatternSpec, voc: &mut Vocabulary) ->
             .fragments
             .iter()
             .map(|(any_op, ranges)| {
-                let op = if *any_op { FragmentOp::Any } else { FragmentOp::All };
+                let op = if *any_op {
+                    FragmentOp::Any
+                } else {
+                    FragmentOp::All
+                };
                 let ranges = ranges
                     .iter()
                     .map(|&(u, extra)| {
@@ -106,12 +114,12 @@ fn build_timed(spec: &PatternSpec, other: &PatternSpec, voc: &mut Vocabulary) ->
 /// All names of the vocabulary, for uniform random traces (they include the
 /// pattern's alphabet plus a couple of noise names).
 fn trace_from_indices(indices: &[usize], universe: &[Name]) -> Trace {
-    Trace::from_pairs(
-        indices
-            .iter()
-            .enumerate()
-            .map(|(k, &ix)| (SimTime::from_ns(k as u64 + 1), universe[ix % universe.len()])),
-    )
+    Trace::from_pairs(indices.iter().enumerate().map(|(k, &ix)| {
+        (
+            SimTime::from_ns(k as u64 + 1),
+            universe[ix % universe.len()],
+        )
+    }))
 }
 
 /// Check monitor-vs-oracle agreement on every prefix of `trace`.
@@ -141,10 +149,14 @@ fn check_agreement(property: &Property, voc: &Vocabulary, trace: &Trace) {
     }
 
     assert_eq!(
-        monitor_rejection, oracle_rejection,
+        monitor_rejection,
+        oracle_rejection,
         "monitor and oracle disagree\n  property: {}\n  trace: {:?}",
         property.display(voc),
-        trace.names().map(|n| voc.resolve(n).to_owned()).collect::<Vec<_>>(),
+        trace
+            .names()
+            .map(|n| voc.resolve(n).to_owned())
+            .collect::<Vec<_>>(),
     );
 
     // For one-shot antecedents, `Satisfied` must coincide with full

@@ -35,12 +35,7 @@ impl Coverage {
         };
         let shape: Vec<(FragmentOp, Vec<(u32, u32)>)> = fragments
             .iter()
-            .map(|f| {
-                (
-                    f.op,
-                    f.ranges.iter().map(|r| (r.min, r.max)).collect(),
-                )
-            })
+            .map(|f| (f.op, f.ranges.iter().map(|r| (r.min, r.max)).collect()))
             .collect();
         Coverage {
             counts: shape
@@ -207,8 +202,7 @@ mod tests {
     #[test]
     fn directed_generation_reaches_full_coverage() {
         let p = property("any{a, b} < all{c, d} << i repeated");
-        let (traces, coverage) =
-            generate_until_covered(&p, &GeneratorConfig::new(7), 1.0, 200);
+        let (traces, coverage) = generate_until_covered(&p, &GeneratorConfig::new(7), 1.0, 200);
         assert!(
             coverage.overall() >= 1.0 - 1e-9,
             "coverage stalled at {} after {} traces",
@@ -230,8 +224,7 @@ mod tests {
     #[test]
     fn timed_patterns_cover_both_sides() {
         let p = property("start => read[2,3] < irq within 1 ms");
-        let (_, coverage) =
-            generate_until_covered(&p, &GeneratorConfig::new(3), 1.0, 100);
+        let (_, coverage) = generate_until_covered(&p, &GeneratorConfig::new(3), 1.0, 100);
         assert!((coverage.boundary_coverage() - 1.0).abs() < 1e-9);
     }
 }

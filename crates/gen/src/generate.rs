@@ -73,7 +73,11 @@ pub fn generate(property: &Property, config: &GeneratorConfig) -> GeneratedTrace
 
     match property {
         Property::Antecedent(a) => {
-            let rounds = if a.repeated { config.episodes.max(1) } else { 1 };
+            let rounds = if a.repeated {
+                config.episodes.max(1)
+            } else {
+                1
+            };
             for _ in 0..rounds {
                 let mut episode = Vec::new();
                 emit_ordering(
@@ -295,8 +299,7 @@ mod tests {
         // One episode, one fragment, both ranges once each.
         assert_eq!(generated.choices.len(), 1);
         assert_eq!(generated.choices[0].len(), 1);
-        let mut indices: Vec<usize> =
-            generated.choices[0][0].iter().map(|&(ix, _)| ix).collect();
+        let mut indices: Vec<usize> = generated.choices[0][0].iter().map(|&(ix, _)| ix).collect();
         indices.sort_unstable();
         assert_eq!(indices, vec![0, 1]);
         assert!(generated.choices[0][0].iter().all(|&(_, count)| count == 1));

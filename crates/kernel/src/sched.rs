@@ -319,8 +319,7 @@ impl Simulator {
             }
             Action::Notify(event) => {
                 self.kernel.stats.notifications += 1;
-                let waiters =
-                    std::mem::take(&mut self.kernel.events[event.index()].waiters);
+                let waiters = std::mem::take(&mut self.kernel.events[event.index()].waiters);
                 for pid in waiters {
                     self.kernel.stats.resumes += 1;
                     self.processes[pid.index()].resume(pid, &mut self.kernel);
@@ -463,10 +462,7 @@ mod tests {
         sim.kernel().resume_in(pid, SimTime::ZERO);
         sim.kernel().notify(event, SimTime::from_ns(42));
         sim.run(10);
-        let waiter = sim
-            .process(pid)
-            .downcast_ref::<Waiter>()
-            .expect("downcast");
+        let waiter = sim.process(pid).downcast_ref::<Waiter>().expect("downcast");
         assert_eq!(waiter.woken_at, Some(SimTime::from_ns(42)));
     }
 

@@ -235,9 +235,7 @@ impl Psl {
             Psl::Not(p) | Psl::Next(p) | Psl::Always(p) | Psl::Eventually(p) => {
                 1 + p.expanded_node_count()
             }
-            Psl::And(ps) | Psl::Or(ps) => {
-                1 + ps.iter().map(Psl::expanded_node_count).sum::<u64>()
-            }
+            Psl::And(ps) | Psl::Or(ps) => 1 + ps.iter().map(Psl::expanded_node_count).sum::<u64>(),
             Psl::Implies(p, q) | Psl::Until(p, q) | Psl::WeakUntil(p, q) => {
                 1 + p.expanded_node_count() + q.expanded_node_count()
             }
@@ -290,10 +288,18 @@ mod tests {
         assert!(TokenTest::Exact { name: n, run: 3 }.matches(tok(n, 3)));
         assert!(!TokenTest::Exact { name: n, run: 3 }.matches(tok(n, 2)));
         assert!(!TokenTest::Exact { name: n, run: 3 }.matches(tok(i, 3)));
-        let in_range = TokenTest::InRange { name: n, lo: 2, hi: 8 };
+        let in_range = TokenTest::InRange {
+            name: n,
+            lo: 2,
+            hi: 8,
+        };
         assert!(in_range.matches(tok(n, 2)) && in_range.matches(tok(n, 8)));
         assert!(!in_range.matches(tok(n, 1)) && !in_range.matches(tok(n, 9)));
-        let outside = TokenTest::OutsideRange { name: n, lo: 2, hi: 8 };
+        let outside = TokenTest::OutsideRange {
+            name: n,
+            lo: 2,
+            hi: 8,
+        };
         assert!(outside.matches(tok(n, 1)) && outside.matches(tok(n, 9)));
         assert!(!outside.matches(tok(n, 5)));
         assert!(!outside.matches(tok(i, 1)));
@@ -302,13 +308,26 @@ mod tests {
     #[test]
     fn expanded_width() {
         let (_v, n, _i) = voc();
-        assert_eq!(TokenTest::Exact { name: n, run: 1 }.expanded_width(), Some(1));
         assert_eq!(
-            TokenTest::InRange { name: n, lo: 100, hi: 60_000 }.expanded_width(),
+            TokenTest::Exact { name: n, run: 1 }.expanded_width(),
+            Some(1)
+        );
+        assert_eq!(
+            TokenTest::InRange {
+                name: n,
+                lo: 100,
+                hi: 60_000
+            }
+            .expanded_width(),
             Some(59_901)
         );
         assert_eq!(
-            TokenTest::OutsideRange { name: n, lo: 1, hi: 2 }.expanded_width(),
+            TokenTest::OutsideRange {
+                name: n,
+                lo: 1,
+                hi: 2
+            }
+            .expanded_width(),
             None
         );
     }
@@ -347,7 +366,11 @@ mod tests {
     #[test]
     fn expanded_count_blows_up_with_ranges() {
         let (_v, n, _i) = voc();
-        let sym = Psl::Atom(TokenTest::InRange { name: n, lo: 100, hi: 60_000 });
+        let sym = Psl::Atom(TokenTest::InRange {
+            name: n,
+            lo: 100,
+            hi: 60_000,
+        });
         assert_eq!(sym.node_count(), 1);
         assert_eq!(sym.expanded_node_count(), 2 * 59_901 - 1);
     }

@@ -146,7 +146,11 @@ pub fn viapsl_cost(property: &Property) -> Result<ViaPslCost, TranslateError> {
         .flat_map(|f| f.ranges.iter())
         .filter(|r| !r.is_trivial())
         .count() as u64;
-    if shape.trigger_range.as_ref().is_some_and(|r| !r.is_trivial()) {
+    if shape
+        .trigger_range
+        .as_ref()
+        .is_some_and(|r| !r.is_trivial())
+    {
         nontrivial += 1;
     }
     push(Family::BadToken, nontrivial, nontrivial * (3 + scope_w));
@@ -348,8 +352,7 @@ mod tests {
     #[test]
     fn timed_rows_cover_trigger_range() {
         // Fig. 6 row 6: the huge range sits in Q.
-        let cost =
-            viapsl_cost(&parse("n1 => n2[100,60000] < n3 < n4 within 1 ms")).unwrap();
+        let cost = viapsl_cost(&parse("n1 => n2[100,60000] < n3 < n4 within 1 ms")).unwrap();
         let w = 59_901u64;
         assert!(cost.conjuncts > w * (w - 1));
         assert!(cost.theta_units >= w * w);

@@ -80,9 +80,7 @@ fn eval_at(formula: &Psl, tokens: &[LexedToken], pos: usize) -> Truth {
         Psl::Or(ps) => ps
             .iter()
             .fold(Truth::False, |acc, p| acc.or(eval_at(p, tokens, pos))),
-        Psl::Implies(p, q) => eval_at(p, tokens, pos)
-            .not()
-            .or(eval_at(q, tokens, pos)),
+        Psl::Implies(p, q) => eval_at(p, tokens, pos).not().or(eval_at(q, tokens, pos)),
         Psl::Next(p) => {
             if pos >= tokens.len() {
                 Truth::Unknown
@@ -262,10 +260,7 @@ mod tests {
         let w = Psl::weak_until(atom(f.n), atom(f.i));
         assert_eq!(eval(&w, &[tok(f.n, 1), tok(f.n, 1)]), Truth::Unknown);
         assert_eq!(eval(&w, &[tok(f.i, 1)]), Truth::True);
-        assert_eq!(
-            eval(&w, &[tok(f.n, 1), tok(f.i, 1)]),
-            Truth::True
-        );
+        assert_eq!(eval(&w, &[tok(f.n, 1), tok(f.i, 1)]), Truth::True);
         // A non-n, non-i token breaks it definitively.
         let mut voc = Vocabulary::new();
         voc.input("n");
@@ -299,7 +294,11 @@ mod tests {
     #[test]
     fn range_tokens_in_atoms() {
         let f = fix();
-        let in_range = Psl::Atom(TokenTest::InRange { name: f.n, lo: 2, hi: 8 });
+        let in_range = Psl::Atom(TokenTest::InRange {
+            name: f.n,
+            lo: 2,
+            hi: 8,
+        });
         assert_eq!(eval(&in_range, &[tok(f.n, 5)]), Truth::True);
         assert_eq!(eval(&in_range, &[tok(f.n, 1)]), Truth::False);
         let bad = Psl::always(Psl::not(Psl::Atom(TokenTest::OutsideRange {

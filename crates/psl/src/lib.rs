@@ -34,4 +34,4 @@ pub use ast::{Psl, TokenTest};
 pub use complexity::{viapsl_cost, ViaPslCost};
 pub use eval::{eval, Truth};
 pub use monitor::PslMonitor;
-pub use translate::{translate, Observer, Translation, TranslateError, TranslateOptions};
+pub use translate::{translate, Observer, TranslateError, TranslateOptions, Translation};

@@ -19,7 +19,9 @@ use lomon_core::ast::Property;
 use lomon_core::verdict::{Monitor, Verdict, Violation, ViolationKind};
 use lomon_trace::{LexedToken, NameSet, RunLengthLexer, SimTime, TimedEvent};
 
-use crate::translate::{translate, Family, Observer, Translation, TranslateError, TranslateOptions};
+use crate::translate::{
+    translate, Family, Observer, TranslateError, TranslateOptions, Translation,
+};
 
 /// A modular PSL monitor for a loose-ordering property (ViaPSL strategy).
 ///
@@ -110,7 +112,15 @@ impl PslMonitor {
         };
         let active = observers
             .iter()
-            .map(|o| matches!(o, Observer::Triggered { init_active: true, .. }))
+            .map(|o| {
+                matches!(
+                    o,
+                    Observer::Triggered {
+                        init_active: true,
+                        ..
+                    }
+                )
+            })
             .collect();
         let weights = observers.iter().map(Observer::weight).collect();
         let bounds = collapsible.iter().map(|r| (r.name, r.max)).collect();
@@ -304,7 +314,13 @@ impl Monitor for PslMonitor {
 
     fn reset(&mut self) {
         for (idx, o) in self.observers.iter().enumerate() {
-            self.active[idx] = matches!(o, Observer::Triggered { init_active: true, .. });
+            self.active[idx] = matches!(
+                o,
+                Observer::Triggered {
+                    init_active: true,
+                    ..
+                }
+            );
         }
         self.done = false;
         self.verdict = Verdict::PresumablySatisfied;
@@ -443,7 +459,10 @@ mod tests {
         );
         // b before a: the Precede obligation fires.
         let mut m = monitor.clone();
-        assert_eq!(run_to_end(&mut m, &Trace::from_names([b])), Verdict::Violated);
+        assert_eq!(
+            run_to_end(&mut m, &Trace::from_names([b])),
+            Verdict::Violated
+        );
         // a after b (same episode): Order fires.
         let mut m = monitor.clone();
         assert_eq!(
@@ -465,7 +484,10 @@ mod tests {
             );
         }
         let mut m = monitor.clone();
-        assert_eq!(run_to_end(&mut m, &Trace::from_names([i])), Verdict::Violated);
+        assert_eq!(
+            run_to_end(&mut m, &Trace::from_names([i])),
+            Verdict::Violated
+        );
     }
 
     #[test]
@@ -506,7 +528,10 @@ mod tests {
         let (a, i) = (n(&voc, "a"), n(&voc, "i"));
         let noise = voc.input("noise");
         assert_eq!(
-            run_to_end(&mut monitor, &Trace::from_names([noise, a, noise, i, noise])),
+            run_to_end(
+                &mut monitor,
+                &Trace::from_names([noise, a, noise, i, noise])
+            ),
             Verdict::Satisfied
         );
     }

@@ -373,13 +373,8 @@ fn conjunct_formula(observer: &Observer) -> Psl {
                 None => Psl::always(inner),
             };
             match family {
-                Family::MaxOne => wrap(Psl::implies(
-                    triggers.formula(),
-                    Psl::next(body()),
-                )),
-                Family::Range | Family::Order => {
-                    wrap(Psl::implies(triggers.formula(), body()))
-                }
+                Family::MaxOne => wrap(Psl::implies(triggers.formula(), Psl::next(body()))),
+                Family::Range | Family::Order => wrap(Psl::implies(triggers.formula(), body())),
                 Family::Precede | Family::BeforeI => {
                     debug_assert!(*init_active);
                     if triggers.0.is_empty() {
@@ -646,7 +641,10 @@ mod tests {
         // One-shot: no re-arm triggers on the obligations.
         assert!(!t.repeated);
         for o in &t.observers {
-            if let Observer::Triggered { triggers, family, .. } = o {
+            if let Observer::Triggered {
+                triggers, family, ..
+            } = o
+            {
                 if matches!(family, Family::Precede | Family::BeforeI) {
                     assert!(triggers.0.is_empty());
                 }

@@ -51,7 +51,11 @@ fn build_ordering(
     LooseOrdering::new(
         spec.iter()
             .map(|(any_op, ranges)| {
-                let op = if *any_op { FragmentOp::Any } else { FragmentOp::All };
+                let op = if *any_op {
+                    FragmentOp::Any
+                } else {
+                    FragmentOp::All
+                };
                 let ranges = ranges
                     .iter()
                     .map(|&(u, extra)| {
@@ -88,8 +92,7 @@ fn check_all(property: &Property, voc: &Vocabulary, trace: &Trace) {
     let drct_ok = drct.verdict() != Verdict::Violated;
 
     // 3. ViaPSL observer monitor.
-    let translation =
-        translate(property, TranslateOptions::default()).expect("supported, small");
+    let translation = translate(property, TranslateOptions::default()).expect("supported, small");
     let mut viapsl = PslMonitor::from_translation(translation.clone());
     for &e in trace.iter() {
         viapsl.observe(e);
@@ -174,12 +177,12 @@ fn check_all(property: &Property, voc: &Vocabulary, trace: &Trace) {
 }
 
 fn universe_trace(indices: &[usize], universe: &[Name]) -> Trace {
-    Trace::from_pairs(
-        indices
-            .iter()
-            .enumerate()
-            .map(|(k, &ix)| (SimTime::from_ns(k as u64 + 1), universe[ix % universe.len()])),
-    )
+    Trace::from_pairs(indices.iter().enumerate().map(|(k, &ix)| {
+        (
+            SimTime::from_ns(k as u64 + 1),
+            universe[ix % universe.len()],
+        )
+    }))
 }
 
 proptest! {

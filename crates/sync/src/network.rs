@@ -147,18 +147,24 @@ impl NetworkBuilder {
     /// A boolean register (`init -> pre x`); drive it later with
     /// [`NetworkBuilder::drive_register`].
     pub fn register_bool(&mut self, name: &str, init: bool) -> Signal {
-        self.push(name, Op::Register {
-            init: Value::Bool(init),
-            drive: None,
-        })
+        self.push(
+            name,
+            Op::Register {
+                init: Value::Bool(init),
+                drive: None,
+            },
+        )
     }
 
     /// An integer register.
     pub fn register_int(&mut self, name: &str, init: i64) -> Signal {
-        self.push(name, Op::Register {
-            init: Value::Int(init),
-            drive: None,
-        })
+        self.push(
+            name,
+            Op::Register {
+                init: Value::Int(init),
+                drive: None,
+            },
+        )
     }
 
     /// Connect a register's next-value input.
@@ -301,16 +307,10 @@ impl Network {
                 Op::InputBool | Op::Register { .. } | Op::ConstBool(_) | Op::ConstInt(_) => {
                     continue
                 }
-                Op::And(parts) => {
-                    Value::Bool(parts.iter().all(|s| self.values[s.0].as_bool()))
-                }
-                Op::Or(parts) => {
-                    Value::Bool(parts.iter().any(|s| self.values[s.0].as_bool()))
-                }
+                Op::And(parts) => Value::Bool(parts.iter().all(|s| self.values[s.0].as_bool())),
+                Op::Or(parts) => Value::Bool(parts.iter().any(|s| self.values[s.0].as_bool())),
                 Op::Not(a) => Value::Bool(!self.values[a.0].as_bool()),
-                Op::Add(a, b) => {
-                    Value::Int(self.values[a.0].as_int() + self.values[b.0].as_int())
-                }
+                Op::Add(a, b) => Value::Int(self.values[a.0].as_int() + self.values[b.0].as_int()),
                 Op::MuxInt(sel, a, b) => {
                     if self.values[sel.0].as_bool() {
                         self.values[a.0]
@@ -318,9 +318,7 @@ impl Network {
                         self.values[b.0]
                     }
                 }
-                Op::Ge(a, b) => {
-                    Value::Bool(self.values[a.0].as_int() >= self.values[b.0].as_int())
-                }
+                Op::Ge(a, b) => Value::Bool(self.values[a.0].as_int() >= self.values[b.0].as_int()),
                 Op::EqInt(a, b) => {
                     Value::Bool(self.values[a.0].as_int() == self.values[b.0].as_int())
                 }

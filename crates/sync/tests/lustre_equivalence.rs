@@ -25,7 +25,11 @@ fn imperative(u: u32, v: u32, is_or: bool) -> (RangeRecognizer, [Name; 5]) {
         concurrent: [conc].into_iter().collect(),
         accept: [acc].into_iter().collect(),
         after: [aft].into_iter().collect(),
-        semantics: if is_or { FragmentOp::Any } else { FragmentOp::All },
+        semantics: if is_or {
+            FragmentOp::Any
+        } else {
+            FragmentOp::All
+        },
     };
     (
         RangeRecognizer::new(Range::new(own, u, v), ctx),

@@ -101,21 +101,18 @@ impl Firmware {
                         return Err(format!("instruction {pc}: register r{reg} out of range"));
                     }
                 }
-                Instr::Read { reg, .. }
-                    if *reg >= register_count => {
-                        return Err(format!("instruction {pc}: register r{reg} out of range"));
-                    }
+                Instr::Read { reg, .. } if *reg >= register_count => {
+                    return Err(format!("instruction {pc}: register r{reg} out of range"));
+                }
                 Instr::Write {
                     value: Operand::Reg(reg),
                     ..
+                } if *reg >= register_count => {
+                    return Err(format!("instruction {pc}: register r{reg} out of range"));
                 }
-                    if *reg >= register_count => {
-                        return Err(format!("instruction {pc}: register r{reg} out of range"));
-                    }
-                Instr::Delay { lo, hi }
-                    if lo > hi => {
-                        return Err(format!("instruction {pc}: empty delay interval"));
-                    }
+                Instr::Delay { lo, hi } if lo > hi => {
+                    return Err(format!("instruction {pc}: empty delay interval"));
+                }
                 _ => {}
             }
         }

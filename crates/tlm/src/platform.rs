@@ -776,10 +776,7 @@ impl PlatformHandle {
                         p.cpu.pc = pc + 1;
                         let mut payload = GenericPayload::write(addr, data);
                         let effect = p.b_transport(&mut payload, kernel);
-                        debug_assert!(
-                            payload.is_ok(),
-                            "firmware write failed: {payload:?}"
-                        );
+                        debug_assert!(payload.is_ok(), "firmware write failed: {payload:?}");
                         drop(p);
                         self.apply_effect(effect, kernel);
                         CpuAction::Continue
@@ -845,7 +842,13 @@ mod tests {
     fn memory_read_write_roundtrip() {
         let (hub, names) = minimal_hub();
         let fw = Firmware::new("halt", vec![Instr::Halt]);
-        let platform = Platform::build(hub, names, &fw, TimingConfig::default(), FaultPlan::default());
+        let platform = Platform::build(
+            hub,
+            names,
+            &fw,
+            TimingConfig::default(),
+            FaultPlan::default(),
+        );
         let mut sim = Simulator::new(1);
         let mut w = GenericPayload::write(0x80, 0xdead);
         platform.transport(&mut w, sim.kernel());
@@ -859,7 +862,13 @@ mod tests {
     fn unmapped_address_errors() {
         let (hub, names) = minimal_hub();
         let fw = Firmware::new("halt", vec![Instr::Halt]);
-        let platform = Platform::build(hub, names, &fw, TimingConfig::default(), FaultPlan::default());
+        let platform = Platform::build(
+            hub,
+            names,
+            &fw,
+            TimingConfig::default(),
+            FaultPlan::default(),
+        );
         let mut sim = Simulator::new(1);
         let mut t = GenericPayload::read(0x9999_9999);
         platform.transport(&mut t, sim.kernel());
@@ -870,8 +879,13 @@ mod tests {
     fn ipu_register_writes_publish_events() {
         let (hub, names) = minimal_hub();
         let fw = Firmware::new("halt", vec![Instr::Halt]);
-        let platform =
-            Platform::build(hub.clone(), names, &fw, TimingConfig::default(), FaultPlan::default());
+        let platform = Platform::build(
+            hub.clone(),
+            names,
+            &fw,
+            TimingConfig::default(),
+            FaultPlan::default(),
+        );
         let mut sim = Simulator::new(1);
         for (offset, _label) in [
             (ipu_reg::IMG_ADDR, "set_imgAddr"),
@@ -895,8 +909,13 @@ mod tests {
     fn recognition_runs_to_interrupt() {
         let (hub, names) = minimal_hub();
         let fw = Firmware::new("halt", vec![Instr::Halt]);
-        let platform =
-            Platform::build(hub.clone(), names, &fw, TimingConfig::default(), FaultPlan::default());
+        let platform = Platform::build(
+            hub.clone(),
+            names,
+            &fw,
+            TimingConfig::default(),
+            FaultPlan::default(),
+        );
         let mut sim = Simulator::new(3);
         // Configure: gallery of 4 at GL_BUF, image at IMG_BUF.
         for (offset, value) in [
@@ -959,8 +978,13 @@ mod tests {
                 Instr::Halt,
             ],
         );
-        let platform =
-            Platform::build(hub.clone(), names, &fw, TimingConfig::default(), FaultPlan::default());
+        let platform = Platform::build(
+            hub.clone(),
+            names,
+            &fw,
+            TimingConfig::default(),
+            FaultPlan::default(),
+        );
         let mut sim = Simulator::new(5);
         platform.boot(sim.kernel(), 3);
         platform.press_button_in(sim.kernel(), SimTime::from_us(10));
@@ -999,8 +1023,13 @@ mod tests {
                 Instr::Halt,
             ],
         );
-        let platform =
-            Platform::build(hub, names, &fw, TimingConfig::default(), FaultPlan::default());
+        let platform = Platform::build(
+            hub,
+            names,
+            &fw,
+            TimingConfig::default(),
+            FaultPlan::default(),
+        );
         let mut sim = Simulator::new(1);
         platform.boot(sim.kernel(), 1);
         sim.run_until(SimTime::from_us(10));
@@ -1029,8 +1058,13 @@ mod tests {
                 Instr::Halt,
             ],
         );
-        let platform =
-            Platform::build(hub.clone(), names, &fw, TimingConfig::default(), FaultPlan::default());
+        let platform = Platform::build(
+            hub.clone(),
+            names,
+            &fw,
+            TimingConfig::default(),
+            FaultPlan::default(),
+        );
         let mut sim = Simulator::new(1);
         platform.boot(sim.kernel(), 1);
         sim.run_until(SimTime::from_us(1));

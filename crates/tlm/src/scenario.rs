@@ -21,9 +21,7 @@ use lomon_trace::{SimTime, Trace, Vocabulary};
 
 use crate::firmware::{Firmware, Instr, Operand};
 use crate::observe::ObservationHub;
-use crate::platform::{
-    ipu_reg, irq, map, EventNames, FaultPlan, Platform, TimingConfig,
-};
+use crate::platform::{ipu_reg, irq, map, EventNames, FaultPlan, Platform, TimingConfig};
 
 /// Scenario parameters.
 #[derive(Debug, Clone, Copy)]
@@ -233,11 +231,11 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     // Attach the two case-study monitors.
     let mut monitors = Vec::new();
     if config.monitors {
-    for (label, text) in properties(config) {
-        let property = parse_property(&text, &mut voc).expect("scenario property parses");
-        let monitor = build_monitor(property, &voc).expect("scenario property is well-formed");
-        monitors.push((label, monitor));
-    }
+        for (label, text) in properties(config) {
+            let property = parse_property(&text, &mut voc).expect("scenario property parses");
+            let monitor = build_monitor(property, &voc).expect("scenario property is well-formed");
+            monitors.push((label, monitor));
+        }
     }
     let hub = ObservationHub::new(voc);
     for (label, monitor) in monitors {
@@ -245,13 +243,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     }
 
     let firmware = case_study_firmware(config);
-    let platform = Platform::build(
-        hub.clone(),
-        names,
-        &firmware,
-        config.timing,
-        config.fault,
-    );
+    let platform = Platform::build(hub.clone(), names, &firmware, config.timing, config.fault);
 
     let mut sim = Simulator::new(config.seed);
     platform.boot(sim.kernel(), config.gallery_size);

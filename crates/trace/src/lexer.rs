@@ -198,7 +198,8 @@ mod tests {
         let (_voc, n, _m, i) = setup();
         let trace = Trace::from_names([n, n, n, i, n, i]);
         let tokens = RunLengthLexer::lex_trace([n].into_iter().collect(), &trace);
-        let summary: Vec<(Name, u32)> = tokens.iter().map(|t| (t.token.name, t.token.run)).collect();
+        let summary: Vec<(Name, u32)> =
+            tokens.iter().map(|t| (t.token.name, t.token.run)).collect();
         assert_eq!(summary, vec![(n, 3), (i, 1), (n, 1), (i, 1)]);
     }
 
@@ -221,7 +222,8 @@ mod tests {
         let (_voc, n, m, _i) = setup();
         let trace = Trace::from_names([m, m, n, n]);
         let tokens = RunLengthLexer::lex_trace([n].into_iter().collect(), &trace);
-        let summary: Vec<(Name, u32)> = tokens.iter().map(|t| (t.token.name, t.token.run)).collect();
+        let summary: Vec<(Name, u32)> =
+            tokens.iter().map(|t| (t.token.name, t.token.run)).collect();
         // m is not collapsible: each occurrence is its own run of length 1.
         assert_eq!(summary, vec![(m, 1), (m, 1), (n, 2)]);
     }
@@ -230,7 +232,9 @@ mod tests {
     fn finish_flushes_pending_run() {
         let (_voc, n, _m, _i) = setup();
         let mut lexer = RunLengthLexer::new([n].into_iter().collect());
-        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(1))).is_empty());
+        assert!(lexer
+            .push(TimedEvent::new(n, SimTime::from_ns(1)))
+            .is_empty());
         let flushed = lexer.finish().expect("pending run");
         assert_eq!(flushed.token, LexedToken { name: n, run: 1 });
         assert_eq!(lexer.finish(), None);
@@ -258,8 +262,12 @@ mod tests {
     fn bounded_runs_emit_eagerly_on_overflow() {
         let (_voc, n, _m, i) = setup();
         let mut lexer = RunLengthLexer::new([n].into_iter().collect()).with_bound(n, 2);
-        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(1))).is_empty());
-        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(2))).is_empty());
+        assert!(lexer
+            .push(TimedEvent::new(n, SimTime::from_ns(1)))
+            .is_empty());
+        assert!(lexer
+            .push(TimedEvent::new(n, SimTime::from_ns(2)))
+            .is_empty());
         // Third n exceeds the bound: the over-long token comes out now.
         let out = lexer.push(TimedEvent::new(n, SimTime::from_ns(3)));
         assert_eq!(out.len(), 1);
@@ -270,8 +278,13 @@ mod tests {
         let out = lexer.push(TimedEvent::new(i, SimTime::from_ns(4)));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].token.name, i);
-        assert!(lexer.push(TimedEvent::new(n, SimTime::from_ns(5))).is_empty());
-        assert_eq!(lexer.finish().unwrap().token, LexedToken { name: n, run: 1 });
+        assert!(lexer
+            .push(TimedEvent::new(n, SimTime::from_ns(5)))
+            .is_empty());
+        assert_eq!(
+            lexer.finish().unwrap().token,
+            LexedToken { name: n, run: 1 }
+        );
     }
 
     #[test]

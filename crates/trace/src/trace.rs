@@ -79,7 +79,10 @@ impl Trace {
             );
         }
         if let Some(end) = self.end_time {
-            assert!(time >= end, "event at {time} before recorded end time {end}");
+            assert!(
+                time >= end,
+                "event at {time} before recorded end time {end}"
+            );
             self.end_time = Some(time);
         }
         self.events.push(TimedEvent::new(name, time));

@@ -148,8 +148,7 @@ mod tests {
         let mut voc = Vocabulary::new();
         let a = voc.input("a");
         let b = voc.input("b");
-        let mut trace =
-            Trace::from_pairs([(SimTime::from_ns(3), a), (SimTime::from_ns(3), b)]);
+        let mut trace = Trace::from_pairs([(SimTime::from_ns(3), a), (SimTime::from_ns(3), b)]);
         trace.set_end_time(SimTime::from_ns(10));
         let vcd = write_vcd(&trace, &voc);
         let stamps: Vec<&str> = vcd.lines().filter(|l| l.starts_with('#')).collect();

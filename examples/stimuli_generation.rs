@@ -15,18 +15,29 @@ use lomon::trace::Vocabulary;
 fn main() {
     let mut voc = Vocabulary::new();
     // The Fig. 4 property of the paper.
-    let property =
-        parse_property("all{n1, n2} < any{n3[2,8], n4} < n5 << i repeated", &mut voc).unwrap();
+    let property = parse_property(
+        "all{n1, n2} < any{n3[2,8], n4} < n5 << i repeated",
+        &mut voc,
+    )
+    .unwrap();
     println!("pattern: {}", property.display(&voc));
     println!();
 
     // Coverage-directed generation (Fig. 1's "coverage improver").
-    let (traces, coverage) =
-        generate_until_covered(&property, &GeneratorConfig::new(1), 1.0, 500);
+    let (traces, coverage) = generate_until_covered(&property, &GeneratorConfig::new(1), 1.0, 500);
     println!("generated {} satisfying traces; coverage:", traces.len());
-    println!("  range boundaries : {:>5.1}%", coverage.boundary_coverage() * 100.0);
-    println!("  ∨-subsets        : {:>5.1}%", coverage.subset_coverage() * 100.0);
-    println!("  fragment orders  : {:>5.1}%", coverage.order_coverage() * 100.0);
+    println!(
+        "  range boundaries : {:>5.1}%",
+        coverage.boundary_coverage() * 100.0
+    );
+    println!(
+        "  ∨-subsets        : {:>5.1}%",
+        coverage.subset_coverage() * 100.0
+    );
+    println!(
+        "  fragment orders  : {:>5.1}%",
+        coverage.order_coverage() * 100.0
+    );
     println!();
 
     // Every generated trace must be accepted by the monitor.

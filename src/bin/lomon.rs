@@ -26,20 +26,30 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") if args.len() >= 3 => check(&args[1], &args[2..]),
         Some("vcd") if args.len() == 2 => vcd(&args[1]),
-        Some("gen") if args.len() >= 2 => gen(&args[1], &args[2..]),
-        Some("demo") => demo(),
-        _ => {
-            eprintln!("usage:");
-            eprintln!("  lomon check <trace-file> <property>...");
-            eprintln!("  lomon vcd   <trace-file>");
-            eprintln!("  lomon gen   <property> [seed [episodes]]");
-            eprintln!("  lomon demo");
-            eprintln!();
-            eprintln!("property example:");
-            eprintln!("  'all{{set_imgAddr, set_glAddr, set_glSize}} << start once'");
-            ExitCode::from(2)
+        Some("gen") if args.len() >= 2 && args.len() <= 4 => gen(&args[1], &args[2..]),
+        Some("demo") if args.len() == 1 => demo(),
+        Some(command @ ("check" | "vcd" | "gen" | "demo")) => {
+            eprintln!("error: wrong arguments for `lomon {command}`");
+            usage()
         }
+        Some(unknown) => {
+            eprintln!("error: unknown command `{unknown}`");
+            usage()
+        }
+        None => usage(),
     }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  lomon check <trace-file> <property>...");
+    eprintln!("  lomon vcd   <trace-file>");
+    eprintln!("  lomon gen   <property> [seed [episodes]]");
+    eprintln!("  lomon demo");
+    eprintln!();
+    eprintln!("property example:");
+    eprintln!("  'all{{set_imgAddr, set_glAddr, set_glSize}} << start once'");
+    ExitCode::from(2)
 }
 
 fn load(path: &str, voc: &mut Vocabulary) -> Result<lomon::trace::Trace, String> {
@@ -56,7 +66,11 @@ fn check(path: &str, properties: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("{path}: {} events, end at {}", trace.len(), trace.end_time());
+    println!(
+        "{path}: {} events, end at {}",
+        trace.len(),
+        trace.end_time()
+    );
     let mut failures = 0;
     for text in properties {
         let property = match parse_property(text, &mut voc) {
@@ -104,8 +118,26 @@ fn vcd(path: &str) -> ExitCode {
 }
 
 fn gen(text: &str, rest: &[String]) -> ExitCode {
-    let seed = rest.first().and_then(|s| s.parse().ok()).unwrap_or(1u64);
-    let episodes = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(3u32);
+    let seed = match rest.first() {
+        None => 1u64,
+        Some(raw) => match raw.parse() {
+            Ok(seed) => seed,
+            Err(_) => {
+                eprintln!("error: seed `{raw}` is not an unsigned integer");
+                return usage();
+            }
+        },
+    };
+    let episodes = match rest.get(1) {
+        None => 3u32,
+        Some(raw) => match raw.parse() {
+            Ok(episodes) => episodes,
+            Err(_) => {
+                eprintln!("error: episode count `{raw}` is not an unsigned integer");
+                return usage();
+            }
+        },
+    };
     let mut voc = Vocabulary::new();
     let property = match parse_property(text, &mut voc) {
         Ok(p) => p,

@@ -1,7 +1,55 @@
 //! # lomon — loose-ordering monitors for SystemC/TLM-style models
 //!
-//! Umbrella crate re-exporting the whole workspace. See the README for the
-//! architecture overview and `DESIGN.md` for the paper-to-code map.
+//! Umbrella crate re-exporting the whole workspace: a reproduction of
+//! *Efficient Monitoring of Loose-Ordering Properties for SystemC/TLM*
+//! (Romenska & Maraninchi, DATE 2016). See the README for the architecture
+//! overview and paper-to-code map.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Paper |
+//! |---|---|---|
+//! | [`trace`] | `lomon-trace` | §2 interfaces, names, simulated time |
+//! | [`core`] | `lomon-core` | §3–§5 patterns, Fig. 5 recognizers, Drct monitors |
+//! | [`psl`] | `lomon-psl` | §5 translation to PSL, ViaPSL baseline |
+//! | [`sync`] | `lomon-sync` | §6 Lustre-style synchronous validation |
+//! | [`gen`] | `lomon-gen` | §8 stimuli generation (future work) |
+//! | [`kernel`] | `lomon-kernel` | SystemC-like simulation kernel |
+//! | [`tlm`] | `lomon-tlm` | §2/Fig. 1 virtual face-recognition platform |
+//!
+//! ## Quickstart
+//!
+//! The paper's Example 2: before starting face recognition, the IPU's three
+//! configuration registers must each have been written — in any order (the
+//! "loose" part). This mirrors `examples/quickstart.rs`:
+//!
+//! ```
+//! use lomon::core::monitor::build_monitor;
+//! use lomon::core::parse::parse_property;
+//! use lomon::core::verdict::{run_to_end, Monitor, Verdict};
+//! use lomon::trace::{Trace, Vocabulary};
+//!
+//! let mut voc = Vocabulary::new();
+//! let text = "all{set_imgAddr, set_glAddr, set_glSize} << start once";
+//! let property = parse_property(text, &mut voc).expect("property parses");
+//!
+//! let img = voc.lookup("set_imgAddr").unwrap();
+//! let gl = voc.lookup("set_glAddr").unwrap();
+//! let sz = voc.lookup("set_glSize").unwrap();
+//! let start = voc.lookup("start").unwrap();
+//!
+//! // A good trace: the writes arrive in a scrambled order, then start.
+//! let good = Trace::from_names([gl, sz, img, start]);
+//! let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+//! assert_eq!(run_to_end(&mut monitor, &good), Verdict::Satisfied);
+//!
+//! // A bad trace: start fires before the gallery size was configured.
+//! let bad = Trace::from_names([gl, img, start]);
+//! let mut monitor = build_monitor(property, &voc).expect("well-formed");
+//! assert_eq!(run_to_end(&mut monitor, &bad), Verdict::Violated);
+//! let violation = monitor.violation().expect("diagnostics recorded");
+//! assert!(violation.display(&voc).to_string().contains("start"));
+//! ```
 
 pub use lomon_core as core;
 pub use lomon_gen as gen;

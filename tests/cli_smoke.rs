@@ -1,0 +1,140 @@
+//! Smoke tests for the `lomon` binary: every subcommand against the
+//! checked-in fixture, plus malformed invocations, which must exit non-zero
+//! with a usage message rather than panic.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const FIXTURE: &str = "tests/fixtures/ipu_config.trace";
+const PROPERTY: &str = "all{set_imgAddr, set_glAddr, set_glSize} << start repeated";
+
+fn lomon(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lomon"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn lomon")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn fixture_is_checked_in() {
+    assert!(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join(FIXTURE)
+            .is_file(),
+        "missing fixture {FIXTURE}"
+    );
+}
+
+#[test]
+fn check_accepts_fixture() {
+    let output = lomon(&["check", FIXTURE, PROPERTY]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("12 events"), "stdout: {text}");
+    assert!(text.contains("presumably satisfied"), "stdout: {text}");
+}
+
+#[test]
+fn check_reports_violation_nonzero() {
+    // The fixture interleaves all three config writes before each start, so
+    // demanding `start` strictly first must fail.
+    let output = lomon(&["check", FIXTURE, "start << set_imgAddr once"]);
+    assert_eq!(output.status.code(), Some(1), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("violated"));
+}
+
+#[test]
+fn gen_roundtrips_through_check() {
+    let generated = lomon(&["gen", PROPERTY, "7", "3"]);
+    assert!(generated.status.success(), "stderr: {}", stderr(&generated));
+    let expected = std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join(FIXTURE))
+        .expect("read fixture");
+    // Generation is deterministic per seed: the fixture IS `gen <prop> 7 3`.
+    assert_eq!(stdout(&generated), expected);
+}
+
+#[test]
+fn vcd_renders_fixture() {
+    let output = lomon(&["vcd", FIXTURE]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("$timescale"), "stdout: {text}");
+    assert!(text.contains("set_imgAddr"), "stdout: {text}");
+}
+
+#[test]
+fn demo_runs_clean() {
+    let output = lomon(&["demo"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("btn_press"));
+    assert!(stderr(&output).contains("online verdict"));
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let output = lomon(&[]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let output = lomon(&["frobnicate"]);
+    assert_eq!(output.status.code(), Some(2));
+    let text = stderr(&output);
+    assert!(
+        text.contains("unknown command `frobnicate`"),
+        "stderr: {text}"
+    );
+    assert!(text.contains("usage:"), "stderr: {text}");
+}
+
+#[test]
+fn missing_operands_print_usage() {
+    for args in [
+        &["check", FIXTURE] as &[&str],
+        &["vcd"],
+        &["vcd", FIXTURE, "extra"],
+        &["gen"],
+        &["gen", PROPERTY, "1", "2", "extra"],
+        &["demo", "extra"],
+    ] {
+        let output = lomon(args);
+        assert_eq!(output.status.code(), Some(2), "args: {args:?}");
+        assert!(stderr(&output).contains("usage:"), "args: {args:?}");
+    }
+}
+
+#[test]
+fn malformed_seed_is_rejected() {
+    let output = lomon(&["gen", PROPERTY, "notanumber"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("not an unsigned integer"));
+
+    let output = lomon(&["gen", PROPERTY, "1", "-3"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("episode count"));
+}
+
+#[test]
+fn malformed_property_is_rejected() {
+    let output = lomon(&["check", FIXTURE, "all{unclosed << start"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("error in property"));
+}
+
+#[test]
+fn missing_trace_file_is_rejected() {
+    let output = lomon(&["check", "no/such/file.trace", PROPERTY]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("cannot read"));
+}

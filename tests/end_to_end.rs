@@ -111,7 +111,8 @@ fn umbrella_reexports_are_usable() {
 
     // Kernel + sync are reachable too.
     let mut sim = lomon::kernel::Simulator::new(1);
-    sim.kernel().call_in(lomon::trace::SimTime::from_ns(5), |_| {});
+    sim.kernel()
+        .call_in(lomon::trace::SimTime::from_ns(5), |_| {});
     assert_eq!(sim.run(10), 1);
     let net = lomon::sync::RangeRecognizerNet::new(1, 2, false);
     assert!(net.state_bits() > 0);

@@ -30,10 +30,10 @@ fn example1_loose_ordering_language() {
         assert!(nfa.accepts(good.iter()), "{good:?}");
     }
     for bad in [
-        word(&[n1, n2]),           // only one n1
-        word(&[n2, n1, n1]),       // fragment order broken
-        word(&[n1, n1]),           // second fragment missing
-        word(&[n1, n1, n2, n2]),   // n2 twice
+        word(&[n1, n2]),         // only one n1
+        word(&[n2, n1, n1]),     // fragment order broken
+        word(&[n1, n1]),         // second fragment missing
+        word(&[n1, n1, n2, n2]), // n2 twice
     ] {
         assert!(!nfa.accepts(bad.iter()), "{bad:?}");
     }
@@ -53,7 +53,12 @@ fn example2_antecedent() {
     )
     .expect("parses");
     let n = |s: &str| voc.lookup(s).unwrap();
-    let (img, gl, sz, start) = (n("set_imgAddr"), n("set_glAddr"), n("set_glSize"), n("start"));
+    let (img, gl, sz, start) = (
+        n("set_imgAddr"),
+        n("set_glAddr"),
+        n("set_glSize"),
+        n("start"),
+    );
 
     // All six permutations are accepted.
     let perms = [
@@ -67,11 +72,20 @@ fn example2_antecedent() {
     for perm in perms {
         let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
         let trace = Trace::from_names(perm.into_iter().chain([start]));
-        assert_eq!(run_to_end(&mut monitor, &trace), Verdict::Satisfied, "{perm:?}");
+        assert_eq!(
+            run_to_end(&mut monitor, &trace),
+            Verdict::Satisfied,
+            "{perm:?}"
+        );
     }
 
     // Missing any single register is rejected at `start`.
-    for keep in perms[0].iter().copied().take(2).zip(perms[0].iter().copied().skip(1)) {
+    for keep in perms[0]
+        .iter()
+        .copied()
+        .take(2)
+        .zip(perms[0].iter().copied().skip(1))
+    {
         let (a, b) = keep;
         let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
         let trace = Trace::from_names([a, b, start]);
@@ -102,7 +116,10 @@ fn example3_timed_implication_full_bounds() {
         trace.push(read, SimTime::from_us(2 + k));
     }
     trace.push(irq, SimTime::from_us(200));
-    assert_eq!(run_to_end(&mut monitor, &trace), Verdict::PresumablySatisfied);
+    assert_eq!(
+        run_to_end(&mut monitor, &trace),
+        Verdict::PresumablySatisfied
+    );
 
     // 99 reads are too few.
     let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
@@ -157,7 +174,11 @@ fn fig4_property_characteristic_traces() {
     ];
     for (word, expect_ok) in cases {
         let trace = Trace::from_names(word.clone());
-        assert_eq!(oracle.check(&trace).is_ok(), expect_ok, "oracle on {word:?}");
+        assert_eq!(
+            oracle.check(&trace).is_ok(),
+            expect_ok,
+            "oracle on {word:?}"
+        );
         let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
         let verdict = run_to_end(&mut monitor, &trace);
         assert_eq!(verdict.is_ok(), expect_ok, "monitor on {word:?}");

@@ -10,9 +10,7 @@
 
 use proptest::prelude::*;
 
-use lomon::core::ast::{
-    Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication,
-};
+use lomon::core::ast::{Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication};
 use lomon::core::monitor::build_monitor;
 use lomon::core::semantics::{ordering_nfa, PatternOracle};
 use lomon::core::verdict::{run_to_end, Verdict};
@@ -90,7 +88,11 @@ fn build_response(spec: &ResponseSpec, voc: &mut Vocabulary) -> LooseOrdering {
         spec.fragments
             .iter()
             .map(|(any_op, ranges)| {
-                let op = if *any_op { FragmentOp::Any } else { FragmentOp::All };
+                let op = if *any_op {
+                    FragmentOp::Any
+                } else {
+                    FragmentOp::All
+                };
                 let ranges = ranges
                     .iter()
                     .map(|&(u, extra)| {

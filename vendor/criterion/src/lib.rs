@@ -1,0 +1,276 @@
+//! Vendored, self-contained stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace cannot pull
+//! the real `criterion` from crates.io. This crate implements the subset the
+//! `lomon-bench` benches use — [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`] and
+//! [`BatchSize`] — with a simple wall-clock sampler: per sample it runs
+//! enough iterations to fill a small time slice, then reports min/mean ns
+//! per iteration (and element throughput when declared) as plain text.
+//! There is no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Return `x` while preventing the optimizer from deleting its computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The sampler here runs setup
+/// once per iteration and excludes it from the measurement regardless of
+/// the variant, so the variants only document intent — matching criterion's
+/// API, not its batch scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived rates in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `function-name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: Vec<u64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn with_sample_size(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: Vec::new(),
+            sample_size,
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.sample(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.sample(|iters| {
+            let mut measured = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                measured += start.elapsed();
+            }
+            measured
+        });
+    }
+
+    /// Calibrate an iteration count to ~5 ms per sample, then record
+    /// `sample_size` samples.
+    fn sample(&mut self, mut run: impl FnMut(u64) -> Duration) {
+        const TARGET_SLICE: Duration = Duration::from_millis(5);
+        let mut iters = 1u64;
+        let mut warmup = run(iters);
+        while warmup < TARGET_SLICE / 10 && iters < 1 << 20 {
+            iters *= 8;
+            warmup = run(iters);
+        }
+        let per_iter = warmup.max(Duration::from_nanos(1)) / iters as u32;
+        let iters_per_sample =
+            (TARGET_SLICE.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        for _ in 0..self.sample_size {
+            self.samples.push(run(iters_per_sample));
+            self.iters_per_sample.push(iters_per_sample);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .zip(&self.iters_per_sample)
+            .map(|(d, &n)| d.as_nanos() as f64 / n as f64)
+            .collect();
+        if per_iter.is_empty() {
+            println!("{id:<40} no samples");
+            return;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let best = per_iter[0];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.1} Melem/s", n as f64 / best * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 / best * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("{id:<40} best {best:>12.1} ns/iter   mean {mean:>12.1} ns/iter{rate}");
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl Display, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher::with_sample_size(sample_size);
+    routine(&mut bencher);
+    bencher.report(id, throughput);
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Apply standard criterion CLI settings. This stub only recognizes
+    /// test-mode invocations (`--test`, from `cargo test`), where sampling
+    /// is cut to one sample so every bench still executes once.
+    pub fn configure_from_args(mut self) -> Self {
+        if self.sample_size == 0 {
+            self.sample_size = 10;
+        }
+        if std::env::args().any(|a| a == "--test") {
+            self.sample_size = 1;
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size.max(1);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl Display, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size.max(1), None, routine);
+        self
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,68 @@
+//! Collection strategies (stand-in for `proptest::collection`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive length bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

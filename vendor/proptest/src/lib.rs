@@ -1,0 +1,137 @@
+//! Vendored, self-contained stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace cannot pull
+//! the real `proptest` from crates.io. This crate implements the subset the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//!   inner attribute and `arg in strategy` parameter lists;
+//! * [`strategy::Strategy`] with `prop_map`, range strategies over the
+//!   integer primitives, tuple strategies up to arity 6, and
+//!   [`collection::vec`] with fixed, exclusive-range or inclusive-range
+//!   sizes;
+//! * [`arbitrary::any`] for the primitive types;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from the real crate: generation is a fixed-seed deterministic
+//! stream (override with `PROPTEST_SEED=<u64>`), there is **no shrinking** —
+//! a failure reports the seed and case number so the exact case can be
+//! replayed — and rejection sampling via `prop_assume!` aborts after a
+//! global cap like the original.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// The body of one generated test case: `Ok(())`, a failed `prop_assert!`,
+/// or a rejected `prop_assume!`.
+pub type TestCaseResult = Result<(), test_runner::TestCaseError>;
+
+/// Define property tests: each `fn` is expanded into a `#[test]` that runs
+/// the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run(|__proptest_rng| {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&$strategy, __proptest_rng);)+
+                let __proptest_outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                __proptest_outcome
+            });
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    // No `format!` here: the stringified condition may itself contain
+    // braces, which a format string would misparse.
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), left, right),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discard the current case (does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

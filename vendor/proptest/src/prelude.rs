@@ -1,0 +1,15 @@
+//! Everything a property test needs in one glob import.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, TestCaseResult,
+};
+
+/// Namespace mirror of the real crate's `prelude::prop` (for
+/// `prop::collection::vec` and friends).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

@@ -1,0 +1,107 @@
+//! Deterministic case runner (stand-in for `proptest::test_runner`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (subset of the real `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Global cap on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed — the property is falsified.
+    Fail(String),
+    /// A `prop_assume!` failed — discard the case and draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Drives one `proptest!` test: draws cases until `config.cases` pass.
+///
+/// Every case gets its own RNG derived from `(seed, case index)`, so a
+/// failure message's seed and case number exactly reproduce the inputs.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x1060_2016_u64); // DATE 2016 vintage; any fixed value works.
+        TestRunner { config, seed }
+    }
+
+    pub fn run<F>(&mut self, mut test: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            case += 1;
+            let mut rng =
+                StdRng::seed_from_u64(self.seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            match test(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest: too many global rejects ({rejected}) after {passed} \
+                             passing cases (seed {:#x})",
+                            self.seed
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest: case #{case} failed (seed {:#x}, rerun with \
+                         PROPTEST_SEED={}):\n{message}",
+                        self.seed, self.seed
+                    );
+                }
+            }
+        }
+    }
+}

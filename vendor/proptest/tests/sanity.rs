@@ -1,0 +1,57 @@
+//! The stand-in harness must actually run cases, report failures, and give
+//! up on unsatisfiable assumptions — a silent no-op harness would fake green
+//! across the whole workspace.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
+
+static COUNT: AtomicU32 = AtomicU32::new(0);
+
+// No `#[test]` here: invoked exactly once, below, so the case count is exact.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+    fn counts_cases(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 3)) {
+        COUNT.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(x < 10);
+        prop_assert_eq!(v.len(), 3);
+    }
+}
+
+#[test]
+fn case_count_reached() {
+    counts_cases();
+    assert_eq!(COUNT.load(Ordering::SeqCst), 100);
+}
+
+proptest! {
+    #[test]
+    #[should_panic]
+    fn fails_loudly(x in 0u32..100) {
+        prop_assert!(x < 50, "x was {}", x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn assume_exhaustion_panics(x in 0u32..100) {
+        prop_assume!(x > 1000);
+    }
+
+    /// Range, inclusive-range, tuple and mapped strategies all stay in
+    /// bounds.
+    #[test]
+    fn strategies_respect_bounds(
+        a in 5u8..9,
+        b in 3u16..=3,
+        (c, d) in (0i32..10, any::<bool>()),
+        e in (0u64..4).prop_map(|x| x * 2),
+        sizes in prop::collection::vec(0usize..5, 2..7),
+    ) {
+        prop_assert!((5..9).contains(&a));
+        prop_assert_eq!(b, 3);
+        prop_assert!(if d { c < 10 } else { c >= 0 });
+        prop_assert!(e % 2 == 0 && e <= 6);
+        prop_assert!((2..7).contains(&sizes.len()));
+        prop_assert!(sizes.iter().all(|&s| s < 5));
+    }
+}

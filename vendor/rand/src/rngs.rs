@@ -1,0 +1,36 @@
+//! The standard generator: SplitMix64 behind the `StdRng` name.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic seeded generator (stand-in for `rand::rngs::StdRng`).
+///
+/// One SplitMix64 stream; the 32-byte seed is folded into the 64-bit state
+/// so that `from_seed` and `seed_from_u64` agree with each other.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = 0u64;
+        for chunk in seed.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            state = state.rotate_left(23) ^ u64::from_le_bytes(word);
+        }
+        StdRng { state }
+    }
+}
