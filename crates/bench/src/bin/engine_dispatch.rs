@@ -1,0 +1,142 @@
+//! Engine scaling: event-indexed dispatch vs naive broadcast as the
+//! property count grows — the Fig. 6-style story for the streaming
+//! subsystem. With N properties over disjoint alphabets, broadcast steps
+//! every live monitor on every event (N steps/event) while the inverted
+//! index steps exactly the one subscriber (1 step/event); retirement of
+//! one-shot properties shrinks even that.
+//!
+//! Run with `cargo run -p lomon-bench --bin engine_dispatch --release`.
+//! `--check` runs a reduced matrix and exits non-zero unless indexed
+//! dispatch performs strictly fewer monitor steps than broadcast on the
+//! 50-property workload (the acceptance gate wired into CI).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lomon_engine::{DispatchMode, Engine, EngineReport};
+use lomon_trace::{SimTime, TimedEvent, Vocabulary};
+
+/// A rulebook of `count` antecedent properties over pairwise-disjoint
+/// alphabets: `all{p<k>_a, p<k>_b, p<k>_c} << p<k>_start <flag>`.
+fn rulebook(count: usize, repeated: bool) -> Vec<String> {
+    let flag = if repeated { "repeated" } else { "once" };
+    (0..count)
+        .map(|k| format!("all{{p{k}_a, p{k}_b, p{k}_c}} << p{k}_start {flag}"))
+        .collect()
+}
+
+/// `rounds` satisfying episodes for every property, round-robin interleaved
+/// (each event belongs to exactly one property's alphabet).
+fn workload(count: usize, rounds: usize, voc: &mut Vocabulary) -> Vec<TimedEvent> {
+    let mut events = Vec::with_capacity(count * rounds * 4);
+    let mut ns = 0u64;
+    for _ in 0..rounds {
+        for k in 0..count {
+            for suffix in ["a", "b", "c", "start"] {
+                ns += 10;
+                let name = voc.input(&format!("p{k}_{suffix}"));
+                events.push(TimedEvent::new(name, SimTime::from_ns(ns)));
+            }
+        }
+    }
+    events
+}
+
+struct Measurement {
+    report: EngineReport,
+    micros: u128,
+}
+
+fn run(engine: &Engine, mode: DispatchMode, events: &[TimedEvent]) -> Measurement {
+    let mut session = engine.session_with(mode);
+    let started = Instant::now();
+    session.ingest_batch(events);
+    let end = events.last().map(|e| e.time).unwrap_or(SimTime::ZERO);
+    let report = session.finish(end);
+    Measurement {
+        report,
+        micros: started.elapsed().as_micros(),
+    }
+}
+
+fn main() -> ExitCode {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let (counts, rounds): (&[usize], usize) = if check_mode {
+        (&[50], 20)
+    } else {
+        (&[1, 2, 5, 10, 20, 50, 100], 200)
+    };
+
+    println!("engine dispatch — indexed vs broadcast, disjoint alphabets, {rounds} rounds");
+    println!(
+        "{:>5} {:>5} {:>9} {:>13} {:>15} {:>8} {:>11} {:>13}",
+        "props",
+        "kind",
+        "events",
+        "indexed steps",
+        "broadcast steps",
+        "ratio",
+        "indexed us",
+        "broadcast us"
+    );
+
+    let mut ok = true;
+    for &count in counts {
+        // `repeated` keeps every monitor live (pure index win); `once`
+        // retires each monitor after its first episode (retirement win on
+        // top).
+        for repeated in [true, false] {
+            let mut voc = Vocabulary::new();
+            let engine = Engine::compile(&rulebook(count, repeated), &mut voc)
+                .expect("bench rulebook compiles");
+            let events = workload(count, rounds, &mut voc);
+
+            let indexed = run(&engine, DispatchMode::Indexed, &events);
+            let broadcast = run(&engine, DispatchMode::Broadcast, &events);
+
+            // Differential check: both modes must agree on every verdict.
+            for (i, b) in indexed
+                .report
+                .properties
+                .iter()
+                .zip(&broadcast.report.properties)
+            {
+                assert_eq!(i.verdict, b.verdict, "modes disagree on {}", i.property);
+            }
+            let (isteps, bsteps) = (
+                indexed.report.stats.monitor_steps,
+                broadcast.report.stats.monitor_steps,
+            );
+            if count > 1 && isteps >= bsteps {
+                ok = false;
+            }
+            println!(
+                "{:>5} {:>5} {:>9} {:>13} {:>15} {:>8.1} {:>11} {:>13}",
+                count,
+                if repeated { "rep" } else { "once" },
+                indexed.report.stats.events,
+                isteps,
+                bsteps,
+                bsteps as f64 / isteps.max(1) as f64,
+                indexed.micros,
+                broadcast.micros,
+            );
+        }
+    }
+
+    println!();
+    if check_mode {
+        if ok {
+            println!("OK: indexed dispatch performed strictly fewer monitor steps than broadcast");
+            ExitCode::SUCCESS
+        } else {
+            println!("FAIL: indexed dispatch did not beat broadcast");
+            ExitCode::FAILURE
+        }
+    } else {
+        println!("Expected shape: indexed steps stay ~1/event regardless of the");
+        println!("property count (ratio ~N on the `rep` rows, higher on `once`");
+        println!("rows once monitors retire); broadcast grows linearly with N.");
+        ExitCode::SUCCESS
+    }
+}

@@ -69,6 +69,11 @@ impl FragmentRecognizer {
         &self.ranges
     }
 
+    /// `α(F)`: the names of the member ranges.
+    pub fn alphabet(&self) -> NameSet {
+        self.ranges.iter().map(|r| r.range().name).collect()
+    }
+
     /// Start without a coinciding event (root activation): all ranges to
     /// `s1`.
     pub fn start(&mut self) {
@@ -321,6 +326,22 @@ impl LooseOrderingRecognizer {
         &self.fragments
     }
 
+    /// `α` of the whole ordering: the union of the fragments' alphabets.
+    ///
+    /// For a linear (antecedent) recognizer this **excludes the stop set**
+    /// (the trigger `i`), per the paper's definition of `α(L)`. Event
+    /// routers must therefore not subscribe monitors by this set — a
+    /// recognizer also reacts to its stop names; use
+    /// `PropertyMonitor::alphabet` (which includes the trigger) or the
+    /// per-range [`RangeRecognizer::interests`] for routing.
+    pub fn alphabet(&self) -> NameSet {
+        let mut set = NameSet::new();
+        for f in &self.fragments {
+            set.union_with(&f.alphabet());
+        }
+        set
+    }
+
     /// Index of the active fragment.
     pub fn active_index(&self) -> usize {
         self.active
@@ -401,6 +422,18 @@ mod tests {
         let mut rec = LooseOrderingRecognizer::new_linear(&ordering, &[i].into_iter().collect());
         rec.start();
         Fix { n, i, rec }
+    }
+
+    #[test]
+    fn alphabet_is_union_of_fragment_alphabets() {
+        let f = fig4();
+        let alpha = f.rec.alphabet();
+        for name in &f.n {
+            assert!(alpha.contains(*name));
+        }
+        assert!(!alpha.contains(f.i), "the stop set is not part of α(L)");
+        assert_eq!(alpha.len(), 5);
+        assert_eq!(f.rec.fragments()[0].alphabet().len(), 2);
     }
 
     #[test]

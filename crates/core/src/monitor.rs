@@ -66,6 +66,35 @@ impl PropertyMonitor {
         }
     }
 
+    /// The property's alphabet `α` (derived from the AST at construction):
+    /// the only names this monitor can react to. Event routers (such as
+    /// `lomon-engine`'s inverted dispatch index) subscribe the monitor to
+    /// exactly these names and skip it for everything else.
+    ///
+    /// This is the owned counterpart of the borrowed
+    /// [`Monitor::alphabet`](crate::verdict::Monitor::alphabet) accessor —
+    /// usable without importing the trait, and guaranteed to be the very
+    /// set the monitor projects events with.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lomon_core::monitor::build_monitor;
+    /// use lomon_core::parse::parse_property;
+    /// use lomon_trace::Vocabulary;
+    ///
+    /// let mut voc = Vocabulary::new();
+    /// let prop = parse_property("all{set_addr, set_size} << start once", &mut voc).unwrap();
+    /// let monitor = build_monitor(prop, &voc).expect("well-formed");
+    ///
+    /// let alphabet = monitor.alphabet();
+    /// assert_eq!(alphabet.len(), 3);
+    /// assert!(alphabet.contains(voc.lookup("start").unwrap()));
+    /// ```
+    pub fn alphabet(&self) -> NameSet {
+        Monitor::alphabet(self).clone()
+    }
+
     /// Disable diagnostics (expected-set snapshots) on the wrapped monitor.
     pub fn without_diagnostics(self) -> Self {
         match self {

@@ -119,6 +119,20 @@ impl RangeRecognizer {
         self.cpt
     }
 
+    /// The names this recognizer reacts to at all: its own name plus every
+    /// name classified by its context `(B, C, Ac, Af)`. Anything outside
+    /// this set leaves the automaton untouched, so an event router may skip
+    /// the recognizer entirely for such events.
+    pub fn interests(&self) -> NameSet {
+        let mut set = NameSet::new();
+        set.insert(self.range.name);
+        set.union_with(&self.ctx.before);
+        set.union_with(&self.ctx.concurrent);
+        set.union_with(&self.ctx.accept);
+        set.union_with(&self.ctx.after);
+        set
+    }
+
     /// `start` without a coinciding event: `s0 → s1`. Used when the root
     /// monitor is (re)activated.
     pub fn start(&mut self) {
@@ -460,6 +474,18 @@ mod tests {
         assert_eq!(f.rec.state(), RangeState::Idle);
         f.rec.start();
         assert_eq!(f.rec.state(), RangeState::Waiting);
+    }
+
+    #[test]
+    fn interests_cover_own_name_and_context_sets() {
+        let f = fig4_recognizer();
+        let interests = f.rec.interests();
+        // Own n3, B = {n1, n2}, C = {n4}, Ac = {n5}, Af = {i}.
+        for name in &f.n {
+            assert!(interests.contains(*name));
+        }
+        assert!(interests.contains(f.i));
+        assert_eq!(interests.len(), 6);
     }
 
     #[test]

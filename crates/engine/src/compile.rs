@@ -1,0 +1,301 @@
+//! Compiling a property set into an [`Engine`]: parse/validate *everything*
+//! first, report every error, and build the inverted dispatch index once.
+
+use lomon_core::ast::Property;
+use lomon_core::monitor::{build_monitor, PropertyMonitor};
+use lomon_core::parse::{parse_property, ParseError};
+use lomon_core::wf::WfError;
+use lomon_trace::{Name, NameSet, Vocabulary};
+
+use crate::session::{DispatchMode, Session};
+
+/// Why one property of the set failed to compile. The engine never stops at
+/// the first bad property: [`Engine::compile`] returns *all* failures so a
+/// rulebook can be fixed in one pass.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The property text did not parse.
+    Parse {
+        /// Position of the property in the compiled set.
+        index: usize,
+        /// The offending source text.
+        source: String,
+        /// The parse error, with its span into `source`.
+        error: ParseError,
+    },
+    /// The property parsed but broke a well-formedness side condition.
+    IllFormed {
+        /// Position of the property in the compiled set.
+        index: usize,
+        /// The offending source text (or rendered AST).
+        source: String,
+        /// Every violated side condition.
+        errors: Vec<WfError>,
+    },
+}
+
+impl CompileError {
+    /// Position of the failing property in the compiled set.
+    pub fn index(&self) -> usize {
+        match self {
+            CompileError::Parse { index, .. } | CompileError::IllFormed { index, .. } => *index,
+        }
+    }
+
+    /// Full human-readable rendering (multi-line for parse errors, which
+    /// carry a caret into the source).
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        match self {
+            CompileError::Parse {
+                index,
+                source,
+                error,
+            } => format!(
+                "property {}: {}",
+                index + 1,
+                error.display_with_source(source)
+            ),
+            CompileError::IllFormed {
+                index,
+                source,
+                errors,
+            } => {
+                let all: Vec<String> = errors.iter().map(|e| e.display(voc)).collect();
+                format!(
+                    "property {} `{}` is ill-formed: {}",
+                    index + 1,
+                    source,
+                    all.join("; ")
+                )
+            }
+        }
+    }
+}
+
+/// One validated property of the compiled set: the prototype monitor that
+/// sessions clone, plus everything dispatch needs precomputed.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProperty {
+    pub(crate) prototype: PropertyMonitor,
+    pub(crate) alphabet: NameSet,
+    pub(crate) display: String,
+    pub(crate) timed: bool,
+}
+
+/// A set of properties compiled once and shared by any number of
+/// [`Session`]s. See the crate docs for the dispatch design.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    pub(crate) properties: Vec<CompiledProperty>,
+    /// Inverted index: dense name index → ids of subscribed properties.
+    /// Names interned after compilation simply fall off the end (no
+    /// subscribers).
+    pub(crate) index: Vec<Vec<u32>>,
+    /// Ids of timed-implication properties (the only ones with deadlines).
+    pub(crate) timed_ids: Vec<u32>,
+}
+
+impl Engine {
+    /// Parse and validate every property text against `voc`, then build the
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns one [`CompileError`] per failing property — all of them, not
+    /// just the first.
+    pub fn compile<S: AsRef<str>>(
+        texts: &[S],
+        voc: &mut Vocabulary,
+    ) -> Result<Engine, Vec<CompileError>> {
+        let mut parsed = Vec::with_capacity(texts.len());
+        let mut errors = Vec::new();
+        for (index, text) in texts.iter().enumerate() {
+            let text = text.as_ref();
+            match parse_property(text, voc) {
+                Ok(property) => parsed.push((index, text.to_owned(), property)),
+                Err(error) => errors.push(CompileError::Parse {
+                    index,
+                    source: text.to_owned(),
+                    error,
+                }),
+            }
+        }
+        let engine = Self::build(parsed, voc, &mut errors);
+        if errors.is_empty() {
+            Ok(engine)
+        } else {
+            errors.sort_by_key(CompileError::index);
+            Err(errors)
+        }
+    }
+
+    /// Build an engine from already-constructed ASTs (validated here).
+    ///
+    /// # Errors
+    ///
+    /// Returns one [`CompileError::IllFormed`] per property that breaks a
+    /// well-formedness side condition.
+    pub fn from_properties(
+        properties: Vec<Property>,
+        voc: &Vocabulary,
+    ) -> Result<Engine, Vec<CompileError>> {
+        let parsed = properties
+            .into_iter()
+            .enumerate()
+            .map(|(index, p)| (index, p.display(voc), p))
+            .collect();
+        let mut errors = Vec::new();
+        let engine = Self::build(parsed, voc, &mut errors);
+        if errors.is_empty() {
+            Ok(engine)
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn build(
+        parsed: Vec<(usize, String, Property)>,
+        voc: &Vocabulary,
+        errors: &mut Vec<CompileError>,
+    ) -> Engine {
+        let mut properties = Vec::with_capacity(parsed.len());
+        for (index, source, property) in parsed {
+            let timed = matches!(property, Property::Timed(_));
+            match build_monitor(property, voc) {
+                Ok(prototype) => {
+                    let alphabet = prototype.alphabet();
+                    properties.push(CompiledProperty {
+                        prototype,
+                        alphabet,
+                        display: source,
+                        timed,
+                    });
+                }
+                Err(wf_errors) => errors.push(CompileError::IllFormed {
+                    index,
+                    source,
+                    errors: wf_errors,
+                }),
+            }
+        }
+
+        let mut index = vec![Vec::new(); voc.len()];
+        let mut timed_ids = Vec::new();
+        for (id, compiled) in properties.iter().enumerate() {
+            for name in compiled.alphabet.iter() {
+                index[name.index()].push(id as u32);
+            }
+            if compiled.timed {
+                timed_ids.push(id as u32);
+            }
+        }
+        Engine {
+            properties,
+            index,
+            timed_ids,
+        }
+    }
+
+    /// Number of compiled properties.
+    pub fn len(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Whether the rulebook is empty.
+    pub fn is_empty(&self) -> bool {
+        self.properties.is_empty()
+    }
+
+    /// The source text (or rendered AST) of property `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn property_display(&self, id: usize) -> &str {
+        &self.properties[id].display
+    }
+
+    /// The alphabet of property `id`, as computed at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn alphabet(&self, id: usize) -> &NameSet {
+        &self.properties[id].alphabet
+    }
+
+    /// The ids of the properties subscribed to `name` — the index row an
+    /// event of that name dispatches to.
+    pub fn subscribers(&self, name: Name) -> &[u32] {
+        self.index
+            .get(name.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Open a fresh session using indexed dispatch.
+    pub fn session(&self) -> Session<'_> {
+        self.session_with(DispatchMode::Indexed)
+    }
+
+    /// Open a fresh session with an explicit dispatch mode —
+    /// [`DispatchMode::Broadcast`] is the naive baseline the benchmarks
+    /// compare against.
+    pub fn session_with(&self, mode: DispatchMode) -> Session<'_> {
+        Session::new(self, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_reports_every_error() {
+        let mut voc = Vocabulary::new();
+        let errors = Engine::compile(
+            &[
+                "all{a, b} << start once", // fine
+                "all{unclosed << start",   // parse error
+                "a << a once",             // ill-formed: trigger inside P
+                "also { broken",           // parse error
+            ],
+            &mut voc,
+        )
+        .unwrap_err();
+        assert_eq!(errors.len(), 3);
+        assert_eq!(
+            errors.iter().map(CompileError::index).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(matches!(errors[0], CompileError::Parse { .. }));
+        assert!(matches!(errors[1], CompileError::IllFormed { .. }));
+        let text = errors[1].display(&voc);
+        assert!(text.contains("property 3"), "display: {text}");
+    }
+
+    #[test]
+    fn index_maps_names_to_subscribers() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(&["all{a, b} << start once", "b << go once"], &mut voc)
+            .expect("compiles");
+        assert_eq!(engine.len(), 2);
+        let a = voc.lookup("a").unwrap();
+        let b = voc.lookup("b").unwrap();
+        assert_eq!(engine.subscribers(a), &[0]);
+        assert_eq!(engine.subscribers(b), &[0, 1]);
+        // A name interned only after compilation has no subscribers.
+        let late = voc.input("latecomer");
+        assert!(engine.subscribers(late).is_empty());
+        assert!(engine.alphabet(1).contains(b));
+        assert_eq!(engine.property_display(1), "b << go once");
+    }
+
+    #[test]
+    fn timed_properties_are_tracked() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(&["a << i once", "go => out:done within 50 ns"], &mut voc)
+            .expect("compiles");
+        assert_eq!(engine.timed_ids, vec![1]);
+    }
+}

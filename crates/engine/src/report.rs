@@ -1,0 +1,124 @@
+//! Reports: per-property verdicts with diagnostics, plus the dispatch
+//! statistics that make the index's win measurable.
+
+use lomon_core::verdict::{Verdict, Violation};
+use lomon_trace::Vocabulary;
+
+use std::fmt::Write as _;
+
+/// Dispatch accounting for one session. The headline number is
+/// [`DispatchStats::steps_skipped`]: monitor steps a naive broadcast would
+/// have performed that the inverted index (plus retirement) avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Properties in the compiled set.
+    pub properties: u64,
+    /// Events ingested.
+    pub events: u64,
+    /// Monitor steps actually performed (`observe` calls plus deadline
+    /// `advance_time` sweeps; `finish` is not counted).
+    pub monitor_steps: u64,
+    /// Steps a live monitor was *not* given an event because the index
+    /// proved it could not react. Always zero in broadcast mode.
+    pub steps_skipped: u64,
+    /// Monitors retired (verdict went final) by the end of the report.
+    pub retired: u64,
+}
+
+impl DispatchStats {
+    /// Steps an index-less broadcast over never-retired monitors would have
+    /// performed: one per property per event.
+    pub fn broadcast_steps(&self) -> u64 {
+        self.properties * self.events
+    }
+
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{} events x {} properties: {} monitor steps ({} skipped live, {} naive)",
+            self.events,
+            self.properties,
+            self.monitor_steps,
+            self.steps_skipped,
+            self.broadcast_steps(),
+        )
+    }
+}
+
+/// The outcome for one property of the set.
+#[derive(Debug, Clone)]
+pub struct PropertyReport {
+    /// Position in the compiled set.
+    pub index: usize,
+    /// The property's source text (or rendered AST).
+    pub property: String,
+    /// The verdict at report time.
+    pub verdict: Verdict,
+    /// Diagnostics, when the verdict is [`Verdict::Violated`].
+    pub violation: Option<Violation>,
+}
+
+/// Everything a session knows at (or before) end of observation.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-property outcomes, in compilation order.
+    pub properties: Vec<PropertyReport>,
+    /// Dispatch accounting.
+    pub stats: DispatchStats,
+}
+
+impl EngineReport {
+    /// Whether no property is violated.
+    pub fn is_ok(&self) -> bool {
+        self.properties.iter().all(|p| p.verdict.is_ok())
+    }
+
+    /// The violated properties, in compilation order.
+    pub fn violations(&self) -> impl Iterator<Item = &PropertyReport> {
+        self.properties
+            .iter()
+            .filter(|p| p.verdict == Verdict::Violated)
+    }
+
+    /// Multi-line human rendering: one `[verdict] property` line each, with
+    /// an indented diagnostic under every violation, then the stats line.
+    pub fn render(&self, voc: &Vocabulary) -> String {
+        let mut out = String::new();
+        for p in &self.properties {
+            let _ = writeln!(out, "  [{}] {}", p.verdict, p.property);
+            if let Some(violation) = &p.violation {
+                let _ = writeln!(out, "      {}", violation.display(voc));
+            }
+        }
+        let _ = writeln!(out, "  dispatch: {}", self.stats.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use lomon_trace::{SimTime, TimedEvent};
+
+    #[test]
+    fn report_renders_verdicts_and_stats() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(&["all{a, b} << start once"], &mut voc).expect("compiles");
+        let mut session = engine.session();
+        let start = voc.lookup("start").unwrap();
+        session.ingest(TimedEvent::new(start, SimTime::from_ns(5)));
+        let report = session.finish(SimTime::from_ns(10));
+        assert!(!report.is_ok());
+        assert_eq!(report.violations().count(), 1);
+        let text = report.render(&voc);
+        assert!(
+            text.contains("[violated] all{a, b} << start once"),
+            "{text}"
+        );
+        assert!(text.contains("`start` at 5ns"), "{text}");
+        assert!(text.contains("dispatch: 1 events x 1 properties"), "{text}");
+        assert_eq!(report.stats.broadcast_steps(), 1);
+        assert_eq!(report.stats.retired, 1);
+    }
+}

@@ -1,0 +1,492 @@
+//! Sessions: per-stream monitor state over a shared compiled [`Engine`].
+
+use lomon_core::monitor::PropertyMonitor;
+use lomon_core::verdict::{Monitor, Verdict, Violation};
+use lomon_trace::{SimTime, TimedEvent};
+
+use crate::compile::Engine;
+use crate::report::{DispatchStats, EngineReport, PropertyReport};
+
+/// How a session routes events to monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Inverted-index dispatch: an event only steps subscribed, still-live
+    /// monitors (plus a deadline sweep for timed monitors). The default.
+    Indexed,
+    /// Naive baseline: every live monitor is stepped on every event. Kept
+    /// for the benchmarks and as a differential-testing oracle — both modes
+    /// produce identical verdicts.
+    Broadcast,
+}
+
+/// One monitored event stream: a clone of the engine's prototype monitors
+/// plus the per-stream dispatch state.
+///
+/// Verdict-wise, a session behaves exactly as if each property's monitor had
+/// individually observed the whole stream and then
+/// [`lomon_core::verdict::Monitor::finish`]ed — see the crate docs for why
+/// indexed dispatch preserves this.
+///
+/// Monitors whose verdict goes final are *retired*: they stop receiving
+/// events, and their ids are queued for [`Session::take_newly_final`] so a
+/// streaming caller can report verdicts as they happen.
+#[derive(Debug, Clone)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    mode: DispatchMode,
+    monitors: Vec<PropertyMonitor>,
+    active: Vec<bool>,
+    active_count: usize,
+    /// Per-property open hard deadline (timed properties only).
+    deadlines: Vec<Option<SimTime>>,
+    /// Cached minimum of `deadlines` over live timed monitors.
+    next_deadline: Option<SimTime>,
+    deadline_dirty: bool,
+    newly_final: Vec<u32>,
+    stats: DispatchStats,
+    finished: bool,
+}
+
+impl<'e> Session<'e> {
+    pub(crate) fn new(engine: &'e Engine, mode: DispatchMode) -> Self {
+        let monitors: Vec<PropertyMonitor> = engine
+            .properties
+            .iter()
+            .map(|p| p.prototype.clone())
+            .collect();
+        let n = monitors.len();
+        Session {
+            engine,
+            mode,
+            monitors,
+            active: vec![true; n],
+            active_count: n,
+            deadlines: vec![None; n],
+            next_deadline: None,
+            deadline_dirty: false,
+            newly_final: Vec::new(),
+            stats: DispatchStats::default(),
+            finished: false,
+        }
+    }
+
+    /// The engine this session was opened from.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// The dispatch mode this session runs with.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Feed one event to every monitor that can react to it.
+    pub fn ingest(&mut self, event: TimedEvent) {
+        self.stats.events += 1;
+        match self.mode {
+            DispatchMode::Broadcast => {
+                for id in 0..self.monitors.len() {
+                    if self.active[id] {
+                        self.step_observe(id, event);
+                    }
+                }
+            }
+            DispatchMode::Indexed => {
+                let subscribers = self.engine.subscribers(event.name);
+                let live_before = self.active_count;
+                let mut stepped = 0u64;
+                // Timed monitors can flip to Violated on *any* event whose
+                // timestamp passes their hard deadline; sweep those first
+                // (skipping subscribers, whose own `observe` re-checks the
+                // deadline anyway).
+                stepped += self.sweep_deadlines(event.time, subscribers);
+                for &id in subscribers {
+                    let id = id as usize;
+                    if self.active[id] {
+                        self.step_observe(id, event);
+                        stepped += 1;
+                    }
+                }
+                self.stats.steps_skipped += (live_before as u64).saturating_sub(stepped);
+            }
+        }
+    }
+
+    /// Feed a batch of events (the bulk path: one call per recorded trace
+    /// chunk instead of one per event).
+    pub fn ingest_batch(&mut self, events: &[TimedEvent]) {
+        for (k, &event) in events.iter().enumerate() {
+            // Every monitor is quiescent once all verdicts are final; the
+            // remaining events can only bump the event counter.
+            if self.active_count == 0 {
+                self.stats.events += (events.len() - k) as u64;
+                return;
+            }
+            self.ingest(event);
+        }
+    }
+
+    /// Notify the session that simulated time has advanced to `now` with no
+    /// new event — lets timed monitors detect expired deadlines online.
+    pub fn advance_time(&mut self, now: SimTime) {
+        match self.mode {
+            DispatchMode::Broadcast => {
+                for id in 0..self.monitors.len() {
+                    if self.active[id] {
+                        self.step_advance(id, now);
+                    }
+                }
+            }
+            DispatchMode::Indexed => {
+                self.sweep_deadlines(now, &[]);
+            }
+        }
+    }
+
+    /// Declare end of observation and return the report. All still-live
+    /// monitors get their final deadline check at `end_time`.
+    pub fn finish(&mut self, end_time: SimTime) -> EngineReport {
+        if !self.finished {
+            for id in 0..self.monitors.len() {
+                if !self.active[id] {
+                    continue;
+                }
+                self.monitors[id].finish(end_time);
+                if self.monitors[id].verdict().is_final() {
+                    self.retire(id);
+                }
+            }
+            self.finished = true;
+        }
+        self.report()
+    }
+
+    /// Snapshot the current per-property verdicts and dispatch statistics
+    /// without ending the stream.
+    pub fn report(&self) -> EngineReport {
+        let properties = (0..self.monitors.len())
+            .map(|id| PropertyReport {
+                index: id,
+                property: self.engine.properties[id].display.clone(),
+                verdict: self.monitors[id].verdict(),
+                violation: self.monitors[id].violation().cloned(),
+            })
+            .collect();
+        let mut stats = self.stats;
+        stats.properties = self.monitors.len() as u64;
+        stats.retired = (self.monitors.len() - self.active_count) as u64;
+        EngineReport { properties, stats }
+    }
+
+    /// Rewind every monitor to its initial state for the next stream,
+    /// keeping all allocations. Statistics restart from zero.
+    pub fn reset(&mut self) {
+        for (id, monitor) in self.monitors.iter_mut().enumerate() {
+            monitor.reset();
+            self.active[id] = true;
+            self.deadlines[id] = None;
+        }
+        self.active_count = self.monitors.len();
+        self.next_deadline = None;
+        self.deadline_dirty = false;
+        self.newly_final.clear();
+        self.stats = DispatchStats::default();
+        self.finished = false;
+    }
+
+    /// The ids of properties whose verdict went final since the last call,
+    /// in finalization order. Streaming callers poll this after each
+    /// [`Session::ingest`] to report verdicts as they happen.
+    pub fn take_newly_final(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.newly_final)
+    }
+
+    /// Current verdict of property `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn verdict(&self, id: usize) -> Verdict {
+        self.monitors[id].verdict()
+    }
+
+    /// Violation report of property `id`, if it is violated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn violation(&self, id: usize) -> Option<&Violation> {
+        self.monitors[id].violation()
+    }
+
+    /// Number of monitors still live (not retired).
+    pub fn active_len(&self) -> usize {
+        self.active_count
+    }
+
+    /// Whether every property has reached a final verdict — the stream can
+    /// be abandoned early.
+    pub fn is_settled(&self) -> bool {
+        self.active_count == 0
+    }
+
+    /// Dispatch statistics so far.
+    pub fn stats(&self) -> &DispatchStats {
+        &self.stats
+    }
+
+    /// Step monitor `id` with `event`, recording the step and retiring the
+    /// monitor if its verdict went final.
+    fn step_observe(&mut self, id: usize, event: TimedEvent) {
+        let verdict = self.monitors[id].observe(event);
+        self.stats.monitor_steps += 1;
+        if verdict.is_final() {
+            self.retire(id);
+        } else if self.engine.properties[id].timed {
+            self.deadlines[id] = self.monitors[id].deadline();
+            self.deadline_dirty = true;
+        }
+    }
+
+    /// Step monitor `id` with a time notification.
+    fn step_advance(&mut self, id: usize, now: SimTime) {
+        let verdict = self.monitors[id].advance_time(now);
+        self.stats.monitor_steps += 1;
+        if verdict.is_final() {
+            self.retire(id);
+        } else if self.engine.properties[id].timed {
+            self.deadlines[id] = self.monitors[id].deadline();
+            self.deadline_dirty = true;
+        }
+    }
+
+    fn retire(&mut self, id: usize) {
+        if self.active[id] {
+            self.active[id] = false;
+            self.active_count -= 1;
+            self.deadlines[id] = None;
+            if self.engine.properties[id].timed {
+                self.deadline_dirty = true;
+            }
+            self.newly_final.push(id as u32);
+        }
+    }
+
+    /// Advance-time every live timed monitor whose hard deadline `now` has
+    /// passed, except those in `exclude` (they are about to be observed,
+    /// which performs its own deadline check). Returns the number of
+    /// monitors stepped.
+    fn sweep_deadlines(&mut self, now: SimTime, exclude: &[u32]) -> u64 {
+        self.refresh_next_deadline();
+        let Some(min) = self.next_deadline else {
+            return 0;
+        };
+        if now <= min {
+            return 0;
+        }
+        let mut stepped = 0;
+        for k in 0..self.engine.timed_ids.len() {
+            let id = self.engine.timed_ids[k] as usize;
+            if !self.active[id] || exclude.contains(&(id as u32)) {
+                continue;
+            }
+            if self.deadlines[id].is_some_and(|d| now > d) {
+                self.step_advance(id, now);
+                stepped += 1;
+            }
+        }
+        self.refresh_next_deadline();
+        stepped
+    }
+
+    fn refresh_next_deadline(&mut self) {
+        if !self.deadline_dirty {
+            return;
+        }
+        self.next_deadline = self
+            .engine
+            .timed_ids
+            .iter()
+            .filter(|&&id| self.active[id as usize])
+            .filter_map(|&id| self.deadlines[id as usize])
+            .min();
+        self.deadline_dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lomon_trace::Vocabulary;
+
+    fn event(voc: &Vocabulary, name: &str, ns: u64) -> TimedEvent {
+        TimedEvent::new(voc.lookup(name).expect("known name"), SimTime::from_ns(ns))
+    }
+
+    fn two_property_engine(voc: &mut Vocabulary) -> Engine {
+        Engine::compile(
+            &["all{a, b} << start once", "go => out:done within 50 ns"],
+            voc,
+        )
+        .expect("compiles")
+    }
+
+    #[test]
+    fn indexed_steps_only_subscribers() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session();
+        // `a` concerns only property 0: one step, one skipped.
+        session.ingest(event(&voc, "a", 10));
+        assert_eq!(session.stats().monitor_steps, 1);
+        assert_eq!(session.stats().steps_skipped, 1);
+        // A name outside every alphabet steps nothing.
+        voc.input("noise");
+        session.ingest(event(&voc, "noise", 20));
+        assert_eq!(session.stats().monitor_steps, 1);
+        assert_eq!(session.stats().steps_skipped, 3);
+        assert_eq!(session.stats().events, 2);
+    }
+
+    #[test]
+    fn broadcast_steps_every_live_monitor() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session_with(DispatchMode::Broadcast);
+        session.ingest(event(&voc, "a", 10));
+        assert_eq!(session.stats().monitor_steps, 2);
+        assert_eq!(session.stats().steps_skipped, 0);
+    }
+
+    #[test]
+    fn final_monitors_are_retired_and_reported() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session();
+        for (name, ns) in [("a", 10), ("b", 20), ("start", 30)] {
+            session.ingest(event(&voc, name, ns));
+        }
+        // Property 0 is one-shot: Satisfied and retired.
+        assert_eq!(session.take_newly_final(), vec![0]);
+        assert_eq!(session.verdict(0), Verdict::Satisfied);
+        assert_eq!(session.active_len(), 1);
+        let steps = session.stats().monitor_steps;
+        // Further `a` events step nobody: property 0 is retired.
+        session.ingest(event(&voc, "a", 40));
+        assert_eq!(session.stats().monitor_steps, steps);
+        assert!(!session.is_settled());
+    }
+
+    #[test]
+    fn deadline_sweep_catches_timeout_on_unrelated_event() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session();
+        session.ingest(event(&voc, "go", 10)); // deadline now 60ns
+                                               // `a` is outside the timed property's alphabet, but its timestamp
+                                               // reveals the miss — exactly as a naive broadcast would.
+        session.ingest(event(&voc, "a", 200));
+        assert_eq!(session.verdict(1), Verdict::Violated);
+        assert_eq!(session.take_newly_final(), vec![1]);
+        assert!(session.violation(1).is_some());
+    }
+
+    #[test]
+    fn advance_time_detects_timeout_without_events() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session();
+        session.ingest(event(&voc, "go", 10));
+        session.advance_time(SimTime::from_ns(59));
+        assert_eq!(session.verdict(1), Verdict::Pending);
+        session.advance_time(SimTime::from_ns(61));
+        assert_eq!(session.verdict(1), Verdict::Violated);
+    }
+
+    #[test]
+    fn finish_settles_open_obligations() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session();
+        session.ingest(event(&voc, "go", 10));
+        let report = session.finish(SimTime::from_ns(500));
+        assert_eq!(report.properties[1].verdict, Verdict::Violated);
+        assert!(!report.is_ok());
+        // The antecedent never went final (safety, still consistent); only
+        // the timed property is retired.
+        assert_eq!(report.properties[0].verdict, Verdict::PresumablySatisfied);
+        assert_eq!(report.stats.retired, 1);
+        // Finishing twice is idempotent.
+        let again = session.finish(SimTime::from_ns(500));
+        assert_eq!(again.properties[1].verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn batch_equals_one_by_one() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let events: Vec<TimedEvent> = [("a", 10), ("go", 20), ("b", 30), ("done", 40)]
+            .into_iter()
+            .map(|(n, t)| event(&voc, n, t))
+            .collect();
+        let mut one = engine.session();
+        for &e in &events {
+            one.ingest(e);
+        }
+        let mut batch = engine.session();
+        batch.ingest_batch(&events);
+        let (a, b) = (
+            one.finish(SimTime::from_ns(50)),
+            batch.finish(SimTime::from_ns(50)),
+        );
+        assert_eq!(a.stats.monitor_steps, b.stats.monitor_steps);
+        for (x, y) in a.properties.iter().zip(&b.properties) {
+            assert_eq!(x.verdict, y.verdict);
+        }
+    }
+
+    #[test]
+    fn reset_reuses_the_session() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session();
+        for (name, ns) in [("a", 10), ("b", 20), ("start", 30)] {
+            session.ingest(event(&voc, name, ns));
+        }
+        session.finish(SimTime::from_ns(40));
+        session.reset();
+        assert_eq!(session.active_len(), 2);
+        assert_eq!(session.stats().events, 0);
+        assert_eq!(session.verdict(0), Verdict::PresumablySatisfied);
+        assert!(session.take_newly_final().is_empty());
+        // The reused session still works.
+        session.ingest(event(&voc, "start", 10));
+        assert_eq!(session.verdict(0), Verdict::Violated);
+    }
+
+    #[test]
+    fn modes_agree_on_verdicts() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let events: Vec<TimedEvent> = [("go", 10), ("a", 100), ("b", 120), ("start", 130)]
+            .into_iter()
+            .map(|(n, t)| event(&voc, n, t))
+            .collect();
+        let mut indexed = engine.session();
+        let mut broadcast = engine.session_with(DispatchMode::Broadcast);
+        indexed.ingest_batch(&events);
+        broadcast.ingest_batch(&events);
+        let (i, b) = (
+            indexed.finish(SimTime::from_ns(200)),
+            broadcast.finish(SimTime::from_ns(200)),
+        );
+        for (x, y) in i.properties.iter().zip(&b.properties) {
+            assert_eq!(x.verdict, y.verdict, "property {}", x.property);
+            assert_eq!(
+                x.violation.as_ref().map(|v| v.kind),
+                y.violation.as_ref().map(|v| v.kind)
+            );
+        }
+        assert!(i.stats.monitor_steps < b.stats.monitor_steps);
+    }
+}

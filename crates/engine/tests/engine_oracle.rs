@@ -1,0 +1,310 @@
+//! Oracle equivalence for the streaming engine: for random small property
+//! sets and random traces, the engine's per-property verdicts (and
+//! violation kinds) must equal what each property's own monitor computes
+//! with [`run_to_end`] over the materialized trace — for indexed *and*
+//! broadcast dispatch — and indexed dispatch must never perform more
+//! monitor steps than broadcast.
+//!
+//! This is the subsystem-level counterpart of
+//! `crates/core/tests/oracle_equivalence.rs`: there the monitors are pitted
+//! against the NFA semantics; here the *dispatch layer* is pitted against
+//! the monitors themselves.
+
+use proptest::prelude::*;
+
+use lomon_core::ast::{
+    Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication,
+};
+use lomon_core::monitor::build_monitor;
+use lomon_core::verdict::{run_to_end, Monitor};
+use lomon_core::wf;
+use lomon_engine::{DispatchMode, Engine};
+use lomon_trace::{Name, SimTime, Trace, Vocabulary};
+
+const INPUT_POOL: usize = 10;
+const OUTPUT_POOL: usize = 6;
+
+/// One random fragment: connective + ranges as `(min, extra)` pairs; names
+/// are assigned later from a shared pool.
+type FragmentSpec = (bool, Vec<(u32, u32)>);
+
+/// One random property over the shared name pools.
+#[derive(Debug, Clone)]
+enum PropertySpec {
+    Antecedent {
+        offset: usize,
+        fragments: Vec<FragmentSpec>,
+        repeated: bool,
+    },
+    Timed {
+        offset: usize,
+        premise: Vec<FragmentSpec>,
+        response_offset: usize,
+        response: Vec<FragmentSpec>,
+        bound_ns: u64,
+    },
+}
+
+fn fragment_strategy() -> impl Strategy<Value = FragmentSpec> {
+    (
+        any::<bool>(),
+        prop::collection::vec((1u32..=2, 0u32..=1), 1..=2),
+    )
+}
+
+fn property_strategy() -> impl Strategy<Value = PropertySpec> {
+    (
+        (
+            any::<bool>(),
+            0usize..INPUT_POOL,
+            prop::collection::vec(fragment_strategy(), 1..=2),
+        ),
+        (
+            any::<bool>(),
+            0usize..OUTPUT_POOL,
+            prop::collection::vec(fragment_strategy(), 1..=2),
+            0usize..3,
+        ),
+    )
+        .prop_map(
+            |((timed, offset, fragments), (repeated, response_offset, response, bound_pick))| {
+                if timed {
+                    PropertySpec::Timed {
+                        offset,
+                        premise: fragments,
+                        response_offset,
+                        response,
+                        // Small, medium and large budgets: misses, races and
+                        // comfortable episodes are all exercised.
+                        bound_ns: [30, 150, 1_000][bound_pick],
+                    }
+                } else {
+                    PropertySpec::Antecedent {
+                        offset,
+                        fragments,
+                        repeated,
+                    }
+                }
+            },
+        )
+}
+
+/// Materialize fragments with consecutive (hence distinct) pool names.
+fn build_fragments(
+    specs: &[FragmentSpec],
+    pool: &[Name],
+    offset: usize,
+    counter: &mut usize,
+) -> Vec<Fragment> {
+    specs
+        .iter()
+        .map(|(any_op, ranges)| {
+            let op = if *any_op {
+                FragmentOp::Any
+            } else {
+                FragmentOp::All
+            };
+            let ranges = ranges
+                .iter()
+                .map(|&(min, extra)| {
+                    let name = pool[(offset + *counter) % pool.len()];
+                    *counter += 1;
+                    Range::new(name, min, min + extra)
+                })
+                .collect();
+            Fragment::new(op, ranges)
+        })
+        .collect()
+}
+
+fn build_property(spec: &PropertySpec, inputs: &[Name], outputs: &[Name]) -> Property {
+    match spec {
+        PropertySpec::Antecedent {
+            offset,
+            fragments,
+            repeated,
+        } => {
+            let mut counter = 0;
+            let ordering =
+                LooseOrdering::new(build_fragments(fragments, inputs, *offset, &mut counter));
+            let trigger = inputs[(offset + counter) % inputs.len()];
+            Antecedent::new(ordering, trigger, *repeated).into()
+        }
+        PropertySpec::Timed {
+            offset,
+            premise,
+            response_offset,
+            response,
+            bound_ns,
+        } => {
+            let mut counter = 0;
+            let premise =
+                LooseOrdering::new(build_fragments(premise, inputs, *offset, &mut counter));
+            let mut counter = 0;
+            let response = LooseOrdering::new(build_fragments(
+                response,
+                outputs,
+                *response_offset,
+                &mut counter,
+            ));
+            TimedImplication::new(premise, response, SimTime::from_ns(*bound_ns)).into()
+        }
+    }
+}
+
+fn pools(voc: &mut Vocabulary) -> (Vec<Name>, Vec<Name>) {
+    let inputs: Vec<Name> = (0..INPUT_POOL)
+        .map(|k| voc.input(&format!("n{k}")))
+        .collect();
+    let outputs: Vec<Name> = (0..OUTPUT_POOL)
+        .map(|k| voc.output(&format!("o{k}")))
+        .collect();
+    (inputs, outputs)
+}
+
+/// Build the trace: picks index into the full universe, gaps accumulate.
+fn build_trace(steps: &[(usize, u64)], universe: &[Name]) -> Trace {
+    let mut trace = Trace::new();
+    let mut now = SimTime::ZERO;
+    for &(pick, gap_ns) in steps {
+        now = now
+            .checked_add(SimTime::from_ns(gap_ns))
+            .expect("small times");
+        trace.push(universe[pick % universe.len()], now);
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// ≥ 200 random (property-set, trace) cases: engine == per-property
+    /// `run_to_end`, in both dispatch modes.
+    #[test]
+    fn engine_matches_per_property_run_to_end(
+        specs in prop::collection::vec(property_strategy(), 1..=4),
+        steps in prop::collection::vec((0usize..16, 0u64..=120), 0..=30),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (inputs, outputs) = pools(&mut voc);
+        let properties: Vec<Property> = specs
+            .iter()
+            .map(|s| build_property(s, &inputs, &outputs))
+            .collect();
+        prop_assume!(properties
+            .iter()
+            .all(|p| wf::check(p, &voc).is_empty()));
+
+        let universe: Vec<Name> = voc.iter().collect();
+        let trace = build_trace(&steps, &universe);
+
+        // Oracle: each property's own monitor over the whole trace.
+        let mut expected = Vec::new();
+        for property in &properties {
+            let mut monitor =
+                build_monitor(property.clone(), &voc).expect("well-formed by construction");
+            let verdict = run_to_end(&mut monitor, &trace);
+            let kind = monitor.violation().map(|v| v.kind);
+            expected.push((verdict, kind));
+        }
+
+        // Engine, both modes, fed incrementally.
+        let engine = Engine::from_properties(properties, &voc)
+            .expect("well-formed by construction");
+        let mut reports = Vec::new();
+        for mode in [DispatchMode::Indexed, DispatchMode::Broadcast] {
+            let mut session = engine.session_with(mode);
+            for &event in trace.iter() {
+                session.ingest(event);
+            }
+            reports.push(session.finish(trace.end_time()));
+        }
+
+        for report in &reports {
+            for (p, (verdict, kind)) in report.properties.iter().zip(&expected) {
+                prop_assert_eq!(p.verdict, *verdict);
+                prop_assert_eq!(p.violation.as_ref().map(|v| v.kind), *kind);
+            }
+        }
+        // Indexed dispatch never works harder than broadcast.
+        prop_assert!(reports[0].stats.monitor_steps <= reports[1].stats.monitor_steps);
+        prop_assert_eq!(reports[1].stats.steps_skipped, 0);
+    }
+
+    /// Batched ingestion is equivalent to event-by-event ingestion.
+    #[test]
+    fn batch_matches_event_by_event(
+        specs in prop::collection::vec(property_strategy(), 1..=3),
+        steps in prop::collection::vec((0usize..16, 0u64..=120), 0..=24),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (inputs, outputs) = pools(&mut voc);
+        let properties: Vec<Property> = specs
+            .iter()
+            .map(|s| build_property(s, &inputs, &outputs))
+            .collect();
+        prop_assume!(properties
+            .iter()
+            .all(|p| wf::check(p, &voc).is_empty()));
+
+        let universe: Vec<Name> = voc.iter().collect();
+        let trace = build_trace(&steps, &universe);
+        let engine = Engine::from_properties(properties, &voc)
+            .expect("well-formed by construction");
+
+        let mut one = engine.session();
+        for &event in trace.iter() {
+            one.ingest(event);
+        }
+        let mut batched = engine.session();
+        batched.ingest_batch(trace.events());
+
+        let (a, b) = (one.finish(trace.end_time()), batched.finish(trace.end_time()));
+        for (x, y) in a.properties.iter().zip(&b.properties) {
+            prop_assert_eq!(x.verdict, y.verdict);
+        }
+        prop_assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    /// A reset session behaves like a fresh one (allocation reuse across
+    /// millions of short streams must not leak verdict state).
+    #[test]
+    fn reset_session_equals_fresh_session(
+        specs in prop::collection::vec(property_strategy(), 1..=3),
+        first in prop::collection::vec((0usize..16, 0u64..=120), 0..=16),
+        second in prop::collection::vec((0usize..16, 0u64..=120), 0..=16),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (inputs, outputs) = pools(&mut voc);
+        let properties: Vec<Property> = specs
+            .iter()
+            .map(|s| build_property(s, &inputs, &outputs))
+            .collect();
+        prop_assume!(properties
+            .iter()
+            .all(|p| wf::check(p, &voc).is_empty()));
+
+        let universe: Vec<Name> = voc.iter().collect();
+        let (t1, t2) = (build_trace(&first, &universe), build_trace(&second, &universe));
+        let engine = Engine::from_properties(properties, &voc)
+            .expect("well-formed by construction");
+
+        // Reused session: stream 1, reset, stream 2.
+        let mut reused = engine.session();
+        reused.ingest_batch(t1.events());
+        reused.finish(t1.end_time());
+        reused.reset();
+        reused.ingest_batch(t2.events());
+        let reused_report = reused.finish(t2.end_time());
+
+        // Fresh session: stream 2 only.
+        let mut fresh = engine.session();
+        fresh.ingest_batch(t2.events());
+        let fresh_report = fresh.finish(t2.end_time());
+
+        for (x, y) in reused_report.properties.iter().zip(&fresh_report.properties) {
+            prop_assert_eq!(x.verdict, y.verdict);
+        }
+        prop_assert_eq!(reused_report.stats, fresh_report.stats);
+    }
+}

@@ -39,6 +39,70 @@ impl std::fmt::Display for TraceParseError {
 
 impl std::error::Error for TraceParseError {}
 
+/// One parsed line of the trace text format. The single source of truth
+/// for the per-line grammar, shared by [`read_trace`] and streaming
+/// consumers (such as `lomon watch`) that parse one line at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLine<'a> {
+    /// An event line `<time> <in|out> <name>`.
+    Event {
+        /// The event's timestamp.
+        time: crate::SimTime,
+        /// Whether the name is an input or an output.
+        direction: Direction,
+        /// The interface name, borrowed from the line.
+        name: &'a str,
+    },
+    /// An `end <time>` line recording when observation stopped.
+    End(crate::SimTime),
+}
+
+/// Parse one line of the trace text format. Blank lines and `#` comments
+/// parse to `Ok(None)`.
+///
+/// Monotonicity across lines is the caller's concern ([`read_trace`]
+/// enforces it for whole files).
+///
+/// # Errors
+///
+/// Returns a human-readable message (without line number) on malformed
+/// fields.
+pub fn parse_trace_line(raw: &str) -> Result<Option<TraceLine<'_>>, String> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let first = fields.next().expect("non-empty line has a field");
+    if first == "end" {
+        let time_text = fields.next().ok_or("`end` requires a time")?;
+        let time = parse_sim_time(time_text)?;
+        if let Some(junk) = fields.next() {
+            return Err(format!("unexpected trailing field `{junk}`"));
+        }
+        return Ok(Some(TraceLine::End(time)));
+    }
+    let time = parse_sim_time(first)?;
+    let direction = match fields.next().ok_or("missing direction (`in` or `out`)")? {
+        "in" => Direction::Input,
+        "out" => Direction::Output,
+        other => {
+            return Err(format!(
+                "unknown direction `{other}` (expected `in` or `out`)"
+            ))
+        }
+    };
+    let name = fields.next().ok_or("missing event name")?;
+    if let Some(junk) = fields.next() {
+        return Err(format!("unexpected trailing field `{junk}`"));
+    }
+    Ok(Some(TraceLine::Event {
+        time,
+        direction,
+        name,
+    }))
+}
+
 /// Parse a trace from its text representation, interning names into `voc`.
 ///
 /// # Errors
@@ -49,72 +113,42 @@ pub fn read_trace(text: &str, voc: &mut Vocabulary) -> Result<Trace, TraceParseE
     let mut trace = Trace::new();
     let mut last_time = None;
     for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut fields = line.split_whitespace();
-        let first = fields.next().expect("non-empty line has a field");
-        if first == "end" {
-            let time_text = fields.next().ok_or_else(|| TraceParseError {
-                line: line_no,
-                message: "`end` requires a time".into(),
-            })?;
-            let time = parse_sim_time(time_text).map_err(|message| TraceParseError {
-                line: line_no,
-                message,
-            })?;
-            if let Some(last) = last_time {
-                if time < last {
-                    return Err(TraceParseError {
-                        line: line_no,
-                        message: format!("end time {time} precedes last event at {last}"),
-                    });
-                }
-            }
-            trace.set_end_time(time);
-            continue;
-        }
-        let time = parse_sim_time(first).map_err(|message| TraceParseError {
-            line: line_no,
+        let err = |message: String| TraceParseError {
+            line: idx + 1,
             message,
-        })?;
-        let dir_text = fields.next().ok_or_else(|| TraceParseError {
-            line: line_no,
-            message: "missing direction (`in` or `out`)".into(),
-        })?;
-        let direction = match dir_text {
-            "in" => Direction::Input,
-            "out" => Direction::Output,
-            other => {
-                return Err(TraceParseError {
-                    line: line_no,
-                    message: format!("unknown direction `{other}` (expected `in` or `out`)"),
-                })
-            }
         };
-        let name_text = fields.next().ok_or_else(|| TraceParseError {
-            line: line_no,
-            message: "missing event name".into(),
-        })?;
-        if let Some(junk) = fields.next() {
-            return Err(TraceParseError {
-                line: line_no,
-                message: format!("unexpected trailing field `{junk}`"),
-            });
-        }
-        if let Some(last) = last_time {
-            if time < last {
-                return Err(TraceParseError {
-                    line: line_no,
-                    message: format!("timestamp {time} precedes previous event at {last}"),
-                });
+        match parse_trace_line(raw).map_err(err)? {
+            None => {}
+            Some(TraceLine::End(time)) => {
+                if let Some(last) = last_time {
+                    if time < last {
+                        return Err(err(format!(
+                            "end time {time} precedes last event at {last}"
+                        )));
+                    }
+                }
+                trace.set_end_time(time);
+                // The end time advances the clock: a later event line may
+                // not jump back before it (`Trace::push` would panic).
+                last_time = Some(time);
+            }
+            Some(TraceLine::Event {
+                time,
+                direction,
+                name,
+            }) => {
+                if let Some(last) = last_time {
+                    if time < last {
+                        return Err(err(format!(
+                            "timestamp {time} precedes previous event at {last}"
+                        )));
+                    }
+                }
+                last_time = Some(time);
+                let name = voc.intern(name, direction);
+                trace.push(name, time);
             }
         }
-        last_time = Some(time);
-        let name = voc.intern(name_text, direction);
-        trace.push(name, time);
     }
     Ok(trace)
 }
@@ -218,6 +252,34 @@ mod tests {
 
         let err = read_trace("10ns in a\nend 5ns\n", &mut voc).unwrap_err();
         assert!(err.message.contains("precedes last event"));
+
+        // An event jumping back before a recorded end time must be a parse
+        // error, not a `Trace::push` panic.
+        let err = read_trace("end 100ns\n10ns in a\n", &mut voc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("precedes"));
+    }
+
+    #[test]
+    fn single_lines_parse_standalone() {
+        assert_eq!(parse_trace_line("  # comment"), Ok(None));
+        assert_eq!(parse_trace_line(""), Ok(None));
+        let parsed = parse_trace_line("10ns out set_irq").unwrap().unwrap();
+        assert_eq!(
+            parsed,
+            TraceLine::Event {
+                time: SimTime::from_ns(10),
+                direction: Direction::Output,
+                name: "set_irq",
+            }
+        );
+        assert_eq!(
+            parse_trace_line("end 5us"),
+            Ok(Some(TraceLine::End(SimTime::from_us(5))))
+        );
+        assert!(parse_trace_line("end 5us junk")
+            .unwrap_err()
+            .contains("trailing"));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod trace;
 pub mod vcd;
 
 pub use event::TimedEvent;
-pub use io::{read_trace, write_trace, TraceParseError};
+pub use io::{parse_trace_line, read_trace, write_trace, TraceLine, TraceParseError};
 pub use lexer::{LexedEvent, LexedToken, RunLengthLexer};
 pub use name::{Direction, Name, NameSet, Vocabulary};
 pub use time::SimTime;

@@ -1,34 +1,45 @@
-//! `lomon` — command-line trace-replay monitoring.
+//! `lomon` — command-line trace-replay and streaming monitoring.
 //!
 //! The practical entry point of the reproduction: check recorded traces
 //! (e.g. dumped from a real SystemC model) against loose-ordering
-//! properties, convert traces to VCD for waveform viewers, or generate
-//! labelled stimuli from a property.
+//! properties, watch a *live* event stream from stdin, convert traces to
+//! VCD for waveform viewers, or generate labelled stimuli from a property.
 //!
 //! ```text
 //! lomon check <trace-file> <property>...      replay a trace against properties
+//! lomon watch [--format trace|ndjson] <property>...
+//!                                             monitor an event stream from stdin
 //! lomon vcd   <trace-file>                    print the trace as VCD
 //! lomon gen   <property> [seed [episodes]]    print a generated satisfying trace
 //! lomon demo                                  record + check a platform run
 //! ```
+//!
+//! Both `check` and `watch` run on the `lomon-engine` subsystem: the
+//! property set is compiled once (every parse/well-formedness error is
+//! reported, not just the first), events are dispatched through the
+//! inverted name→monitor index, and the report includes the dispatch
+//! statistics.
 
+use std::io::BufRead as _;
 use std::process::ExitCode;
 
-use lomon::core::monitor::build_monitor;
 use lomon::core::parse::parse_property;
-use lomon::core::verdict::{run_to_end, Monitor};
+use lomon::engine::{Engine, Session};
 use lomon::gen::{generate, GeneratorConfig};
 use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
-use lomon::trace::{read_trace, write_trace, write_vcd, Vocabulary};
+use lomon::trace::{
+    read_trace, write_trace, write_vcd, Direction, SimTime, TimedEvent, TraceLine, Vocabulary,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") if args.len() >= 3 => check(&args[1], &args[2..]),
+        Some("watch") if args.len() >= 2 => watch(&args[1..]),
         Some("vcd") if args.len() == 2 => vcd(&args[1]),
         Some("gen") if args.len() >= 2 && args.len() <= 4 => gen(&args[1], &args[2..]),
         Some("demo") if args.len() == 1 => demo(),
-        Some(command @ ("check" | "vcd" | "gen" | "demo")) => {
+        Some(command @ ("check" | "watch" | "vcd" | "gen" | "demo")) => {
             eprintln!("error: wrong arguments for `lomon {command}`");
             usage()
         }
@@ -43,18 +54,34 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!("usage:");
     eprintln!("  lomon check <trace-file> <property>...");
+    eprintln!("  lomon watch [--format trace|ndjson] <property>...");
     eprintln!("  lomon vcd   <trace-file>");
     eprintln!("  lomon gen   <property> [seed [episodes]]");
     eprintln!("  lomon demo");
     eprintln!();
     eprintln!("property example:");
     eprintln!("  'all{{set_imgAddr, set_glAddr, set_glSize}} << start once'");
+    eprintln!();
+    eprintln!("watch reads events from stdin: `10ns in set_imgAddr` lines (trace");
+    eprintln!("format) or one JSON object per line (ndjson format), e.g.");
+    eprintln!("  {{\"time\": \"10ns\", \"dir\": \"in\", \"name\": \"set_imgAddr\"}}");
     ExitCode::from(2)
 }
 
 fn load(path: &str, voc: &mut Vocabulary) -> Result<lomon::trace::Trace, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     read_trace(&text, voc).map_err(|e| e.to_string())
+}
+
+/// Compile the whole property set, reporting *every* error before giving
+/// up — a long rulebook is fixed in one pass, not one error at a time.
+fn compile_all(properties: &[String], voc: &mut Vocabulary) -> Result<Engine, ExitCode> {
+    Engine::compile(properties, voc).map_err(|errors| {
+        for error in &errors {
+            eprintln!("error in property:\n{}", error.display(voc));
+        }
+        ExitCode::FAILURE
+    })
 }
 
 fn check(path: &str, properties: &[String]) -> ExitCode {
@@ -66,41 +93,349 @@ fn check(path: &str, properties: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let engine = match compile_all(properties, &mut voc) {
+        Ok(engine) => engine,
+        Err(code) => return code,
+    };
     println!(
         "{path}: {} events, end at {}",
         trace.len(),
         trace.end_time()
     );
-    let mut failures = 0;
-    for text in properties {
-        let property = match parse_property(text, &mut voc) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("error in property:\n{}", e.display_with_source(text));
-                return ExitCode::FAILURE;
-            }
-        };
-        let mut monitor = match build_monitor(property, &voc) {
-            Ok(m) => m,
-            Err(errors) => {
-                for e in errors {
-                    eprintln!("ill-formed property `{text}`: {}", e.display(&voc));
-                }
-                return ExitCode::FAILURE;
-            }
-        };
-        let verdict = run_to_end(&mut monitor, &trace);
-        println!("  [{verdict}] {text}");
-        if let Some(violation) = monitor.violation() {
-            println!("      {}", violation.display(&voc));
-            failures += 1;
-        }
-    }
-    if failures == 0 {
+    let mut session = engine.session();
+    session.ingest_batch(trace.events());
+    let report = session.finish(trace.end_time());
+    print!("{}", report.render(&voc));
+    if report.is_ok() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Input format of the `watch` stream.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StreamFormat {
+    /// The trace text format: `<time> <in|out> <name>`, optional `end <t>`.
+    Trace,
+    /// One flat JSON object per line:
+    /// `{"time": "10ns", "dir": "in", "name": "x"}` or `{"end": "500ns"}`.
+    Ndjson,
+}
+
+/// One parsed stream line.
+enum StreamLine {
+    Event {
+        time: SimTime,
+        direction: Direction,
+        name: String,
+    },
+    End(SimTime),
+}
+
+fn watch(args: &[String]) -> ExitCode {
+    let mut format = StreamFormat::Trace;
+    let mut properties: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--format" {
+            match iter.next() {
+                Some(v) => Some(v.as_str()),
+                None => {
+                    eprintln!("error: `--format` requires a value");
+                    return usage();
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--format=") {
+            Some(v)
+        } else if arg.starts_with("--") {
+            eprintln!("error: unknown flag `{arg}`");
+            return usage();
+        } else {
+            properties.push(arg.clone());
+            None
+        };
+        match value {
+            None => {}
+            Some("trace") => format = StreamFormat::Trace,
+            Some("ndjson") => format = StreamFormat::Ndjson,
+            Some(other) => {
+                eprintln!("error: unknown format `{other}` (expected `trace` or `ndjson`)");
+                return usage();
+            }
+        }
+    }
+    if properties.is_empty() {
+        eprintln!("error: `lomon watch` needs at least one property");
+        return usage();
+    }
+
+    let mut voc = Vocabulary::new();
+    let engine = match compile_all(&properties, &mut voc) {
+        Ok(engine) => engine,
+        Err(code) => return code,
+    };
+    let mut session = engine.session();
+
+    let stdin = std::io::stdin();
+    let mut last_time = SimTime::ZERO;
+    for (idx, line) in stdin.lock().lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = match format {
+            StreamFormat::Trace => parse_stream_trace_line(&line),
+            StreamFormat::Ndjson => parse_ndjson_line(&line),
+        };
+        match parsed {
+            Ok(None) => continue, // blank line or comment
+            Ok(Some(StreamLine::Event {
+                time,
+                direction,
+                name,
+            })) => {
+                if time < last_time {
+                    eprintln!(
+                        "error: stream line {line_no}: timestamp {time} precedes \
+                         previous event at {last_time}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                last_time = time;
+                let name = voc.intern(&name, direction);
+                session.ingest(TimedEvent::new(name, time));
+                report_finalized(&mut session, &voc, format);
+            }
+            Ok(Some(StreamLine::End(time))) => {
+                // Like `read_trace`: `end` advances the observation clock
+                // but the stream may continue (later events move the end
+                // further, exactly as `Trace::push` after `set_end_time`).
+                if time < last_time {
+                    eprintln!(
+                        "error: stream line {line_no}: end time {time} precedes \
+                         last event at {last_time}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                last_time = time;
+                session.advance_time(time);
+                report_finalized(&mut session, &voc, format);
+            }
+            Err(message) => {
+                eprintln!("error: stream line {line_no}: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if session.is_settled() {
+            break; // every verdict is final; the rest of the stream is moot
+        }
+    }
+
+    let report = session.finish(last_time);
+    report_finalized(&mut session, &voc, format);
+    match format {
+        StreamFormat::Trace => eprint!("{}", report.render(&voc)),
+        StreamFormat::Ndjson => {
+            // Verdicts that never finalized were not streamed above; a
+            // machine consumer still needs one line per property.
+            for p in report.properties.iter().filter(|p| !p.verdict.is_final()) {
+                println!(
+                    "{{\"property\": \"{}\", \"index\": {}, \"verdict\": \"{}\", \
+                     \"final\": false}}",
+                    json_escape(&p.property),
+                    p.index,
+                    p.verdict,
+                );
+            }
+            println!(
+                "{{\"summary\": true, \"events\": {}, \"monitor_steps\": {}, \
+                 \"steps_skipped\": {}, \"violations\": {}}}",
+                report.stats.events,
+                report.stats.monitor_steps,
+                report.stats.steps_skipped,
+                report.violations().count(),
+            );
+        }
+    }
+    if report.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Print the verdicts that finalized since the last call, as they happen.
+fn report_finalized(session: &mut Session<'_>, voc: &Vocabulary, format: StreamFormat) {
+    for id in session.take_newly_final() {
+        let id = id as usize;
+        let verdict = session.verdict(id);
+        let text = session.engine().property_display(id);
+        match format {
+            StreamFormat::Trace => {
+                println!("[{verdict}] {text}");
+                if let Some(violation) = session.violation(id) {
+                    println!("    {}", violation.display(voc));
+                }
+            }
+            StreamFormat::Ndjson => {
+                let diagnostic = session
+                    .violation(id)
+                    .map(|v| format!(", \"diagnostic\": \"{}\"", json_escape(&v.display(voc))))
+                    .unwrap_or_default();
+                println!(
+                    "{{\"property\": \"{}\", \"index\": {id}, \"verdict\": \"{}\"{diagnostic}}}",
+                    json_escape(text),
+                    verdict,
+                );
+            }
+        }
+    }
+}
+
+/// Parse one line of the trace text format, delegating the grammar to
+/// [`lomon::trace::parse_trace_line`] (one source of truth with
+/// `read_trace`).
+fn parse_stream_trace_line(line: &str) -> Result<Option<StreamLine>, String> {
+    Ok(
+        lomon::trace::parse_trace_line(line)?.map(|parsed| match parsed {
+            TraceLine::Event {
+                time,
+                direction,
+                name,
+            } => StreamLine::Event {
+                time,
+                direction,
+                name: name.to_owned(),
+            },
+            TraceLine::End(time) => StreamLine::End(time),
+        }),
+    )
+}
+
+/// Parse one NDJSON stream line: a flat JSON object with string values,
+/// either `{"time": …, "dir": …, "name": …}` (`dir` optional, default
+/// `in`) or `{"end": …}`.
+fn parse_ndjson_line(line: &str) -> Result<Option<StreamLine>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let pairs = parse_flat_json(trimmed)?;
+    let field = |key: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    if let Some(end) = field("end") {
+        return Ok(Some(StreamLine::End(lomon::trace::time::parse_sim_time(
+            end,
+        )?)));
+    }
+    let time_text = field("time").ok_or("missing `time` field")?;
+    let time = lomon::trace::time::parse_sim_time(time_text)?;
+    let direction = match field("dir") {
+        None | Some("in") => Direction::Input,
+        Some("out") => Direction::Output,
+        Some(other) => {
+            return Err(format!(
+                "unknown direction `{other}` (expected `in` or `out`)"
+            ))
+        }
+    };
+    let name = field("name").ok_or("missing `name` field")?.to_owned();
+    if name.is_empty() {
+        return Err("empty event name".into());
+    }
+    Ok(Some(StreamLine::Event {
+        time,
+        direction,
+        name,
+    }))
+}
+
+/// Minimal flat-JSON-object parser: `{"key": "value", …}` with string
+/// values only (`\"`, `\\`, `\n`, `\t` escapes). Enough for an event
+/// stream; a full JSON parser would be an external dependency.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut chars = text.chars().peekable();
+    let mut pairs = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while chars.next_if(|c| c.is_whitespace()).is_some() {}
+    }
+    fn string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+        skip_ws(chars);
+        if chars.next() != Some('"') {
+            return Err("expected `\"`".into());
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(format!("unsupported escape `\\{other:?}`")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected `{`".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            let key = string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key `{key}`"));
+            }
+            let value = string(&mut chars)?;
+            pairs.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}`".into()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(pairs)
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn vcd(path: &str) -> ExitCode {

@@ -11,6 +11,7 @@
 //! |---|---|---|
 //! | [`trace`] | `lomon-trace` | §2 interfaces, names, simulated time |
 //! | [`core`] | `lomon-core` | §3–§5 patterns, Fig. 5 recognizers, Drct monitors |
+//! | [`engine`] | `lomon-engine` | streaming multi-property engine, event-indexed dispatch |
 //! | [`psl`] | `lomon-psl` | §5 translation to PSL, ViaPSL baseline |
 //! | [`sync`] | `lomon-sync` | §6 Lustre-style synchronous validation |
 //! | [`gen`] | `lomon-gen` | §8 stimuli generation (future work) |
@@ -52,6 +53,7 @@
 //! ```
 
 pub use lomon_core as core;
+pub use lomon_engine as engine;
 pub use lomon_gen as gen;
 pub use lomon_kernel as kernel;
 pub use lomon_psl as psl;

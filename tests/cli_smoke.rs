@@ -2,27 +2,11 @@
 //! checked-in fixture, plus malformed invocations, which must exit non-zero
 //! with a usage message rather than panic.
 
+mod common;
+
 use std::path::Path;
-use std::process::{Command, Output};
 
-const FIXTURE: &str = "tests/fixtures/ipu_config.trace";
-const PROPERTY: &str = "all{set_imgAddr, set_glAddr, set_glSize} << start repeated";
-
-fn lomon(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_lomon"))
-        .args(args)
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .expect("spawn lomon")
-}
-
-fn stderr(output: &Output) -> String {
-    String::from_utf8_lossy(&output.stderr).into_owned()
-}
-
-fn stdout(output: &Output) -> String {
-    String::from_utf8_lossy(&output.stdout).into_owned()
-}
+use common::{lomon, stderr, stdout, FIXTURE, PROPERTY};
 
 #[test]
 fn fixture_is_checked_in() {

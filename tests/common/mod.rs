@@ -1,0 +1,54 @@
+//! Shared harness for the CLI integration suites (`cli_smoke`,
+//! `engine_stream`): spawn the `lomon` binary from the manifest directory
+//! and capture its output, optionally piping a stream to stdin.
+#![allow(dead_code)] // each suite uses its own subset of the helpers
+
+use std::io::Write as _;
+use std::path::Path;
+use std::process::{Command, Output, Stdio};
+
+/// The checked-in example trace (exactly `lomon gen <example-2> 7 3`).
+pub const FIXTURE: &str = "tests/fixtures/ipu_config.trace";
+
+/// The paper's Example 2, repeated flavour.
+pub const PROPERTY: &str = "all{set_imgAddr, set_glAddr, set_glSize} << start repeated";
+
+/// Run `lomon <args>` with nothing on stdin.
+pub fn lomon(args: &[&str]) -> Output {
+    lomon_with_stdin(args, "")
+}
+
+/// Run `lomon <args>` with `input` piped to stdin.
+pub fn lomon_with_stdin(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lomon"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lomon");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stream");
+    child.wait_with_output().expect("lomon exits")
+}
+
+/// The fixture's text, for piping through `lomon watch`.
+pub fn fixture_text() -> String {
+    std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join(FIXTURE))
+        .expect("read fixture")
+}
+
+/// Lossy UTF-8 view of captured stdout.
+pub fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Lossy UTF-8 view of captured stderr.
+pub fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}

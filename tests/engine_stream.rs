@@ -1,0 +1,229 @@
+//! End-to-end tests for `lomon watch`: pipe event streams through the
+//! binary's stdin and assert verdicts, exit codes and diagnostics — the
+//! CLI face of the `lomon-engine` subsystem. Also covers the engine-backed
+//! `lomon check` reporting *every* property error before giving up.
+
+mod common;
+
+use common::{fixture_text, lomon_with_stdin, stderr, stdout, FIXTURE, PROPERTY};
+
+#[test]
+fn fixture_stream_is_accepted() {
+    let output = lomon_with_stdin(&["watch", PROPERTY], &fixture_text());
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let report = stderr(&output);
+    assert!(
+        report.contains("[presumably satisfied]"),
+        "report: {report}"
+    );
+    assert!(report.contains("12 events"), "report: {report}");
+    // A repeated antecedent never finalizes mid-stream: nothing on stdout.
+    assert_eq!(stdout(&output), "");
+}
+
+#[test]
+fn violating_stream_reports_offending_event() {
+    // `start` before any configuration write: the violation must finalize
+    // mid-stream, name the offending event, and drive a non-zero exit.
+    let stream = "5ns in start\n20ns in set_imgAddr\n";
+    let output = lomon_with_stdin(
+        &[
+            "watch",
+            "all{set_imgAddr, set_glAddr, set_glSize} << start once",
+        ],
+        stream,
+    );
+    assert_eq!(output.status.code(), Some(1), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("[violated]"), "stdout: {text}");
+    assert!(text.contains("`start` at 5ns"), "stdout: {text}");
+    assert!(
+        text.contains("set_glAddr"),
+        "diagnostics list the expected names: {text}"
+    );
+}
+
+#[test]
+fn ndjson_stream_roundtrip() {
+    let stream = concat!(
+        "{\"time\": \"10ns\", \"dir\": \"in\", \"name\": \"set_imgAddr\"}\n",
+        "{\"time\": \"12ns\", \"name\": \"set_glAddr\"}\n",
+        "{\"time\": \"15ns\", \"name\": \"set_glSize\"}\n",
+        "{\"time\": \"20ns\", \"name\": \"start\"}\n",
+        "{\"end\": \"100ns\"}\n",
+    );
+    let output = lomon_with_stdin(
+        &[
+            "watch",
+            "--format",
+            "ndjson",
+            "all{set_imgAddr, set_glAddr, set_glSize} << start once",
+        ],
+        stream,
+    );
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(
+        text.contains("\"verdict\": \"satisfied\""),
+        "stdout: {text}"
+    );
+    assert!(text.contains("\"summary\": true"), "stdout: {text}");
+    assert!(text.contains("\"violations\": 0"), "stdout: {text}");
+}
+
+#[test]
+fn ndjson_violation_carries_diagnostic() {
+    let stream = "{\"time\": \"5ns\", \"name\": \"start\"}\n";
+    let output = lomon_with_stdin(
+        &[
+            "watch",
+            "--format=ndjson",
+            "all{set_imgAddr, set_glAddr} << start once",
+        ],
+        stream,
+    );
+    assert_eq!(output.status.code(), Some(1));
+    let text = stdout(&output);
+    assert!(text.contains("\"verdict\": \"violated\""), "stdout: {text}");
+    assert!(
+        text.contains("\"diagnostic\": \"`start` at 5ns"),
+        "stdout: {text}"
+    );
+    assert!(text.contains("\"violations\": 1"), "stdout: {text}");
+}
+
+#[test]
+fn ndjson_reports_unfinalized_verdicts_at_end() {
+    // A repeated antecedent never finalizes; the NDJSON consumer must
+    // still get one verdict line per property before the summary.
+    let stream = concat!(
+        "{\"time\": \"10ns\", \"name\": \"dma_setup\"}\n",
+        "{\"time\": \"20ns\", \"name\": \"dma_go\"}\n",
+    );
+    let output = lomon_with_stdin(
+        &[
+            "watch",
+            "--format",
+            "ndjson",
+            "dma_setup << dma_go repeated",
+        ],
+        stream,
+    );
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(
+        text.contains("\"verdict\": \"presumably satisfied\", \"final\": false"),
+        "stdout: {text}"
+    );
+    assert!(text.contains("\"summary\": true"), "stdout: {text}");
+}
+
+#[test]
+fn timed_deadline_expires_at_stream_end() {
+    let stream = "10ns in go\nend 500ns\n";
+    let output = lomon_with_stdin(&["watch", "go => out:done within 50 ns"], stream);
+    assert_eq!(output.status.code(), Some(1));
+    let report = stderr(&output);
+    assert!(report.contains("[violated]"), "report: {report}");
+    assert!(report.contains("deadline"), "report: {report}");
+}
+
+#[test]
+fn multiple_properties_stream_together() {
+    let output = lomon_with_stdin(
+        &["watch", PROPERTY, "start << set_imgAddr once"],
+        &fixture_text(),
+    );
+    // The second property is violated by the fixture (a write precedes the
+    // first start); the first stays fine.
+    assert_eq!(output.status.code(), Some(1));
+    let report = stderr(&output);
+    assert!(
+        report.contains("[presumably satisfied]"),
+        "report: {report}"
+    );
+    assert!(stdout(&output).contains("[violated]"));
+    assert!(report.contains("dispatch:"), "report: {report}");
+}
+
+#[test]
+fn malformed_stream_line_is_rejected() {
+    let output = lomon_with_stdin(&["watch", PROPERTY], "banana in start\n");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("stream line 1"));
+
+    let output = lomon_with_stdin(
+        &["watch", "--format", "ndjson", PROPERTY],
+        "{\"time\": \"10ns\"}\n",
+    );
+    assert_eq!(output.status.code(), Some(1));
+    let text = stderr(&output);
+    assert!(text.contains("missing `name` field"), "stderr: {text}");
+}
+
+#[test]
+fn time_travel_in_stream_is_rejected() {
+    let output = lomon_with_stdin(&["watch", PROPERTY], "10ns in noise\n5ns in noise\n");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("precedes"));
+}
+
+#[test]
+fn watch_usage_errors() {
+    // No properties at all.
+    let output = lomon_with_stdin(&["watch"], "");
+    assert_eq!(output.status.code(), Some(2));
+    // Flags but no property.
+    let output = lomon_with_stdin(&["watch", "--format", "ndjson"], "");
+    assert_eq!(output.status.code(), Some(2));
+    // Unknown format.
+    let output = lomon_with_stdin(&["watch", "--format", "xml", PROPERTY], "");
+    assert_eq!(output.status.code(), Some(2));
+    // Unknown flag.
+    let output = lomon_with_stdin(&["watch", "--frobnicate", PROPERTY], "");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn watch_reports_every_bad_property() {
+    let output = lomon_with_stdin(
+        &["watch", "all{unclosed << start", PROPERTY, "a << a once"],
+        "",
+    );
+    assert_eq!(output.status.code(), Some(1));
+    let text = stderr(&output);
+    assert!(text.contains("property 1"), "stderr: {text}");
+    assert!(text.contains("property 3"), "stderr: {text}");
+    assert!(text.contains("ill-formed"), "stderr: {text}");
+}
+
+#[test]
+fn check_reports_every_bad_property_then_none_of_the_stats() {
+    // Satellite: `lomon check` must validate the whole property set first
+    // and report each failure with its source context.
+    let output = lomon_with_stdin(
+        &["check", FIXTURE, "all{unclosed << start", "b << b once"],
+        "",
+    );
+    assert_eq!(output.status.code(), Some(1));
+    let text = stderr(&output);
+    assert!(text.contains("error in property"), "stderr: {text}");
+    assert!(text.contains("property 1"), "stderr: {text}");
+    assert!(text.contains("property 2"), "stderr: {text}");
+    assert!(text.contains('^'), "caret line into the source: {text}");
+    // No half-reported run: stats come only with a fully valid rulebook.
+    assert!(
+        !stdout(&output).contains("events"),
+        "stdout: {}",
+        stdout(&output)
+    );
+}
+
+#[test]
+fn check_reports_dispatch_stats() {
+    let output = lomon_with_stdin(&["check", FIXTURE, PROPERTY], "");
+    assert!(output.status.success());
+    let text = stdout(&output);
+    assert!(text.contains("dispatch:"), "stdout: {text}");
+    assert!(text.contains("12 events"), "stdout: {text}");
+}
