@@ -146,6 +146,16 @@ impl<'e> Session<'e> {
     /// Declare end of observation and return the report. All still-live
     /// monitors get their final deadline check at `end_time`.
     pub fn finish(&mut self, end_time: SimTime) -> EngineReport {
+        self.close(end_time);
+        self.report()
+    }
+
+    /// Declare end of observation without materializing a report — the
+    /// allocation-free variant of [`Session::finish`] for callers that poll
+    /// verdicts with [`Session::verdict`] in a tight reuse loop (e.g. an
+    /// SMC campaign running millions of episodes through one session).
+    /// Idempotent, like `finish`.
+    pub fn close(&mut self, end_time: SimTime) {
         if !self.finished {
             for id in 0..self.monitors.len() {
                 if !self.active[id] {
@@ -158,7 +168,6 @@ impl<'e> Session<'e> {
             }
             self.finished = true;
         }
-        self.report()
     }
 
     /// Snapshot the current per-property verdicts and dispatch statistics

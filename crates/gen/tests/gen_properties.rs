@@ -1,0 +1,109 @@
+//! Property-based guarantees of the generation/mutation/coverage layer:
+//!
+//! * every [`Mutant`] labelled `violates()` must actually drive the
+//!   property's Drct monitor to `Violated` under `run_to_end` — the
+//!   mutation oracle and the monitors must never disagree on a negative
+//!   test, for any property shape, base seed or mutation seed;
+//! * [`Coverage::overall`] is monotone under [`Coverage::record`]: more
+//!   traces can only reveal more of the specification, never less.
+
+use proptest::prelude::*;
+
+use lomon_core::monitor::build_monitor;
+use lomon_core::parse::parse_property;
+use lomon_core::verdict::{run_to_end, Verdict};
+use lomon_gen::{generate, mutate, Coverage, GeneratorConfig, Mutant};
+use lomon_trace::Vocabulary;
+
+/// A spread of property shapes: plain and ranged names, `∧`/`∨` fragments,
+/// multi-fragment chains, one-shot and repeated, timed implications.
+const TEXTS: &[&str] = &[
+    "a << i once",
+    "n[2,4] << i once",
+    "all{a, b, c} << go repeated",
+    "any{a, b} << go repeated",
+    "all{a, b} < any{c[2,3], d} < e << i repeated",
+    "all{a, b} < c << i once",
+    "start => read[2,3] < irq within 1 ms",
+    "go => out1 < out2[1,2] within 500 us",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The satellite guarantee: `violates() == true` ⟹ the monitor ends
+    /// `Violated` on the mutant's trace. (The converse is checked too —
+    /// a non-violating label must leave the monitor un-violated — so the
+    /// labels are exact, not just sound.)
+    #[test]
+    fn violating_mutants_violate_under_run_to_end(
+        text_ix in 0usize..TEXTS.len(),
+        base_seed in 0u64..500,
+        mutation_seed in 0u64..500,
+    ) {
+        let text = TEXTS[text_ix];
+        let mut voc = Vocabulary::new();
+        let property = parse_property(text, &mut voc).expect(text);
+        let base = generate(&property, &GeneratorConfig::new(base_seed)).trace;
+        let mutants: Vec<Mutant> = mutate(&property, &base, 12, mutation_seed);
+        prop_assert!(!mutants.is_empty(), "{text}: no mutants from a non-empty base");
+        for mutant in mutants {
+            let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+            let verdict = run_to_end(&mut monitor, &mutant.trace);
+            if mutant.violates() {
+                prop_assert_eq!(
+                    verdict,
+                    Verdict::Violated,
+                    "{}: {:?} labelled violating but monitor says {}",
+                    text,
+                    mutant.kind,
+                    verdict
+                );
+            } else {
+                // Labels are exact: the untimed oracle accepting means the
+                // monitor must not flag an (untimed) ordering violation.
+                // Timed properties may still miss deadlines on re-spaced
+                // timestamps, so restrict the converse to antecedents.
+                if !text.contains("within") {
+                    prop_assert!(
+                        verdict.is_ok(),
+                        "{}: {:?} labelled legal but monitor says {}",
+                        text,
+                        mutant.kind,
+                        verdict
+                    );
+                }
+            }
+        }
+    }
+
+    /// Coverage only grows: recording any sequence of generated traces
+    /// yields a non-decreasing `overall()` (and the three dimensions it is
+    /// the minimum of stay within [0, 1]).
+    #[test]
+    fn coverage_overall_is_monotone_under_record(
+        text_ix in 0usize..TEXTS.len(),
+        seeds in prop::collection::vec(0u64..10_000, 1..24),
+    ) {
+        let text = TEXTS[text_ix];
+        let mut voc = Vocabulary::new();
+        let property = parse_property(text, &mut voc).expect(text);
+        let mut coverage = Coverage::new(&property);
+        let mut last = coverage.overall();
+        prop_assert!(last >= 0.0);
+        for seed in seeds {
+            coverage.record(&generate(&property, &GeneratorConfig::new(seed)));
+            let now = coverage.overall();
+            prop_assert!(
+                now >= last,
+                "{}: overall() fell from {} to {} after seed {}",
+                text,
+                last,
+                now,
+                seed
+            );
+            prop_assert!(now <= 1.0 + 1e-9);
+            last = now;
+        }
+    }
+}

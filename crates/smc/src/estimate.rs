@@ -1,0 +1,99 @@
+//! Probability estimation with Chernoff–Hoeffding confidence bounds.
+//!
+//! An SMC campaign treats each episode as a Bernoulli trial per property —
+//! the episode either satisfies the property or violates it — and estimates
+//! the unknown satisfaction probability `p` by the empirical mean `p̂`.
+//! The Hoeffding inequality bounds the two-sided estimation error:
+//!
+//! ```text
+//! Pr(|p̂ − p| ≥ ε) ≤ 2·exp(−2·n·ε²)
+//! ```
+//!
+//! Solving `2·exp(−2nε²) ≤ δ` either way gives the two planning functions
+//! of this module: [`required_episodes`] (the Okamoto bound — how many
+//! episodes buy a target half-width `ε` at risk `δ`) and [`half_width`]
+//! (the `ε` a given episode count actually bought). These are the bounds
+//! used by Ngo & Legay's SystemC statistical model checker (PSCV), which
+//! this subsystem reproduces on top of the loose-ordering monitors.
+
+/// Episodes required so that `Pr(|p̂ − p| ≥ epsilon) ≤ delta` — the
+/// Okamoto/Chernoff–Hoeffding sample-size bound `⌈ln(2/δ) / (2ε²)⌉`.
+///
+/// # Panics
+///
+/// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+///
+/// # Example
+///
+/// ```
+/// use lomon_smc::estimate::required_episodes;
+/// // ±0.05 at 95% confidence needs 738 episodes.
+/// assert_eq!(required_episodes(0.05, 0.05), 738);
+/// ```
+pub fn required_episodes(epsilon: f64, delta: f64) -> u64 {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon={epsilon} out of (0,1)"
+    );
+    assert!(delta > 0.0 && delta < 1.0, "delta={delta} out of (0,1)");
+    ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as u64
+}
+
+/// The half-width `ε = √(ln(2/δ) / 2n)` that `trials` episodes bought at
+/// risk `delta`: the interval `p̂ ± ε` contains the true probability with
+/// probability at least `1 − δ`.
+///
+/// Returns `1.0` (the vacuous bound) for zero trials.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1`.
+pub fn half_width(trials: u64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta={delta} out of (0,1)");
+    if trials == 0 {
+        return 1.0;
+    }
+    ((2.0 / delta).ln() / (2.0 * trials as f64)).sqrt().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn okamoto_bound_matches_textbook_values() {
+        // ln(2/0.05)/(2·0.05²) = 737.78 → 738; tighter ε is quadratic.
+        assert_eq!(required_episodes(0.05, 0.05), 738);
+        assert_eq!(required_episodes(0.01, 0.05), 18_445);
+        // Lower risk is only logarithmic.
+        assert_eq!(required_episodes(0.05, 0.01), 1_060);
+    }
+
+    #[test]
+    fn bounds_are_mutually_inverse() {
+        for (epsilon, delta) in [(0.1, 0.05), (0.02, 0.01), (0.2, 0.3)] {
+            let n = required_episodes(epsilon, delta);
+            // n episodes buy at least the requested precision…
+            assert!(half_width(n, delta) <= epsilon + 1e-12);
+            // …and one episode fewer does not.
+            assert!(half_width(n - 1, delta) > epsilon);
+        }
+    }
+
+    #[test]
+    fn half_width_shrinks_with_trials() {
+        assert_eq!(half_width(0, 0.05), 1.0);
+        let wide = half_width(10, 0.05);
+        let narrow = half_width(1_000, 0.05);
+        assert!(narrow < wide);
+        assert!(narrow > 0.0);
+        // Tiny samples clamp to the vacuous bound.
+        assert_eq!(half_width(1, 0.05), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_vacuous_epsilon() {
+        let _ = required_episodes(1.0, 0.05);
+    }
+}

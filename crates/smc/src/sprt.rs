@@ -1,0 +1,270 @@
+//! Wald's sequential probability ratio test (SPRT) for Bernoulli verdicts.
+//!
+//! Hypothesis testing answers the qualitative SMC question — *is the
+//! satisfaction probability at least θ?* — without fixing the episode count
+//! in advance. Following Younes' formulation (used by Ngo & Legay's PSCV
+//! for SystemC), the test takes an indifference region `(p1, p0)` with
+//! `p1 < p0` and decides between
+//!
+//! * `H0`: `p ≥ p0` (the property holds often enough), and
+//! * `H1`: `p ≤ p1` (it does not),
+//!
+//! by accumulating the log-likelihood ratio of the observed episode
+//! verdicts and stopping as soon as it crosses either of Wald's thresholds
+//! `ln((1−β)/α)` (accept `H1`) or `ln(β/(1−α))` (accept `H0`). The expected
+//! episode count is typically far below the fixed-size Okamoto bound — the
+//! early-stopping payoff the campaign layer exploits.
+
+use std::fmt;
+
+/// Parameters of one SPRT: the indifference region and the error bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtConfig {
+    /// `H0` threshold: the test accepts `H0` when `p ≥ p0`.
+    pub p0: f64,
+    /// `H1` threshold: the test accepts `H1` when `p ≤ p1` (`p1 < p0`).
+    pub p1: f64,
+    /// Bound on the type-I error (wrongly rejecting `H0`).
+    pub alpha: f64,
+    /// Bound on the type-II error (wrongly accepting `H0`).
+    pub beta: f64,
+}
+
+/// An invalid [`SprtConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SprtConfigError(String);
+
+impl fmt::Display for SprtConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SprtConfigError {}
+
+impl SprtConfig {
+    /// A test of `H0: p ≥ p0` vs `H1: p ≤ p1` with `α = β = 0.05`.
+    ///
+    /// # Errors
+    ///
+    /// Requires `0 ≤ p1 < p0 ≤ 1`.
+    pub fn new(p0: f64, p1: f64) -> Result<Self, SprtConfigError> {
+        SprtConfig {
+            p0,
+            p1,
+            alpha: 0.05,
+            beta: 0.05,
+        }
+        .validated()
+    }
+
+    /// Override the error bounds (each must lie in `(0, 0.5)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint, if any.
+    pub fn with_errors(mut self, alpha: f64, beta: f64) -> Result<Self, SprtConfigError> {
+        self.alpha = alpha;
+        self.beta = beta;
+        self.validated()
+    }
+
+    fn validated(self) -> Result<Self, SprtConfigError> {
+        if !(0.0..=1.0).contains(&self.p1) || !(0.0..=1.0).contains(&self.p0) {
+            return Err(SprtConfigError(format!(
+                "p0={} and p1={} must lie in [0,1]",
+                self.p0, self.p1
+            )));
+        }
+        if self.p1 >= self.p0 {
+            return Err(SprtConfigError(format!(
+                "the indifference region needs p1 < p0, got p1={} >= p0={}",
+                self.p1, self.p0
+            )));
+        }
+        for (label, e) in [("alpha", self.alpha), ("beta", self.beta)] {
+            if !(e > 0.0 && e < 0.5) {
+                return Err(SprtConfigError(format!("{label}={e} out of (0, 0.5)")));
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// The verdict an SPRT can reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprtDecision {
+    /// `p ≥ p0` accepted: the satisfaction probability is high enough.
+    AcceptH0,
+    /// `p ≤ p1` accepted: the satisfaction probability is too low.
+    AcceptH1,
+}
+
+impl fmt::Display for SprtDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SprtDecision::AcceptH0 => "accept H0 (p >= p0)",
+            SprtDecision::AcceptH1 => "accept H1 (p <= p1)",
+        })
+    }
+}
+
+/// One running test: feed episode verdicts in a fixed order with
+/// [`Sprt::observe`]; the decision, once reached, is final and further
+/// observations are ignored. Determinism of the campaign layer rests on
+/// the feeding order being episode-index order, never worker order.
+#[derive(Debug, Clone)]
+pub struct Sprt {
+    config: SprtConfig,
+    /// Log-likelihood increment of a satisfying episode, `ln(p1/p0)`.
+    success_weight: f64,
+    /// Log-likelihood increment of a violating episode,
+    /// `ln((1−p1)/(1−p0))`.
+    failure_weight: f64,
+    /// Accept `H1` when the ratio reaches `ln((1−β)/α)`.
+    upper: f64,
+    /// Accept `H0` when the ratio reaches `ln(β/(1−α))`.
+    lower: f64,
+    llr: f64,
+    trials: u64,
+    decision: Option<SprtDecision>,
+}
+
+impl Sprt {
+    /// Start a test with no observations.
+    pub fn new(config: SprtConfig) -> Self {
+        Sprt {
+            config,
+            success_weight: (config.p1 / config.p0).ln(),
+            failure_weight: ((1.0 - config.p1) / (1.0 - config.p0)).ln(),
+            upper: ((1.0 - config.beta) / config.alpha).ln(),
+            lower: (config.beta / (1.0 - config.alpha)).ln(),
+            llr: 0.0,
+            trials: 0,
+            decision: None,
+        }
+    }
+
+    /// The parameters this test runs with.
+    pub fn config(&self) -> SprtConfig {
+        self.config
+    }
+
+    /// Feed one episode verdict; returns the decision if this observation
+    /// (or an earlier one) settled the test.
+    ///
+    /// Degenerate hypotheses resolve in the natural way through the
+    /// log-weights: with `p1 = 0` a single satisfying episode yields an
+    /// infinitely negative ratio (accept `H0` — `p ≤ 0` is refuted), and
+    /// with `p0 = 1` a single violating episode accepts `H1`.
+    pub fn observe(&mut self, satisfied: bool) -> Option<SprtDecision> {
+        if self.decision.is_some() {
+            return self.decision;
+        }
+        self.trials += 1;
+        self.llr += if satisfied {
+            self.success_weight
+        } else {
+            self.failure_weight
+        };
+        if self.llr >= self.upper {
+            self.decision = Some(SprtDecision::AcceptH1);
+        } else if self.llr <= self.lower {
+            self.decision = Some(SprtDecision::AcceptH0);
+        }
+        self.decision
+    }
+
+    /// The decision, if the test has stopped.
+    pub fn decision(&self) -> Option<SprtDecision> {
+        self.decision
+    }
+
+    /// Episodes consumed before the test stopped (all of them, while it is
+    /// still running).
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The accumulated log-likelihood ratio.
+    pub fn llr(&self) -> f64 {
+        self.llr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_until_decision(p: f64, config: SprtConfig, seed: u64) -> (SprtDecision, u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sprt = Sprt::new(config);
+        for _ in 0..1_000_000 {
+            if let Some(decision) = sprt.observe(rng.gen_bool(p)) {
+                return (decision, sprt.trials());
+            }
+        }
+        panic!("SPRT failed to stop at p={p}");
+    }
+
+    #[test]
+    fn config_is_validated() {
+        assert!(SprtConfig::new(0.9, 0.7).is_ok());
+        assert!(SprtConfig::new(0.7, 0.7).is_err());
+        assert!(SprtConfig::new(0.5, 0.9).is_err());
+        assert!(SprtConfig::new(1.2, 0.5).is_err());
+        assert!(SprtConfig::new(0.9, 0.7)
+            .unwrap()
+            .with_errors(0.5, 0.1)
+            .is_err());
+    }
+
+    #[test]
+    fn clear_separation_decides_correctly_and_quickly() {
+        let config = SprtConfig::new(0.9, 0.5).unwrap();
+        for seed in 1..=20 {
+            let (decision, trials) = run_until_decision(0.98, config, seed);
+            assert_eq!(decision, SprtDecision::AcceptH0, "seed {seed}");
+            assert!(trials < 100, "seed {seed} took {trials} episodes");
+            let (decision, trials) = run_until_decision(0.2, config, 100 + seed);
+            assert_eq!(decision, SprtDecision::AcceptH1, "seed {seed}");
+            assert!(trials < 100, "seed {seed} took {trials} episodes");
+        }
+    }
+
+    #[test]
+    fn error_rate_is_roughly_bounded() {
+        // True p exactly at p0: accepting H1 is a type-I error, bounded by
+        // alpha = 0.05. Count errors over 200 independent runs.
+        let config = SprtConfig::new(0.8, 0.5).unwrap();
+        let errors = (0..200)
+            .filter(|&seed| run_until_decision(0.8, config, seed).0 == SprtDecision::AcceptH1)
+            .count();
+        assert!(errors <= 24, "type-I errors: {errors}/200");
+    }
+
+    #[test]
+    fn decision_is_sticky() {
+        let mut sprt = Sprt::new(SprtConfig::new(0.9, 0.1).unwrap());
+        while sprt.observe(false).is_none() {}
+        let decision = sprt.decision().unwrap();
+        let trials = sprt.trials();
+        // Contradictory evidence after the stop changes nothing.
+        for _ in 0..50 {
+            assert_eq!(sprt.observe(true), Some(decision));
+        }
+        assert_eq!(sprt.trials(), trials);
+    }
+
+    #[test]
+    fn degenerate_hypotheses_resolve_on_one_counterexample() {
+        // H1: p <= 0 — one success refutes it.
+        let mut sprt = Sprt::new(SprtConfig::new(0.5, 0.0).unwrap());
+        assert_eq!(sprt.observe(true), Some(SprtDecision::AcceptH0));
+        // H0: p >= 1 — one failure refutes it.
+        let mut sprt = Sprt::new(SprtConfig::new(1.0, 0.5).unwrap());
+        assert_eq!(sprt.observe(false), Some(SprtDecision::AcceptH1));
+    }
+}

@@ -1,0 +1,266 @@
+//! Campaign-level guarantees, checked against ground truth:
+//!
+//! * **oracle convergence** — on a model whose episode space is small
+//!   enough to enumerate exhaustively, the Chernoff–Hoeffding interval of
+//!   every property must contain the exactly computed satisfaction
+//!   probability;
+//! * **jobs-determinism** — the same `(model, seed, mode)` must produce a
+//!   bit-identical report for every worker count, for estimation and SPRT
+//!   campaigns alike (the tentpole invariant of `lomon-smc`);
+//! * **SPRT early stopping** — clearly separated hypotheses must decide
+//!   long before the episode cap, with the decision matching ground truth.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use lomon_core::monitor::build_monitor;
+use lomon_core::parse::parse_property;
+use lomon_core::verdict::run_to_end;
+use lomon_smc::{
+    Campaign, CampaignConfig, CampaignMode, EpisodeModel, GenModel, ScenarioModel, SprtConfig,
+    SprtDecision,
+};
+use lomon_tlm::scenario::ScenarioConfig;
+use lomon_trace::{Name, SimTime, TimedEvent, Trace, Vocabulary};
+
+/// The enumerable model: each episode is a uniformly random permutation of
+/// the three events `a`, `b`, `go` — 6 equiprobable outcomes, so every
+/// property's satisfaction probability is exactly (satisfying
+/// permutations)/6.
+struct PermutationModel {
+    voc: Vocabulary,
+    names: [Name; 3],
+    properties: Vec<String>,
+}
+
+impl PermutationModel {
+    fn new(properties: Vec<String>) -> Self {
+        let mut voc = Vocabulary::new();
+        let names = [voc.input("a"), voc.input("b"), voc.input("go")];
+        PermutationModel {
+            voc,
+            names,
+            properties,
+        }
+    }
+
+    /// All 6 orderings of the three events.
+    fn all_episodes(&self) -> Vec<Vec<Name>> {
+        let [a, b, go] = self.names;
+        vec![
+            vec![a, b, go],
+            vec![a, go, b],
+            vec![b, a, go],
+            vec![b, go, a],
+            vec![go, a, b],
+            vec![go, b, a],
+        ]
+    }
+
+    /// Exhaustive ground truth for one property: the exact fraction of
+    /// episodes whose trace satisfies it, computed by the per-property
+    /// monitor (`run_to_end`), independently of the campaign machinery.
+    fn ground_truth(&self, text: &str) -> f64 {
+        let mut voc = self.voc.clone();
+        let property = parse_property(text, &mut voc).expect("property parses");
+        let episodes = self.all_episodes();
+        let satisfied = episodes
+            .iter()
+            .filter(|names| {
+                let trace = Trace::from_names(names.iter().copied());
+                let mut monitor = build_monitor(property.clone(), &voc).expect("well-formed");
+                run_to_end(&mut monitor, &trace).is_ok()
+            })
+            .count();
+        satisfied as f64 / episodes.len() as f64
+    }
+}
+
+impl EpisodeModel for PermutationModel {
+    fn properties(&self) -> Vec<String> {
+        self.properties.clone()
+    }
+
+    fn vocabulary(&self) -> Vocabulary {
+        self.voc.clone()
+    }
+
+    fn episode(&self, seed: u64, out: &mut Vec<TimedEvent>) -> SimTime {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut names = self.names;
+        names.shuffle(&mut rng);
+        for (k, name) in names.into_iter().enumerate() {
+            out.push(TimedEvent::new(name, SimTime::from_ns(10 * (k as u64 + 1))));
+        }
+        SimTime::from_ns(40)
+    }
+}
+
+fn permutation_properties() -> Vec<String> {
+    vec![
+        // go must come last: 2 of 6 permutations → p = 1/3.
+        "all{a, b} << go once".to_owned(),
+        // a before go: 3 of 6 permutations → p = 1/2.
+        "a << go once".to_owned(),
+    ]
+}
+
+#[test]
+fn estimator_interval_contains_the_exhaustive_probability() {
+    let model = PermutationModel::new(permutation_properties());
+    let campaign = Campaign::new(&model, CampaignConfig::estimate_with_precision(2024, 0.04))
+        .expect("compiles");
+    let report = campaign.run();
+    assert!(report.episodes >= 1_000, "Okamoto bound sizes the campaign");
+    for (estimate, text) in report.properties.iter().zip(permutation_properties()) {
+        let truth = model.ground_truth(&text);
+        assert!(
+            estimate.contains(truth),
+            "{text}: interval {:?} misses exhaustive probability {truth} \
+             (mean {}, half-width {})",
+            estimate.interval(),
+            estimate.mean,
+            estimate.half_width,
+        );
+        // The interval is non-vacuous: it actually separates 1/3 from 1/2.
+        assert!(estimate.half_width < 0.05);
+    }
+    // Sanity on the ground truths themselves.
+    assert_eq!(model.ground_truth(&permutation_properties()[0]), 1.0 / 3.0);
+    assert_eq!(model.ground_truth(&permutation_properties()[1]), 0.5);
+}
+
+#[test]
+fn estimation_reports_are_identical_for_every_worker_count() {
+    let model = PermutationModel::new(permutation_properties());
+    let reference = Campaign::new(&model, CampaignConfig::estimate(7, 500).with_jobs(1))
+        .expect("compiles")
+        .run();
+    for jobs in [2, 3, 5, 8] {
+        let report = Campaign::new(&model, CampaignConfig::estimate(7, 500).with_jobs(jobs))
+            .expect("compiles")
+            .run();
+        assert_eq!(report, reference, "jobs={jobs} changed the report");
+    }
+    // A different seed *does* change it (the equality above is not vacuous).
+    let other = Campaign::new(&model, CampaignConfig::estimate(8, 500).with_jobs(1))
+        .expect("compiles")
+        .run();
+    assert_ne!(other, reference);
+}
+
+#[test]
+fn sprt_reports_are_identical_for_every_worker_count() {
+    let model = PermutationModel::new(permutation_properties());
+    let sprt = SprtConfig::new(0.9, 0.6).expect("valid");
+    let reference = Campaign::new(&model, CampaignConfig::sprt(11, sprt).with_jobs(1))
+        .expect("compiles")
+        .run();
+    for jobs in [2, 4, 7] {
+        let report = Campaign::new(&model, CampaignConfig::sprt(11, sprt).with_jobs(jobs))
+            .expect("compiles")
+            .run();
+        assert_eq!(report, reference, "jobs={jobs} changed the SPRT report");
+    }
+}
+
+#[test]
+fn sprt_decides_correctly_and_stops_early() {
+    // Truths: 1/3 and 1/2 — both well below the indifference region
+    // (0.6, 0.9), so both tests must accept H1 far before the cap.
+    let model = PermutationModel::new(permutation_properties());
+    let sprt = SprtConfig::new(0.9, 0.6).expect("valid");
+    let mut config = CampaignConfig::sprt(3, sprt);
+    if let CampaignMode::Sprt { max_episodes, .. } = &mut config.mode {
+        *max_episodes = 10_000;
+    }
+    let report = Campaign::new(&model, config).expect("compiles").run();
+    assert!(report.all_decided());
+    assert!(report.any_rejected());
+    for estimate in &report.properties {
+        let sprt = estimate.sprt.as_ref().expect("SPRT campaign");
+        assert_eq!(sprt.decision, Some(SprtDecision::AcceptH1));
+    }
+    assert!(
+        report.episodes < 1_000,
+        "early stopping consumed {} episodes",
+        report.episodes
+    );
+}
+
+#[test]
+fn sprt_accepts_h0_on_an_always_satisfied_property() {
+    // `x << y once` over names the episodes never emit: the monitor ends
+    // PresumablySatisfied every episode → p = 1.
+    let mut properties = permutation_properties();
+    properties.push("x << y once".to_owned());
+    let mut model = PermutationModel::new(properties);
+    model.voc.input("x");
+    model.voc.input("y");
+    let sprt = SprtConfig::new(0.9, 0.6).expect("valid");
+    let report = Campaign::new(&model, CampaignConfig::sprt(5, sprt))
+        .expect("compiles")
+        .run();
+    let last = report.properties.last().unwrap();
+    assert_eq!(
+        last.sprt.as_ref().unwrap().decision,
+        Some(SprtDecision::AcceptH0)
+    );
+    assert_eq!(last.mean, 1.0);
+}
+
+#[test]
+fn scenario_campaigns_are_deterministic_across_jobs() {
+    // The real workload: full platform simulations with randomized fault
+    // injection, monitored through per-worker sessions.
+    let model = ScenarioModel::new(ScenarioConfig::nominal(1)).with_fault_probability(0.4);
+    let reference = Campaign::new(&model, CampaignConfig::estimate(21, 24).with_jobs(1))
+        .expect("compiles")
+        .run();
+    for jobs in [2, 4] {
+        let report = Campaign::new(&model, CampaignConfig::estimate(21, 24).with_jobs(jobs))
+            .expect("compiles")
+            .run();
+        assert_eq!(report, reference, "jobs={jobs} changed the scenario report");
+    }
+    // Faults were actually drawn: some episode violated something.
+    assert!(
+        reference.properties.iter().any(|p| p.mean < 1.0),
+        "fault injection never produced a violation: {reference:?}"
+    );
+    // And nominal episodes exist too.
+    assert!(reference.properties.iter().all(|p| p.mean > 0.0));
+}
+
+#[test]
+fn fault_free_scenarios_estimate_probability_one() {
+    let model = ScenarioModel::new(ScenarioConfig::nominal(2));
+    let report = Campaign::new(&model, CampaignConfig::estimate(9, 8))
+        .expect("compiles")
+        .run();
+    for estimate in &report.properties {
+        assert_eq!(estimate.mean, 1.0, "{}", estimate.property);
+        assert_eq!(estimate.successes, 8);
+    }
+    assert!(report.events > 0);
+    assert!(report.monitor_steps > 0);
+}
+
+#[test]
+fn gen_model_campaigns_run_and_are_deterministic() {
+    let model = GenModel::new(vec!["all{a, b, c} << go repeated".to_owned()])
+        .expect("anchor parses")
+        .with_mutation_probability(0.7);
+    let a = Campaign::new(&model, CampaignConfig::estimate(13, 400).with_jobs(3))
+        .expect("compiles")
+        .run();
+    let b = Campaign::new(&model, CampaignConfig::estimate(13, 400).with_jobs(1))
+        .expect("compiles")
+        .run();
+    assert_eq!(a, b);
+    let p = &a.properties[0];
+    // Un-mutated episodes always satisfy; mutated ones usually violate —
+    // the estimate must land strictly inside (0, 1).
+    assert!(p.mean > 0.0 && p.mean < 1.0, "mean {}", p.mean);
+}

@@ -202,8 +202,11 @@ pub fn case_study_firmware(config: &ScenarioConfig) -> Firmware {
     Firmware::new("face-recognition", program)
 }
 
-/// The two case-study properties, over the scenario's parameters.
-fn properties(config: &ScenarioConfig) -> Vec<(String, String)> {
+/// The two case-study properties, over the scenario's parameters —
+/// `(label, source text)` pairs, in attachment order. Public so campaign
+/// layers (e.g. `lomon-smc`) can monitor the same rulebook through their
+/// own engine instead of the hub's per-run monitors.
+pub fn case_study_properties(config: &ScenarioConfig) -> Vec<(String, String)> {
     let gl = config.gallery_size;
     let budget_ns = config.budget.as_ns();
     vec![
@@ -231,7 +234,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     // Attach the two case-study monitors.
     let mut monitors = Vec::new();
     if config.monitors {
-        for (label, text) in properties(config) {
+        for (label, text) in case_study_properties(config) {
             let property = parse_property(&text, &mut voc).expect("scenario property parses");
             let monitor = build_monitor(property, &voc).expect("scenario property is well-formed");
             monitors.push((label, monitor));
@@ -418,7 +421,7 @@ mod tests {
         let report = run_scenario(&ScenarioConfig::nominal(21));
         // Rebuild fresh monitors and replay the recorded trace.
         let mut voc = report.vocabulary.clone();
-        for (label, text) in properties(&ScenarioConfig::nominal(21)) {
+        for (label, text) in case_study_properties(&ScenarioConfig::nominal(21)) {
             let property = parse_property(&text, &mut voc).expect("parses");
             let mut monitor = build_monitor(property, &voc).expect("well-formed");
             let verdict = lomon_core::verdict::run_to_end(&mut monitor, &report.trace);

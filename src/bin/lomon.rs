@@ -6,9 +6,10 @@
 //! VCD for waveform viewers, or generate labelled stimuli from a property.
 //!
 //! ```text
-//! lomon check <trace-file> <property>...      replay a trace against properties
+//! lomon check <trace-file>... <property>...   replay trace file(s) against properties
 //! lomon watch [--format trace|ndjson] <property>...
 //!                                             monitor an event stream from stdin
+//! lomon smc   [options] [property...]         statistical model-checking campaign
 //! lomon vcd   <trace-file>                    print the trace as VCD
 //! lomon gen   <property> [seed [episodes]]    print a generated satisfying trace
 //! lomon demo                                  record + check a platform run
@@ -18,7 +19,15 @@
 //! property set is compiled once (every parse/well-formedness error is
 //! reported, not just the first), events are dispatched through the
 //! inverted name→monitor index, and the report includes the dispatch
-//! statistics.
+//! statistics. `check` accepts any number of trace files (the leading
+//! arguments that name readable files) and replays them all through one
+//! compiled engine, resetting a single session between files; the exit
+//! code is non-zero if *any* file violates *any* property.
+//!
+//! `smc` runs a `lomon-smc` campaign: many seed-randomized episodes —
+//! platform simulations (default) or `lomon-gen` stimuli over a trace
+//! file — monitored in parallel, with Chernoff–Hoeffding estimates and
+//! optional SPRT hypothesis tests per property.
 
 use std::io::BufRead as _;
 use std::process::ExitCode;
@@ -26,6 +35,9 @@ use std::process::ExitCode;
 use lomon::core::parse::parse_property;
 use lomon::engine::{Engine, Session};
 use lomon::gen::{generate, GeneratorConfig};
+use lomon::smc::{
+    Campaign, CampaignConfig, CampaignMode, EpisodeModel, GenModel, ScenarioModel, SprtConfig,
+};
 use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
 use lomon::trace::{
     read_trace, write_trace, write_vcd, Direction, SimTime, TimedEvent, TraceLine, Vocabulary,
@@ -34,8 +46,9 @@ use lomon::trace::{
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") if args.len() >= 3 => check(&args[1], &args[2..]),
+        Some("check") if args.len() >= 3 => check(&args[1..]),
         Some("watch") if args.len() >= 2 => watch(&args[1..]),
+        Some("smc") => smc(&args[1..]),
         Some("vcd") if args.len() == 2 => vcd(&args[1]),
         Some("gen") if args.len() >= 2 && args.len() <= 4 => gen(&args[1], &args[2..]),
         Some("demo") if args.len() == 1 => demo(),
@@ -53,8 +66,11 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!("usage:");
-    eprintln!("  lomon check <trace-file> <property>...");
+    eprintln!("  lomon check <trace-file>... <property>...");
     eprintln!("  lomon watch [--format trace|ndjson] <property>...");
+    eprintln!("  lomon smc   [--episodes N] [--jobs J] [--seed S] [--confidence C]");
+    eprintln!("              [--epsilon E] [--sprt P0 P1] [--fault-prob Q]");
+    eprintln!("              [--trace <file> [--mutation-prob Q]] [property...]");
     eprintln!("  lomon vcd   <trace-file>");
     eprintln!("  lomon gen   <property> [seed [episodes]]");
     eprintln!("  lomon demo");
@@ -65,6 +81,12 @@ fn usage() -> ExitCode {
     eprintln!("watch reads events from stdin: `10ns in set_imgAddr` lines (trace");
     eprintln!("format) or one JSON object per line (ndjson format), e.g.");
     eprintln!("  {{\"time\": \"10ns\", \"dir\": \"in\", \"name\": \"set_imgAddr\"}}");
+    eprintln!();
+    eprintln!("smc runs a statistical model-checking campaign: platform episodes");
+    eprintln!("with randomized fault injection (default; properties optional), or");
+    eprintln!("--trace <file> episodes mutating a recorded trace (the first");
+    eprintln!("property anchors the mutations). --sprt tests H0: p >= P0 against");
+    eprintln!("H1: p <= P1 per property and exits 1 if any property accepts H1.");
     ExitCode::from(2)
 }
 
@@ -84,29 +106,67 @@ fn compile_all(properties: &[String], voc: &mut Vocabulary) -> Result<Engine, Ex
     })
 }
 
-fn check(path: &str, properties: &[String]) -> ExitCode {
+fn check(args: &[String]) -> ExitCode {
+    // The leading arguments that name readable files are the traces; the
+    // rest are properties. A leading argument that is *not* a file but
+    // does not look like a property either is still an intended trace
+    // path (a typo'd or missing file), so its diagnostic stays "cannot
+    // read …" rather than a property parse error over a filename. Every
+    // valid property contains `<` (`<<` or `<`-chains or `=>` … `within`
+    // carries whitespace) or whitespace or `{`; file paths practically
+    // never do.
+    let looks_like_property =
+        |a: &str| a.contains(char::is_whitespace) || a.contains(['<', '{', '=']);
+    let split = args
+        .iter()
+        .position(|a| !std::path::Path::new(a).is_file() && looks_like_property(a))
+        .unwrap_or(args.len())
+        .max(1);
+    let (paths, properties) = args.split_at(split);
+    if properties.is_empty() {
+        eprintln!("error: `lomon check` needs at least one property after the trace file(s)");
+        return usage();
+    }
+
+    // Load every trace first (their vocabularies merge), then compile the
+    // property set once — one engine and one session serve all files.
     let mut voc = Vocabulary::new();
-    let trace = match load(path, &mut voc) {
-        Ok(t) => t,
-        Err(message) => {
-            eprintln!("error: {message}");
-            return ExitCode::FAILURE;
+    let mut traces = Vec::with_capacity(paths.len());
+    for path in paths {
+        match load(path, &mut voc) {
+            Ok(trace) => traces.push(trace),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
+    }
     let engine = match compile_all(properties, &mut voc) {
         Ok(engine) => engine,
         Err(code) => return code,
     };
-    println!(
-        "{path}: {} events, end at {}",
-        trace.len(),
-        trace.end_time()
-    );
     let mut session = engine.session();
-    session.ingest_batch(trace.events());
-    let report = session.finish(trace.end_time());
-    print!("{}", report.render(&voc));
-    if report.is_ok() {
+    let mut all_ok = true;
+    for (path, trace) in paths.iter().zip(&traces) {
+        session.reset();
+        println!(
+            "{path}: {} events, end at {}",
+            trace.len(),
+            trace.end_time()
+        );
+        session.ingest_batch(trace.events());
+        let report = session.finish(trace.end_time());
+        print!("{}", report.render(&voc));
+        all_ok &= report.is_ok();
+    }
+    if paths.len() > 1 {
+        println!(
+            "{} files checked: {}",
+            paths.len(),
+            if all_ok { "all ok" } else { "violations found" }
+        );
+    }
+    if all_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -436,6 +496,207 @@ fn json_escape(text: &str) -> String {
         }
     }
     out
+}
+
+/// Parse `text` as a `T`, or print an error naming `flag` and exit-code 2.
+fn parse_flag_value<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, ExitCode> {
+    text.parse().map_err(|_| {
+        eprintln!("error: `{flag}` value `{text}` is not valid");
+        usage()
+    })
+}
+
+fn smc(args: &[String]) -> ExitCode {
+    let mut episodes: Option<u64> = None;
+    let mut jobs = 0usize;
+    let mut seed = 1u64;
+    let mut confidence = 0.95f64;
+    // Mode-dependent flags stay `None` unless the user passed them, so a
+    // flag that the selected mode would silently ignore is an error, not a
+    // silently different campaign.
+    let mut epsilon: Option<f64> = None;
+    let mut sprt: Option<(f64, f64)> = None;
+    let mut fault_prob: Option<f64> = None;
+    let mut trace_path: Option<String> = None;
+    let mut mutation_prob: Option<f64> = None;
+    let mut properties: Vec<String> = Vec::new();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| match iter.next() {
+            Some(v) => Ok(v.as_str()),
+            None => {
+                eprintln!("error: `{flag}` requires a value");
+                Err(usage())
+            }
+        };
+        macro_rules! flag_value {
+            ($flag:expr) => {
+                match value($flag).and_then(|raw| parse_flag_value($flag, raw)) {
+                    Ok(parsed) => parsed,
+                    Err(code) => return code,
+                }
+            };
+        }
+        match arg.as_str() {
+            "--episodes" => episodes = Some(flag_value!("--episodes")),
+            "--jobs" => jobs = flag_value!("--jobs"),
+            "--seed" => seed = flag_value!("--seed"),
+            "--confidence" => confidence = flag_value!("--confidence"),
+            "--epsilon" => epsilon = Some(flag_value!("--epsilon")),
+            "--fault-prob" => fault_prob = Some(flag_value!("--fault-prob")),
+            "--mutation-prob" => mutation_prob = Some(flag_value!("--mutation-prob")),
+            "--trace" => {
+                let raw = match value("--trace") {
+                    Ok(raw) => raw,
+                    Err(code) => return code,
+                };
+                trace_path = Some(raw.to_owned());
+            }
+            "--sprt" => sprt = Some((flag_value!("--sprt"), flag_value!("--sprt"))),
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag `{flag}`");
+                return usage();
+            }
+            property => properties.push(property.to_owned()),
+        }
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        eprintln!("error: `--confidence` must lie strictly between 0 and 1");
+        return usage();
+    }
+    if epsilon.is_some_and(|e| !(e > 0.0 && e < 1.0)) {
+        eprintln!("error: `--epsilon` must lie strictly between 0 and 1");
+        return usage();
+    }
+    for (flag, p) in [
+        ("--fault-prob", fault_prob),
+        ("--mutation-prob", mutation_prob),
+    ] {
+        if p.is_some_and(|p| !(0.0..=1.0).contains(&p)) {
+            eprintln!("error: `{flag}` must lie in [0, 1]");
+            return usage();
+        }
+    }
+    // Reject flag combinations the selected mode would ignore.
+    if epsilon.is_some() && episodes.is_some() {
+        eprintln!("error: `--epsilon` sizes the campaign; it conflicts with `--episodes`");
+        return usage();
+    }
+    if epsilon.is_some() && sprt.is_some() {
+        eprintln!("error: `--epsilon` only applies to estimation campaigns, not `--sprt`");
+        return usage();
+    }
+    if trace_path.is_some() && fault_prob.is_some() {
+        eprintln!("error: `--fault-prob` applies to platform campaigns, not `--trace`");
+        return usage();
+    }
+    if trace_path.is_none() && mutation_prob.is_some() {
+        eprintln!("error: `--mutation-prob` requires `--trace`");
+        return usage();
+    }
+
+    // Assemble the mode: SPRT with early stopping, or fixed-size
+    // estimation sized by the Okamoto bound when `--episodes` is absent.
+    let mode = match sprt {
+        Some((p0, p1)) => match SprtConfig::new(p0, p1) {
+            Ok(config) => CampaignMode::Sprt {
+                config,
+                max_episodes: episodes.unwrap_or(100_000),
+            },
+            Err(e) => {
+                eprintln!("error: invalid `--sprt`: {e}");
+                return usage();
+            }
+        },
+        None => CampaignMode::Estimate {
+            episodes: episodes.unwrap_or_else(|| {
+                lomon::smc::estimate::required_episodes(epsilon.unwrap_or(0.05), 1.0 - confidence)
+            }),
+        },
+    };
+    let config = CampaignConfig {
+        seed,
+        jobs,
+        confidence,
+        mode,
+    };
+
+    // Assemble the model and run. The two arms carry different concrete
+    // model types, so the campaign runs inside a small generic helper.
+    match trace_path {
+        None => {
+            let fault_prob = fault_prob.unwrap_or(0.2);
+            let mut model = ScenarioModel::new(ScenarioConfig::nominal(seed))
+                .with_fault_probability(fault_prob);
+            if !properties.is_empty() {
+                model = model.with_properties(properties);
+            }
+            println!(
+                "smc: platform campaign, fault probability {fault_prob}, seed {seed}, jobs {}",
+                lomon::smc::effective_jobs(jobs)
+            );
+            run_smc(&model, &config)
+        }
+        Some(path) => {
+            if properties.is_empty() {
+                eprintln!("error: `lomon smc --trace` needs at least one property");
+                return usage();
+            }
+            let mut voc = Vocabulary::new();
+            let base = match load(&path, &mut voc) {
+                Ok(trace) => trace,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let model = match GenModel::from_trace(properties, base, voc) {
+                Ok(model) => model,
+                Err(message) => {
+                    eprintln!("error in property:\n{message}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mutation_prob = mutation_prob.unwrap_or(0.5);
+            let model = model.with_mutation_probability(mutation_prob);
+            println!(
+                "smc: trace campaign over {path}, mutation probability {mutation_prob}, \
+                 seed {seed}, jobs {}",
+                lomon::smc::effective_jobs(jobs)
+            );
+            run_smc(&model, &config)
+        }
+    }
+}
+
+/// Compile, run and render one campaign; the exit code is 1 when an SPRT
+/// accepted `H1` (the satisfaction probability is below the threshold).
+fn run_smc<M: EpisodeModel>(model: &M, config: &CampaignConfig) -> ExitCode {
+    let campaign = match Campaign::new(model, *config) {
+        Ok(campaign) => campaign,
+        Err(lomon::smc::CampaignError::Compile(errors)) => {
+            let voc = model.vocabulary();
+            for error in &errors {
+                eprintln!("error in property:\n{}", error.display(&voc));
+            }
+            return ExitCode::FAILURE;
+        }
+        Err(other) => {
+            eprintln!("error: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let started = std::time::Instant::now();
+    let report = campaign.run();
+    let elapsed = started.elapsed();
+    print!("{}", report.render());
+    println!("  wall clock: {:.2?}", elapsed);
+    if report.any_rejected() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn vcd(path: &str) -> ExitCode {

@@ -17,6 +17,7 @@
 //! | [`gen`] | `lomon-gen` | §8 stimuli generation (future work) |
 //! | [`kernel`] | `lomon-kernel` | SystemC-like simulation kernel |
 //! | [`tlm`] | `lomon-tlm` | §2/Fig. 1 virtual face-recognition platform |
+//! | [`smc`] | `lomon-smc` | statistical model checking: parallel campaigns, Chernoff–Hoeffding estimation, SPRT |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@ pub use lomon_engine as engine;
 pub use lomon_gen as gen;
 pub use lomon_kernel as kernel;
 pub use lomon_psl as psl;
+pub use lomon_smc as smc;
 pub use lomon_sync as sync;
 pub use lomon_tlm as tlm;
 pub use lomon_trace as trace;

@@ -122,3 +122,174 @@ fn missing_trace_file_is_rejected() {
     assert_eq!(output.status.code(), Some(1));
     assert!(stderr(&output).contains("cannot read"));
 }
+
+#[test]
+fn check_accepts_whitespace_free_properties() {
+    // Spaces around `<<` and the `once` modality are optional; the
+    // file/property split must not mistake such a property for a path.
+    let output = lomon(&["check", FIXTURE, "set_imgAddr<<start"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("[satisfied] set_imgAddr<<start"));
+}
+
+#[test]
+fn check_names_the_unreadable_file_in_multi_file_mode() {
+    // A typo'd second path must produce the file diagnostic, not a
+    // property parse error rendered over the filename.
+    let output = lomon(&["check", FIXTURE, "typo.trace", PROPERTY]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("cannot read typo.trace"));
+}
+
+#[test]
+fn check_replays_multiple_files_through_one_engine() {
+    let output = lomon(&["check", FIXTURE, FIXTURE, FIXTURE, PROPERTY]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert_eq!(
+        text.matches("12 events, end at").count(),
+        3,
+        "one per-file header each: {text}"
+    );
+    assert_eq!(text.matches("presumably satisfied").count(), 3);
+    assert!(text.contains("3 files checked: all ok"), "stdout: {text}");
+}
+
+#[test]
+fn multi_file_check_exit_code_combines_all_files() {
+    // A second file that violates the property: the combined exit code is
+    // non-zero even though the first file is clean.
+    let dir = std::env::temp_dir().join(format!("lomon-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.trace");
+    std::fs::write(&bad, "10ns in start\n20ns in set_imgAddr\nend 30ns\n").expect("write trace");
+    let output = lomon(&["check", FIXTURE, bad.to_str().unwrap(), PROPERTY]);
+    assert_eq!(output.status.code(), Some(1), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("violations found"), "stdout: {text}");
+    assert!(text.contains("presumably satisfied"), "stdout: {text}");
+    assert!(text.contains("violated"), "stdout: {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn smc_scenario_campaign_runs() {
+    let output = lomon(&[
+        "smc",
+        "--episodes",
+        "8",
+        "--jobs",
+        "2",
+        "--seed",
+        "3",
+        "--fault-prob",
+        "0",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("platform campaign"), "stdout: {text}");
+    // Fault-free episodes satisfy both case-study properties exactly.
+    assert_eq!(text.matches("= 1.0000").count(), 2, "stdout: {text}");
+    assert!(text.contains("8 episodes"), "stdout: {text}");
+}
+
+#[test]
+fn smc_reports_are_jobs_independent() {
+    let run = |jobs: &str| {
+        let output = lomon(&[
+            "smc",
+            "--episodes",
+            "12",
+            "--jobs",
+            jobs,
+            "--seed",
+            "9",
+            "--fault-prob",
+            "0.5",
+        ]);
+        assert!(output.status.success(), "stderr: {}", stderr(&output));
+        // Strip the (timing) footer lines; keep the statistical content.
+        stdout(&output)
+            .lines()
+            .filter(|l| !l.contains("wall clock") && !l.contains("jobs"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(run("1"), run("3"));
+}
+
+#[test]
+fn smc_sprt_rejects_faulty_platform() {
+    let output = lomon(&[
+        "smc",
+        "--sprt",
+        "0.9",
+        "0.4",
+        "--seed",
+        "2",
+        "--fault-prob",
+        "0.8",
+    ]);
+    assert_eq!(output.status.code(), Some(1), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("accept H1"), "stdout: {text}");
+}
+
+#[test]
+fn smc_trace_campaign_estimates_mutation_survival() {
+    let output = lomon(&[
+        "smc",
+        "--trace",
+        FIXTURE,
+        PROPERTY,
+        "--episodes",
+        "32",
+        "--mutation-prob",
+        "1",
+        "--seed",
+        "6",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("trace campaign"), "stdout: {text}");
+    assert!(text.contains("32 episodes"), "stdout: {text}");
+}
+
+#[test]
+fn smc_rejects_malformed_invocations() {
+    for args in [
+        &["smc", "--episodes", "abc"] as &[&str],
+        &["smc", "--sprt", "0.5", "0.9"], // p1 must be below p0
+        &["smc", "--sprt", "0.9"],        // missing second value
+        &["smc", "--confidence", "2"],
+        &["smc", "--unknown-flag"],
+        &["smc", "--trace"], // missing value
+        // Flags the selected mode would ignore are rejected, not dropped.
+        &["smc", "--mutation-prob", "0.5"], // needs --trace
+        &[
+            "smc",
+            "--trace",
+            FIXTURE,
+            "--fault-prob",
+            "0.5",
+            "a << b once",
+        ],
+        &["smc", "--epsilon", "0.1", "--episodes", "5"],
+        &["smc", "--epsilon", "0.1", "--sprt", "0.9", "0.5"],
+    ] {
+        let output = lomon(args);
+        assert_eq!(output.status.code(), Some(2), "args: {args:?}");
+        assert!(stderr(&output).contains("usage:"), "args: {args:?}");
+    }
+    // `--trace` without a property is a usage error too.
+    let output = lomon(&["smc", "--trace", FIXTURE]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("at least one property"));
+}
+
+#[test]
+fn smc_reports_property_errors_before_running() {
+    let output = lomon(&["smc", "--episodes", "2", "all{unclosed << start"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("error in property"));
+}

@@ -1,0 +1,178 @@
+//! Differential test of the two cost models: `lomon-core`'s Drct estimate
+//! and `lomon-psl`'s ViaPSL estimate are computed by independent code in
+//! different crates, but both describe the *same* properties — the shared
+//! paper examples of Section 7 / Fig. 6. This suite recomputes every
+//! Θ-level quantity a third time, directly from the shared AST, and checks
+//! that each crate agrees with it (and hence with the other), then checks
+//! the cross-model relations the paper's comparison rests on.
+
+use lomon::core::ast::{LooseOrdering, Property};
+use lomon::core::complexity::drct_cost;
+use lomon::core::parse::parse_property;
+use lomon::psl::complexity::viapsl_cost;
+use lomon::trace::Vocabulary;
+
+/// The examples shared by the two crates' suites and EXPERIMENTS: the
+/// Fig. 6-style rows plus the paper's Examples 2 and 3.
+const SHARED_EXAMPLES: &[&str] = &[
+    "n << i repeated",
+    "n << i once",
+    "n[2,8] << i repeated",
+    "n[100,60000] << i repeated",
+    "all{n1, n2, n3, n4} << i once",
+    "all{n1, n2, n3, n4, n5} << i once",
+    "all{a, b} < any{c[2,8], d} < e << i repeated",
+    "all{set_imgAddr, set_glAddr, set_glSize} << start once",
+    "n1 => n2 < n3 < n4 within 1 ms",
+    "start => read_img[2,4] < set_irq within 1 ms",
+    "n1 => n2[100,60000] < n3 < n4 within 1 ms",
+];
+
+fn parse(text: &str) -> (Property, Vocabulary) {
+    let mut voc = Vocabulary::new();
+    let property = parse_property(text, &mut voc).expect(text);
+    (property, voc)
+}
+
+fn orderings(property: &Property) -> Vec<&LooseOrdering> {
+    match property {
+        Property::Antecedent(a) => vec![&a.antecedent],
+        Property::Timed(t) => vec![&t.premise, &t.response],
+    }
+}
+
+/// The paper's Drct Θ quantities, recomputed here from the AST alone.
+fn ast_theta(property: &Property) -> (u64, u64, u32) {
+    let orderings = orderings(property);
+    let time = orderings
+        .iter()
+        .map(|l| l.max_fragment_alpha() as u64)
+        .max()
+        .unwrap_or(0);
+    let space = orderings.iter().map(|l| l.total_alpha() as u64).sum();
+    let max_bound = orderings
+        .iter()
+        .flat_map(|l| l.ranges())
+        .map(|r| r.max)
+        .max()
+        .unwrap_or(0);
+    (time, space, max_bound)
+}
+
+/// The paper's ViaPSL Θ expression `Σ widths² + Σ |F_j|·|F_{j−1}|`,
+/// recomputed here from the AST alone, mirroring the translation's episode
+/// normalization without touching `lomon-psl` internals: an antecedent's
+/// content is `P`'s fragments (the trigger is a bare token, no range); a
+/// timed implication's content is `P·Q` minus its final fragment, whose
+/// single range becomes the episode boundary and still contributes its
+/// squared width.
+fn ast_viapsl_theta(property: &Property) -> u64 {
+    let (content, trigger_width) = match property {
+        Property::Antecedent(a) => (a.antecedent.fragments.clone(), None),
+        Property::Timed(t) => {
+            let mut content = t.all_fragments();
+            let last = content.pop().expect("well-formed response is non-empty");
+            (content, Some(last.ranges[0].width()))
+        }
+    };
+    let mut units: u64 = content
+        .iter()
+        .flat_map(|f| f.ranges.iter())
+        .map(|r| r.width() * r.width())
+        .sum();
+    if let Some(width) = trigger_width {
+        units += width * width;
+    }
+    for j in 1..content.len() {
+        units += (content[j].ranges.len() * content[j - 1].ranges.len()) as u64;
+    }
+    units
+}
+
+/// Both crates must agree with the AST-level recomputation (and therefore
+/// with each other) on every shared example.
+#[test]
+fn both_estimates_agree_with_the_shared_ast() {
+    for text in SHARED_EXAMPLES {
+        let (property, _) = parse(text);
+        let drct = drct_cost(&property);
+        let viapsl = viapsl_cost(&property).expect(text);
+
+        let (theta_time, theta_space, max_bound) = ast_theta(&property);
+        assert_eq!(drct.theta_time, theta_time, "Drct θ-time for {text}");
+        assert_eq!(drct.theta_space, theta_space, "Drct θ-space for {text}");
+        assert_eq!(drct.max_bound, max_bound, "Drct max bound for {text}");
+
+        assert_eq!(
+            viapsl.theta_units,
+            ast_viapsl_theta(&property),
+            "ViaPSL θ-units for {text}"
+        );
+        // Internal consistency of the ViaPSL closed form.
+        assert_eq!(viapsl.ops_per_event, viapsl.formula_nodes, "{text}");
+        assert_eq!(
+            viapsl.state_bits,
+            lomon::psl::complexity::BITS_PER_NODE * viapsl.formula_nodes,
+            "{text}"
+        );
+    }
+}
+
+/// The cross-model relations of Section 7, on every shared example:
+/// ViaPSL can never beat Drct, the gap is driven by range widths, and the
+/// bound-tracking agrees across the two crates.
+#[test]
+fn cross_model_relations_hold_on_every_shared_example() {
+    for text in SHARED_EXAMPLES {
+        let (property, _) = parse(text);
+        let drct = drct_cost(&property);
+        let viapsl = viapsl_cost(&property).expect(text);
+
+        // ViaPSL per-event work dominates Drct's Θ-time on every example.
+        assert!(
+            viapsl.ops_per_event >= drct.theta_time,
+            "{text}: ViaPSL {} ops/event below Drct θ-time {}",
+            viapsl.ops_per_event,
+            drct.theta_time
+        );
+        // Same for state.
+        assert!(
+            viapsl.state_bits >= drct.state_bits,
+            "{text}: ViaPSL {} state bits below Drct {}",
+            viapsl.state_bits,
+            drct.state_bits
+        );
+        // Both models see the same widest range: ViaPSL's quadratic term
+        // must reach the square of the bound Drct tracks (when any range
+        // is non-trivial, i.e. the lexer is engaged).
+        if viapsl.delta_ops > 0 {
+            let width = u64::from(drct.max_bound);
+            assert!(
+                viapsl.theta_units >= width,
+                "{text}: θ-units {} below the max bound {width} Drct tracks",
+                viapsl.theta_units
+            );
+        }
+        // The headline separation: a range width of 60000 explodes ViaPSL
+        // by orders of magnitude while Drct's θ-time stays put.
+        if text.contains("60000") {
+            assert!(viapsl.ops_per_event > 1_000_000_000, "{text}");
+            assert!(drct.theta_time <= 2, "{text}");
+        }
+    }
+}
+
+/// The Fig. 6 shape, stated differentially: widening one range changes
+/// *neither* Drct θ-measure but multiplies the ViaPSL estimate.
+#[test]
+fn widening_a_range_separates_the_models() {
+    let (narrow, _) = parse("n << i repeated");
+    let (wide, _) = parse("n[100,60000] << i repeated");
+    let drct_narrow = drct_cost(&narrow);
+    let drct_wide = drct_cost(&wide);
+    assert_eq!(drct_narrow.theta_time, drct_wide.theta_time);
+    assert_eq!(drct_narrow.theta_space, drct_wide.theta_space);
+    let viapsl_narrow = viapsl_cost(&narrow).unwrap();
+    let viapsl_wide = viapsl_cost(&wide).unwrap();
+    assert!(viapsl_wide.ops_per_event > 1_000_000 * viapsl_narrow.ops_per_event.max(1));
+}
