@@ -1,0 +1,383 @@
+//! Hot-loop cost of one monitored event: compiled flat-table backend vs
+//! the tree-walking interpreter — the perf story of the compiled backend.
+//!
+//! Three workloads, all through an indexed-dispatch engine [`Session`]:
+//!
+//! * `single` — one antecedent property, every event steps one monitor;
+//! * `disjoint-50` — 50 properties over pairwise-disjoint alphabets, the
+//!   index routes every event to exactly one monitor (per-step cost with
+//!   dispatch overhead amortized over one step);
+//! * `overlap-50` — 50 properties over one *shared* alphabet, every event
+//!   steps all 50 monitors (pure per-step cost, dominant in practice when
+//!   rulebooks watch the same interface).
+//!
+//! Run `cargo run -p lomon-bench --bin hot_loop --release` to print the
+//! table and (re)write the machine-readable `BENCH_hot_loop.json` at the
+//! current directory (the repo tracks it at the root as the perf
+//! trajectory anchor).
+//!
+//! `--check` is the CI gate: both backends must agree on every verdict
+//! *and* every per-monitor ops counter, and the compiled backend must be
+//! at least [`GATE_SPEEDUP`]× faster (ns/event) than the interpreter on
+//! the two 50-property workloads. With `--baseline <path>` the fresh
+//! speedups are additionally compared against the committed
+//! `BENCH_hot_loop.json`: a drop below [`BASELINE_TOLERANCE`] of the
+//! recorded speedup fails the run — the floor that ratchets up as future
+//! optimization PRs commit better baselines (at today's committed
+//! speedups the static [`GATE_SPEEDUP`] floor is the binding one). The
+//! `single` workload is reported but not gated — with one monitor per
+//! event the session's fixed dispatch overhead dilutes the ratio and
+//! makes it noisy.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lomon_engine::{Backend, DispatchMode, Engine, Session};
+use lomon_trace::{SimTime, TimedEvent, Vocabulary};
+
+/// The CI gate: compiled must beat interpreted by at least this factor on
+/// the gated (50-property) workloads.
+const GATE_SPEEDUP: f64 = 3.0;
+
+/// A fresh speedup below `tolerance × committed` fails `--baseline`.
+const BASELINE_TOLERANCE: f64 = 0.8;
+
+/// Timed repetitions per (workload, backend); the minimum is reported.
+/// Interleaved between the backends (see `run_pair`) so load drift on a
+/// shared machine cannot skew the ratio.
+const REPS: usize = 9;
+
+struct Workload {
+    name: &'static str,
+    /// Whether the `--check` speedup gate applies.
+    gated: bool,
+    engine: Engine,
+    events: Vec<TimedEvent>,
+}
+
+/// Episodes of one property arrive in short bursts before the stream moves
+/// on — the granularity a TLM platform produces (one transaction's writes
+/// complete before the next component's begin).
+const EPISODE_BURST: usize = 4;
+
+/// `count` antecedent properties over pairwise-disjoint alphabets, plus the
+/// event stream that completes `rounds` episodes of each, interleaved at
+/// [`EPISODE_BURST`] granularity.
+fn disjoint(count: usize, rounds: usize) -> (Engine, Vec<TimedEvent>) {
+    let mut voc = Vocabulary::new();
+    let rulebook: Vec<String> = (0..count)
+        .map(|k| format!("all{{p{k}_a, p{k}_b, p{k}_c}} << p{k}_start repeated"))
+        .collect();
+    let engine = Engine::compile(&rulebook, &mut voc).expect("bench rulebook compiles");
+    let mut events = Vec::with_capacity(count * rounds * 4);
+    let mut ns = 0u64;
+    for _ in 0..rounds.div_ceil(EPISODE_BURST) {
+        for k in 0..count {
+            for _ in 0..EPISODE_BURST {
+                for suffix in ["a", "b", "c", "start"] {
+                    ns += 10;
+                    let name = voc
+                        .lookup(&format!("p{k}_{suffix}"))
+                        .expect("compiled name");
+                    events.push(TimedEvent::new(name, SimTime::from_ns(ns)));
+                }
+            }
+        }
+    }
+    (engine, events)
+}
+
+/// `count` antecedent properties over one *shared* alphabet (rotated range
+/// order, alternating `all`/`any`), and the stream that satisfies them all
+/// — every event steps every monitor.
+fn overlapping(count: usize, rounds: usize) -> (Engine, Vec<TimedEvent>) {
+    let mut voc = Vocabulary::new();
+    let names = ["s_a", "s_b", "s_c"];
+    let rulebook: Vec<String> = (0..count)
+        .map(|k| {
+            let op = if k % 2 == 0 { "all" } else { "any" };
+            let rotated: Vec<&str> = (0..3).map(|j| names[(k + j) % 3]).collect();
+            format!("{op}{{{}}} << s_start repeated", rotated.join(", "))
+        })
+        .collect();
+    let engine = Engine::compile(&rulebook, &mut voc).expect("bench rulebook compiles");
+    let mut events = Vec::with_capacity(rounds * 4);
+    let mut ns = 0u64;
+    for _ in 0..rounds {
+        for name in ["s_a", "s_b", "s_c", "s_start"] {
+            ns += 10;
+            let name = voc.lookup(name).expect("compiled name");
+            events.push(TimedEvent::new(name, SimTime::from_ns(ns)));
+        }
+    }
+    (engine, events)
+}
+
+struct Measurement {
+    nanos_per_event: f64,
+    verdicts: Vec<(lomon_core::Verdict, u64)>,
+}
+
+/// One timed replay of `events` through `session` (reset first).
+fn replay(session: &mut Session<'_>, events: &[TimedEvent], end: SimTime) -> u128 {
+    session.reset();
+    let started = Instant::now();
+    session.ingest_batch(events);
+    session.close(end);
+    started.elapsed().as_nanos()
+}
+
+/// Measure both backends over the same workload, **interleaved** rep by rep
+/// so machine-load drift hits both equally instead of skewing the ratio;
+/// the minimum of each is reported.
+fn run_pair(engine: &Engine, events: &[TimedEvent]) -> (Measurement, Measurement) {
+    let end = events.last().map(|e| e.time).unwrap_or(SimTime::ZERO);
+    let mut interp: Session<'_> =
+        engine.session_with_backend(DispatchMode::Indexed, Backend::Interp);
+    let mut compiled: Session<'_> =
+        engine.session_with_backend(DispatchMode::Indexed, Backend::Compiled);
+    let (mut best_i, mut best_c) = (u128::MAX, u128::MAX);
+    for _ in 0..REPS {
+        best_i = best_i.min(replay(&mut interp, events, end));
+        best_c = best_c.min(replay(&mut compiled, events, end));
+    }
+    let digest = |s: &Session<'_>| -> Vec<(lomon_core::Verdict, u64)> {
+        (0..engine.len())
+            .map(|id| (s.verdict(id), s.ops(id)))
+            .collect()
+    };
+    (
+        Measurement {
+            nanos_per_event: best_i as f64 / events.len() as f64,
+            verdicts: digest(&interp),
+        },
+        Measurement {
+            nanos_per_event: best_c as f64 / events.len() as f64,
+            verdicts: digest(&compiled),
+        },
+    )
+}
+
+struct Row {
+    name: &'static str,
+    gated: bool,
+    events: usize,
+    interp_ns: f64,
+    compiled_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.interp_ns / self.compiled_ns.max(f64::MIN_POSITIVE)
+    }
+
+    fn compiled_events_per_sec(&self) -> f64 {
+        1e9 / self.compiled_ns.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"hot_loop\",\n  \"unit\": \"ns/event\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (k, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"gated\": {}, \"events\": {}, \
+             \"interp_ns_per_event\": {:.2}, \"compiled_ns_per_event\": {:.2}, \
+             \"speedup\": {:.2}, \"compiled_events_per_sec\": {:.0}}}{}\n",
+            row.name,
+            row.gated,
+            row.events,
+            row.interp_ns,
+            row.compiled_ns,
+            row.speedup(),
+            row.compiled_events_per_sec(),
+            if k + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract `(name, speedup)` pairs from a committed `BENCH_hot_loop.json`.
+/// The file is written one workload object per line (see [`render_json`]),
+/// so a line scanner is all the parsing needed.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(key)? + key.len();
+        let rest = line[at..].trim_start_matches([':', ' ', '"']);
+        let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].to_owned())
+    };
+    text.lines()
+        .filter_map(|line| {
+            let name = field(line, "\"name\"")?;
+            let speedup = field(line, "\"speedup\"")?.parse().ok()?;
+            Some((name, speedup))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|at| args.get(at + 1).cloned());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|at| args.get(at + 1).cloned());
+
+    // The check matrix is smaller so the CI gate stays fast; the ratios it
+    // gates are per-event and stable across the sizes.
+    let (single_rounds, multi_rounds) = if check_mode {
+        (20_000, 2_000)
+    } else {
+        (100_000, 10_000)
+    };
+
+    let workloads: Vec<Workload> = vec![
+        {
+            let (engine, events) = disjoint(1, single_rounds);
+            Workload {
+                name: "single",
+                gated: false,
+                engine,
+                events,
+            }
+        },
+        {
+            let (engine, events) = disjoint(50, multi_rounds);
+            Workload {
+                name: "disjoint-50",
+                gated: true,
+                engine,
+                events,
+            }
+        },
+        {
+            // Same event budget shape as disjoint-50, but every event hits
+            // all 50 monitors instead of one.
+            let (engine, events) = overlapping(50, multi_rounds * 5);
+            Workload {
+                name: "overlap-50",
+                gated: true,
+                engine,
+                events,
+            }
+        },
+    ];
+
+    println!("hot loop — compiled flat tables vs tree-walking interpreter (best of {REPS})");
+    println!(
+        "{:>12} {:>9} {:>12} {:>14} {:>9} {:>16}",
+        "workload", "events", "interp ns/ev", "compiled ns/ev", "speedup", "compiled ev/s"
+    );
+
+    let mut rows = Vec::new();
+    let mut identical = true;
+    for w in &workloads {
+        let (interp, compiled) = run_pair(&w.engine, &w.events);
+        // Differential gate: same verdict and same ops counter for every
+        // property, or the backends have diverged.
+        for (id, (i, c)) in interp.verdicts.iter().zip(&compiled.verdicts).enumerate() {
+            if i != c {
+                eprintln!(
+                    "MISMATCH: workload {} property {id}: interp {:?} vs compiled {:?}",
+                    w.name, i, c
+                );
+                identical = false;
+            }
+        }
+        let row = Row {
+            name: w.name,
+            gated: w.gated,
+            events: w.events.len(),
+            interp_ns: interp.nanos_per_event,
+            compiled_ns: compiled.nanos_per_event,
+        };
+        println!(
+            "{:>12} {:>9} {:>12.1} {:>14.1} {:>8.1}x {:>16.0}",
+            row.name,
+            row.events,
+            row.interp_ns,
+            row.compiled_ns,
+            row.speedup(),
+            row.compiled_events_per_sec(),
+        );
+        rows.push(row);
+    }
+    println!();
+
+    let mut ok = identical;
+    if !identical {
+        println!("FAIL: backends disagree on verdicts or ops counters");
+    }
+
+    if check_mode {
+        for row in rows.iter().filter(|r| r.gated) {
+            if row.speedup() < GATE_SPEEDUP {
+                println!(
+                    "FAIL: {} speedup {:.2}x below the {GATE_SPEEDUP}x gate",
+                    row.name,
+                    row.speedup()
+                );
+                ok = false;
+            }
+        }
+        if let Some(path) = &baseline_path {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let committed = parse_baseline(&text);
+                    for row in rows.iter().filter(|r| r.gated) {
+                        let Some((_, base)) = committed.iter().find(|(n, _)| n == row.name) else {
+                            println!("FAIL: baseline {path} has no workload `{}`", row.name);
+                            ok = false;
+                            continue;
+                        };
+                        let floor = base * BASELINE_TOLERANCE;
+                        if row.speedup() < floor {
+                            println!(
+                                "FAIL: {} speedup {:.2}x regressed below {:.2}x \
+                                 ({BASELINE_TOLERANCE} x committed {:.2}x)",
+                                row.name,
+                                row.speedup(),
+                                floor,
+                                base
+                            );
+                            ok = false;
+                        }
+                    }
+                }
+                Err(e) => {
+                    println!("FAIL: cannot read baseline {path}: {e}");
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            println!(
+                "OK: backends verdict- and ops-identical; compiled >= {GATE_SPEEDUP}x on the \
+                 50-property workloads"
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else {
+        let path = out_path.unwrap_or_else(|| "BENCH_hot_loop.json".to_owned());
+        match std::fs::write(&path, render_json(&rows)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,1505 @@
+//! Compiled execution backend: flat event→action tables for the Fig. 5
+//! recognizers.
+//!
+//! The interpreter ([`crate::recognizer`], [`crate::compose`],
+//! [`crate::antecedent`], [`crate::timed`]) walks the monitor tree on every
+//! event: enum dispatch into the active fragment, then up to four bitset
+//! membership tests per recognizer to classify the name against its context
+//! `(B, C, Ac, Af)`. [`CompiledProgram::lower`] pays the classification cost
+//! **once**, at compile time: every (alphabet name × recognizer cell) pair
+//! is resolved to its [`NameClass`] and stored in a dense row-major action
+//! table, and the recognizer tree is flattened into an arena of
+//! `(state, counter)` cells grouped by fragment. The per-event hot path of
+//! [`CompiledMonitor`] is then one lookup-table index plus a handful of
+//! integer state updates per cell of the active fragment — no tree walk, no
+//! bitset probes, and no allocation.
+//!
+//! ## Exact interpreter parity
+//!
+//! The backend is **observationally identical** to the interpreter: same
+//! verdicts at every step, same violation diagnostics (kind, event, time,
+//! detail, expected set), and the same abstract-operation counts
+//! ([`Monitor::ops`]) — every `ops` increment of the interpreter is
+//! replayed, with the classification cost read off the precomputed class
+//! instead of re-measured. The expected-set diagnostics that the
+//! interpreter snapshots eagerly after every event are derived *lazily*
+//! here, from a cheap fixed-size copy of the active fragment's cell states
+//! taken before each event — which is what removes the per-event `NameSet`
+//! allocation from the hot path. `crates/engine/tests/engine_oracle.rs`
+//! pits the two backends against each other on random properties and
+//! traces; the unit tests below run them in lockstep on the paper examples.
+
+use std::sync::Arc;
+
+use lomon_trace::{Name, NameSet, SimTime, TimedEvent, Vocabulary};
+
+use crate::ast::{FragmentOp, Property};
+use crate::compose::OrderingStep;
+use crate::context::{cyclic_contexts, linear_contexts, NameClass};
+use crate::recognizer::{counter_bits, RangeOutput};
+use crate::verdict::{Monitor, Verdict, Violation, ViolationKind};
+use crate::wf::{self, WfError};
+
+/// Lookup sentinel for names outside the alphabet.
+const NO_ROW: u32 = u32::MAX;
+
+// Cell automaton states: the `s0` … `s5` of Fig. 5 as dense integers.
+const S_IDLE: u8 = 0;
+const S_WAITING: u8 = 1;
+const S_WAITING_OTHER: u8 = 2;
+const S_COUNTING: u8 = 3;
+const S_DONE: u8 = 4;
+const S_ERROR: u8 = 5;
+
+// Precomputed name classes. The nonzero codes double as the interpreter's
+// short-circuited classification cost (1 probe for `Own` … 5 for `Before`);
+// `CLASS_NONE` (outside the root alphabet) costs the full 5 probes.
+const CLASS_NONE: u8 = 0;
+const CLASS_OWN: u8 = 1;
+const CLASS_CONCURRENT: u8 = 2;
+const CLASS_ACCEPT: u8 = 3;
+const CLASS_AFTER: u8 = 4;
+const CLASS_BEFORE: u8 = 5;
+
+fn class_code(class: Option<NameClass>) -> u8 {
+    match class {
+        None => CLASS_NONE,
+        Some(NameClass::Own) => CLASS_OWN,
+        Some(NameClass::Concurrent) => CLASS_CONCURRENT,
+        Some(NameClass::Accept) => CLASS_ACCEPT,
+        Some(NameClass::After) => CLASS_AFTER,
+        Some(NameClass::Before) => CLASS_BEFORE,
+    }
+}
+
+fn class_cost(code: u8) -> u64 {
+    if code == CLASS_NONE {
+        5
+    } else {
+        u64::from(code)
+    }
+}
+
+/// Immutable per-cell configuration: the range `n[u,v]` it recognizes.
+#[derive(Debug, Clone, Copy)]
+struct CellSpec {
+    name: Name,
+    min: u32,
+    max: u32,
+}
+
+/// One packed event→action table entry: the precomputed class of the row's
+/// name for one cell, bundled with the cell's counter bounds so the hot
+/// loop reads a single contiguous stream.
+#[derive(Debug, Clone, Copy)]
+struct Action {
+    class: u8,
+    min: u32,
+    max: u32,
+}
+
+/// Mutable per-cell state: 3 bits of automaton state plus the counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CellState {
+    state: u8,
+    cpt: u32,
+}
+
+const CELL_IDLE: CellState = CellState {
+    state: S_IDLE,
+    cpt: 0,
+};
+
+/// Which root pattern the program encodes.
+#[derive(Debug, Clone, Copy)]
+enum ProgramKind {
+    /// `(P << i, b)` — linear chain, stop set `{i}`.
+    Antecedent { repeated: bool },
+    /// `(P ⇒ Q, t)` — cyclic chain over the concatenated fragments.
+    Timed { premise_len: u32, bound: SimTime },
+}
+
+/// The immutable compiled form of one property: a flat arena of recognizer
+/// cells plus the dense event→action table. Shared (via [`Arc`]) by any
+/// number of [`CompiledMonitor`]s, e.g. one per engine session.
+///
+/// Built by [`CompiledProgram::lower`]; stepped by [`CompiledMonitor`].
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    kind: ProgramKind,
+    /// All cells of all fragments, fragment-contiguous.
+    cells: Vec<CellSpec>,
+    /// Fragment `f` owns cells `frag_start[f] .. frag_start[f + 1]`.
+    frag_start: Vec<u32>,
+    /// Per-fragment connective (`∧`/`∨`).
+    frag_op: Vec<FragmentOp>,
+    /// Per-fragment stopping set `Ac` (shared by the fragment's cells) —
+    /// needed only for the lazily computed expected-set diagnostics.
+    frag_accept: Vec<NameSet>,
+    /// `Name::index()` → prescaled action-table row offset (`row × cells`),
+    /// [`NO_ROW`] outside the alphabet.
+    lookup: Vec<u32>,
+    /// Row-major `rows × cells` table of precomputed [`NameClass`] codes
+    /// packed with the cells' counter bounds.
+    actions: Vec<Action>,
+    /// The property's alphabet `α` (the rows of the table).
+    alphabet: NameSet,
+    /// Mutable state footprint, matching the interpreter's accounting.
+    state_bits: u64,
+    /// `max_f |cells(f)|` — sizes the pre-event snapshot buffer.
+    max_frag_cells: usize,
+}
+
+impl CompiledProgram {
+    /// Lower a **well-formed** property into its flat-table program.
+    ///
+    /// The property must already satisfy the Fig. 3 side conditions (see
+    /// [`crate::wf`]); use [`compile_monitor`] to validate and lower in one
+    /// step. The lowering reuses the interpreter's own context computation
+    /// ([`linear_contexts`] / [`cyclic_contexts`]) and classification
+    /// priority, so the table is correct by construction.
+    pub fn lower(property: &Property) -> CompiledProgram {
+        let (fragments, contexts, kind, alphabet) = match property {
+            Property::Antecedent(a) => {
+                let stop: NameSet = [a.trigger].into_iter().collect();
+                (
+                    a.antecedent.fragments.clone(),
+                    linear_contexts(&a.antecedent, &stop),
+                    ProgramKind::Antecedent {
+                        repeated: a.repeated,
+                    },
+                    a.alpha(),
+                )
+            }
+            Property::Timed(t) => {
+                let fragments = t.all_fragments();
+                let contexts = cyclic_contexts(&fragments);
+                (
+                    fragments,
+                    contexts,
+                    ProgramKind::Timed {
+                        premise_len: t.premise.fragments.len() as u32,
+                        bound: t.bound,
+                    },
+                    t.alpha(),
+                )
+            }
+        };
+        assert!(!fragments.is_empty(), "ordering must have fragments");
+
+        let mut cells = Vec::new();
+        let mut frag_start = vec![0u32];
+        let mut frag_op = Vec::with_capacity(fragments.len());
+        let mut frag_accept = Vec::with_capacity(fragments.len());
+        let mut max_frag_cells = 0;
+        for (fragment, ctxs) in fragments.iter().zip(&contexts) {
+            frag_op.push(fragment.op);
+            frag_accept.push(ctxs[0].accept.clone());
+            for range in &fragment.ranges {
+                cells.push(CellSpec {
+                    name: range.name,
+                    min: range.min,
+                    max: range.max,
+                });
+            }
+            max_frag_cells = max_frag_cells.max(fragment.ranges.len());
+            frag_start.push(cells.len() as u32);
+        }
+
+        let n_cells = cells.len();
+        let names: Vec<Name> = alphabet.iter().collect();
+        let table = names.len() * n_cells;
+        assert!(table < NO_ROW as usize, "alphabet x cells too large");
+        let table_width = names.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        let mut lookup = vec![NO_ROW; table_width];
+        for (row, &name) in names.iter().enumerate() {
+            lookup[name.index()] = (row * n_cells) as u32;
+        }
+
+        let mut actions = vec![
+            Action {
+                class: CLASS_NONE,
+                min: 0,
+                max: 0
+            };
+            names.len() * n_cells
+        ];
+        let mut cell = 0usize;
+        for (fragment, ctxs) in fragments.iter().zip(&contexts) {
+            for (range, ctx) in fragment.ranges.iter().zip(ctxs) {
+                for (row, &name) in names.iter().enumerate() {
+                    actions[row * n_cells + cell] = Action {
+                        class: class_code(ctx.classify(range.name, name)),
+                        min: range.min,
+                        max: range.max,
+                    };
+                }
+                cell += 1;
+            }
+        }
+
+        // The interpreter's state accounting, reproduced constant-for-
+        // constant: per cell 3 automaton bits + the counter, per ordering
+        // the active-index register + started flag, per monitor the
+        // verdict/episode flags (and the three sc_time variables for timed
+        // implications).
+        let cell_bits: u64 = cells.iter().map(|c| 3 + counter_bits(c.max)).sum();
+        let index_bits = u64::from(usize::BITS - fragments.len().max(1).leading_zeros());
+        let ordering_bits = cell_bits + index_bits + 1;
+        let state_bits = match kind {
+            ProgramKind::Antecedent { .. } => ordering_bits + 2 + 1,
+            ProgramKind::Timed { .. } => ordering_bits + 3 * 64 + 2 + 3,
+        };
+
+        CompiledProgram {
+            kind,
+            cells,
+            frag_start,
+            frag_op,
+            frag_accept,
+            lookup,
+            actions,
+            alphabet,
+            state_bits,
+            max_frag_cells,
+        }
+    }
+
+    /// The property's alphabet `α` — the rows of the action table.
+    pub fn alphabet(&self) -> &NameSet {
+        &self.alphabet
+    }
+
+    /// Number of recognizer cells in the arena.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of fragments in the (concatenated) chain.
+    pub fn fragment_count(&self) -> usize {
+        self.frag_op.len()
+    }
+
+    fn n_frags(&self) -> usize {
+        self.frag_op.len()
+    }
+
+    fn frag_range(&self, f: usize) -> (usize, usize) {
+        (self.frag_start[f] as usize, self.frag_start[f + 1] as usize)
+    }
+
+    /// The prescaled action-table row offset of `name`, or `None` outside
+    /// the alphabet. An event router that already proved membership (e.g.
+    /// the engine's inverted index) can pass this to
+    /// [`CompiledMonitor::observe_routed`] and skip the monitor's own
+    /// projection lookup.
+    #[inline]
+    pub fn action_row(&self, name: Name) -> Option<u32> {
+        match self.lookup.get(name.index()) {
+            Some(&base) if base != NO_ROW => Some(base),
+            _ => None,
+        }
+    }
+
+    /// The prescaled action-table row offset of `name`, or `None` outside
+    /// the alphabet — the hot path's single projection lookup.
+    #[inline(always)]
+    fn row_base(&self, name: Name) -> Option<usize> {
+        match self.lookup.get(name.index()) {
+            Some(&base) if base != NO_ROW => Some(base as usize),
+            _ => None,
+        }
+    }
+}
+
+/// Where a violation's expected-set diagnostic is derived from.
+enum ExpectedFrom {
+    /// The current (unmutated) cell states — for violations detected
+    /// *before* the event steps any cell (deadline checks, end of trace).
+    Current,
+    /// The pre-event snapshot — for violations raised while or after the
+    /// event mutated the active fragment.
+    Snapshot,
+}
+
+/// The mutable half of a compiled monitor, separated from the shared
+/// [`CompiledProgram`] so the borrow of the program and the mutation of the
+/// state can coexist.
+#[derive(Debug, Clone)]
+struct MonState {
+    cells: Vec<CellState>,
+    active: usize,
+    /// Cell bounds and connective of the active fragment, cached so the
+    /// per-event loop does not re-chase `frag_start`/`frag_op` (they only
+    /// change on the rare handover/restart).
+    active_lo: usize,
+    active_hi: usize,
+    active_op: FragmentOp,
+    started: bool,
+    verdict: Verdict,
+    /// Boxed: violations are terminal and rare; keeping the report out of
+    /// line keeps the monitor state small and cache-resident.
+    violation: Option<Box<Violation>>,
+    episodes: u64,
+    diagnostics: bool,
+    ops: u64,
+    /// Pre-event snapshot: the active fragment and its cell states before
+    /// the event currently being processed (fixed length `max_frag_cells`,
+    /// never reallocated after construction — only its leading
+    /// `|cells(prev_active)|` entries are meaningful).
+    prev_active: usize,
+    prev_cells: Vec<CellState>,
+    /// Time of the last event consumed in the current episode (timed only).
+    last_consumed: Option<SimTime>,
+    /// Frozen end of `P` once `Q` has begun (timed only).
+    episode_start: Option<SimTime>,
+    /// Earliest completion of `Q`, once reached (timed only).
+    response_done_at: Option<SimTime>,
+}
+
+/// The flat-table monitor: a [`CompiledProgram`] plus its per-stream state.
+///
+/// Implements the same [`Monitor`] interface as the interpreter monitors
+/// and is verdict-, diagnostic- and ops-identical to them (see the module
+/// docs). [`Monitor::reset`] rewinds the state arena in place — the monitor
+/// performs **no allocation** per event or per reset, which is what lets an
+/// SMC campaign run millions of episodes through one instance.
+///
+/// # Example
+///
+/// ```
+/// use lomon_core::compiled::compile_monitor;
+/// use lomon_core::parse::parse_property;
+/// use lomon_core::verdict::{run_to_end, Verdict};
+/// use lomon_trace::{Trace, Vocabulary};
+///
+/// let mut voc = Vocabulary::new();
+/// let prop = parse_property("all{a, b} << start once", &mut voc).unwrap();
+/// let mut monitor = compile_monitor(prop, &voc).expect("well-formed");
+///
+/// let a = voc.lookup("a").unwrap();
+/// let b = voc.lookup("b").unwrap();
+/// let start = voc.lookup("start").unwrap();
+/// let verdict = run_to_end(&mut monitor, &Trace::from_names([b, a, start]));
+/// assert_eq!(verdict, Verdict::Satisfied);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledMonitor {
+    program: Arc<CompiledProgram>,
+    st: MonState,
+}
+
+/// Validate `property` against `voc` and build its compiled monitor — the
+/// flat-table counterpart of [`crate::monitor::build_monitor`].
+///
+/// # Errors
+///
+/// Returns the well-formedness violations if the property breaks any Fig. 3
+/// side condition.
+pub fn compile_monitor(
+    property: Property,
+    voc: &Vocabulary,
+) -> Result<CompiledMonitor, Vec<WfError>> {
+    let property = wf::validate(property, voc)?;
+    Ok(CompiledMonitor::new(Arc::new(CompiledProgram::lower(
+        &property,
+    ))))
+}
+
+impl CompiledMonitor {
+    /// Build and activate a monitor over a lowered program.
+    pub fn new(program: Arc<CompiledProgram>) -> Self {
+        let mut st = MonState {
+            cells: vec![CELL_IDLE; program.cells.len()],
+            active: 0,
+            active_lo: 0,
+            active_hi: 0,
+            active_op: FragmentOp::All,
+            started: false,
+            verdict: Verdict::PresumablySatisfied,
+            violation: None,
+            episodes: 0,
+            diagnostics: true,
+            ops: 0,
+            prev_active: 0,
+            prev_cells: vec![CELL_IDLE; program.max_frag_cells],
+            last_consumed: None,
+            episode_start: None,
+            response_done_at: None,
+        };
+        st.start(&program);
+        CompiledMonitor { program, st }
+    }
+
+    /// Disable the expected-set diagnostics: violation reports then carry
+    /// an empty expected set, exactly as the interpreter monitors'
+    /// `without_diagnostics`.
+    pub fn without_diagnostics(mut self) -> Self {
+        self.st.diagnostics = false;
+        self
+    }
+
+    /// The shared program this monitor steps.
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        &self.program
+    }
+
+    /// Completed episodes so far (same counting as the interpreter's).
+    pub fn episodes(&self) -> u64 {
+        self.st.episodes
+    }
+
+    /// Like [`Monitor::observe`] for an event whose action-table row the
+    /// caller has already resolved: `base` must be
+    /// `self.program().action_row(event.name)`. Routed dispatch (the
+    /// engine's inverted index) uses this to skip the per-monitor
+    /// projection lookup the index has already performed — verdicts,
+    /// diagnostics and `ops` are identical to [`Monitor::observe`].
+    #[inline]
+    pub fn observe_routed(&mut self, event: TimedEvent, base: u32) -> Verdict {
+        let Self { program, st } = self;
+        debug_assert_eq!(program.row_base(event.name), Some(base as usize));
+        if st.verdict.is_final() {
+            return st.verdict;
+        }
+        match program.kind {
+            ProgramKind::Antecedent { repeated } => {
+                st.antecedent_at(program, repeated, event, base as usize)
+            }
+            ProgramKind::Timed { premise_len, bound } => {
+                st.timed_at(program, premise_len as usize, bound, event, base as usize)
+            }
+        }
+    }
+}
+
+impl Monitor for CompiledMonitor {
+    #[inline]
+    fn observe(&mut self, event: TimedEvent) -> Verdict {
+        let Self { program, st } = self;
+        match program.kind {
+            ProgramKind::Antecedent { repeated } => st.observe_antecedent(program, repeated, event),
+            ProgramKind::Timed { premise_len, bound } => {
+                st.observe_timed(program, premise_len as usize, bound, event)
+            }
+        }
+    }
+
+    fn advance_time(&mut self, now: SimTime) -> Verdict {
+        let Self { program, st } = self;
+        match program.kind {
+            // Untimed monitors ignore time, at zero cost (trait default).
+            ProgramKind::Antecedent { .. } => st.verdict,
+            ProgramKind::Timed { premise_len, bound } => {
+                st.advance_time_timed(program, premise_len as usize, bound, now)
+            }
+        }
+    }
+
+    fn finish(&mut self, end_time: SimTime) -> Verdict {
+        let Self { program, st } = self;
+        match program.kind {
+            // Pure safety: the verdict is whatever has been latched.
+            ProgramKind::Antecedent { .. } => st.verdict,
+            ProgramKind::Timed { premise_len, bound } => {
+                if st.verdict.is_final() {
+                    return st.verdict;
+                }
+                if let Some(deadline) = st.open_deadline(program, premise_len as usize, bound) {
+                    if end_time > deadline {
+                        st.miss_deadline(
+                            program,
+                            bound,
+                            ViolationKind::DeadlineExpiredAtEnd,
+                            deadline,
+                            None,
+                            end_time,
+                            ExpectedFrom::Current,
+                        );
+                    }
+                }
+                st.verdict
+            }
+        }
+    }
+
+    fn verdict(&self) -> Verdict {
+        self.st.verdict
+    }
+
+    fn alphabet(&self) -> &NameSet {
+        &self.program.alphabet
+    }
+
+    fn expected(&self) -> NameSet {
+        match self.program.kind {
+            ProgramKind::Antecedent { .. } if self.st.verdict == Verdict::Satisfied => {
+                // Passive: everything in α is acceptable.
+                self.program.alphabet.clone()
+            }
+            _ => self.st.ordering_expected(&self.program),
+        }
+    }
+
+    fn violation(&self) -> Option<&Violation> {
+        self.st.violation.as_deref()
+    }
+
+    fn deadline(&self) -> Option<SimTime> {
+        match self.program.kind {
+            ProgramKind::Antecedent { .. } => None,
+            ProgramKind::Timed { premise_len, bound } => {
+                if self.st.verdict.is_final() {
+                    None
+                } else {
+                    self.st
+                        .hard_deadline(&self.program, premise_len as usize, bound)
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        let Self { program, st } = self;
+        st.restart(program);
+        st.verdict = Verdict::PresumablySatisfied;
+        st.violation = None;
+        st.episodes = 0;
+        st.last_consumed = None;
+        st.episode_start = None;
+        st.response_done_at = None;
+    }
+
+    fn ops(&self) -> u64 {
+        self.st.ops
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.program.state_bits
+    }
+}
+
+/// One synchronous step of a cell on a name of class `class` — the Fig. 5
+/// transition table over dense integers, with the interpreter's exact
+/// `ops` accounting accumulated into the caller's register.
+#[inline(always)]
+fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u64) -> RangeOutput {
+    let class = action.class;
+    *ops += class_cost(class);
+    if class == CLASS_NONE {
+        return RangeOutput::Progress;
+    }
+    *ops += 1; // state dispatch
+    let fail = |cell: &mut CellState, ops: &mut u64, kind: ViolationKind| {
+        *ops += 1; // state write
+        cell.state = S_ERROR;
+        RangeOutput::Err(kind)
+    };
+    match cell.state {
+        S_IDLE | S_ERROR => RangeOutput::Progress,
+        S_WAITING => match class {
+            CLASS_OWN => {
+                *ops += 2; // counter init + state write
+                cell.cpt = 1;
+                cell.state = S_COUNTING;
+                RangeOutput::Progress
+            }
+            CLASS_CONCURRENT => {
+                *ops += 1;
+                cell.state = S_WAITING_OTHER;
+                RangeOutput::Progress
+            }
+            CLASS_ACCEPT => fail(cell, ops, ViolationKind::PrematureStop),
+            CLASS_AFTER => fail(cell, ops, ViolationKind::AfterName),
+            _ => fail(cell, ops, ViolationKind::BeforeName),
+        },
+        S_WAITING_OTHER => match class {
+            CLASS_OWN => {
+                *ops += 2;
+                cell.cpt = 1;
+                cell.state = S_COUNTING;
+                RangeOutput::Progress
+            }
+            CLASS_CONCURRENT => RangeOutput::Progress, // self-loop
+            CLASS_ACCEPT => {
+                *ops += 1; // semantics test
+                match op {
+                    FragmentOp::Any => {
+                        *ops += 1;
+                        cell.state = S_IDLE;
+                        RangeOutput::Nok
+                    }
+                    FragmentOp::All => fail(cell, ops, ViolationKind::MissingRange),
+                }
+            }
+            CLASS_AFTER => fail(cell, ops, ViolationKind::AfterName),
+            _ => fail(cell, ops, ViolationKind::BeforeName),
+        },
+        S_COUNTING => match class {
+            CLASS_OWN => {
+                *ops += 1; // counter compare
+                if cell.cpt < action.max {
+                    *ops += 1; // counter increment
+                    cell.cpt += 1;
+                    RangeOutput::Progress
+                } else {
+                    fail(cell, ops, ViolationKind::TooMany)
+                }
+            }
+            CLASS_CONCURRENT => {
+                *ops += 1; // counter compare
+                if cell.cpt >= action.min {
+                    *ops += 1;
+                    cell.state = S_DONE;
+                    RangeOutput::Progress
+                } else {
+                    fail(cell, ops, ViolationKind::PrematureInterrupt)
+                }
+            }
+            CLASS_ACCEPT => {
+                *ops += 1; // counter compare
+                if cell.cpt >= action.min {
+                    *ops += 1; // state write
+                    cell.state = S_IDLE;
+                    RangeOutput::Ok
+                } else {
+                    fail(cell, ops, ViolationKind::PrematureStop)
+                }
+            }
+            CLASS_AFTER => fail(cell, ops, ViolationKind::AfterName),
+            _ => fail(cell, ops, ViolationKind::BeforeName),
+        },
+        _ => match class {
+            // `s4`: block complete, sibling active.
+            CLASS_OWN => fail(cell, ops, ViolationKind::BlockSplit),
+            CLASS_CONCURRENT => RangeOutput::Progress, // self-loop
+            CLASS_ACCEPT => {
+                *ops += 1; // state write
+                cell.state = S_IDLE;
+                RangeOutput::Ok
+            }
+            CLASS_AFTER => fail(cell, ops, ViolationKind::AfterName),
+            _ => fail(cell, ops, ViolationKind::BeforeName),
+        },
+    }
+}
+
+impl MonState {
+    /// Make fragment `f` the active one, refreshing the cached bounds.
+    #[inline]
+    fn set_active(&mut self, p: &CompiledProgram, f: usize) {
+        self.active = f;
+        let (lo, hi) = p.frag_range(f);
+        self.active_lo = lo;
+        self.active_hi = hi;
+        self.active_op = p.frag_op[f];
+    }
+
+    /// Activate: start the first fragment (no coinciding event).
+    fn start(&mut self, p: &CompiledProgram) {
+        debug_assert!(!self.started, "already started");
+        self.set_active(p, 0);
+        self.start_frag(p, 0);
+        self.started = true;
+    }
+
+    /// Reset every cell and re-activate (the interpreter's `restart`).
+    #[inline]
+    fn restart(&mut self, p: &CompiledProgram) {
+        self.cells.fill(CELL_IDLE);
+        self.started = false;
+        self.start(p);
+    }
+
+    /// Re-arm after a *completed* linear episode. Every cell is already
+    /// back in `s0` — a fragment only completes once each of its cells
+    /// returned there via `ok`/`nok` — so unlike [`MonState::restart`]
+    /// (which may interrupt an episode mid-flight) nothing needs wiping;
+    /// stale counters are invisible, `s3`/`s4` are entered with a fresh
+    /// `cpt` and no other state reads it.
+    #[inline]
+    fn rearm(&mut self, p: &CompiledProgram) {
+        debug_assert!(
+            self.cells.iter().all(|c| c.state == S_IDLE),
+            "linear episode completed with a non-idle cell"
+        );
+        self.started = false;
+        self.start(p);
+    }
+
+    /// `start` all cells of fragment `f`: `s0 → s1`, one state write each
+    /// (the ops are batch-added: the sum is what parity requires).
+    #[inline]
+    fn start_frag(&mut self, p: &CompiledProgram, f: usize) {
+        let (lo, hi) = p.frag_range(f);
+        self.ops += (hi - lo) as u64; // one state write per cell
+        for cell in &mut self.cells[lo..hi] {
+            debug_assert_eq!(cell.state, S_IDLE, "start from non-idle state");
+            cell.state = S_WAITING;
+        }
+    }
+
+    /// `start` fragment `f` coinciding with `name` (handover): the owning
+    /// cell to `s3`, its siblings to `s2`.
+    #[inline]
+    fn start_frag_with(&mut self, p: &CompiledProgram, f: usize, name: Name) {
+        let (lo, hi) = p.frag_range(f);
+        self.ops += 2 * (hi - lo) as u64; // classification + state write per cell
+        for (spec, cell) in p.cells[lo..hi].iter().zip(&mut self.cells[lo..hi]) {
+            debug_assert_eq!(cell.state, S_IDLE, "start from non-idle state");
+            if spec.name == name {
+                cell.cpt = 1;
+                cell.state = S_COUNTING;
+            } else {
+                cell.state = S_WAITING_OTHER;
+            }
+        }
+    }
+
+    /// Step the active fragment on the event's action-table row and
+    /// aggregate — the compiled form of the fragment + ordering step. This
+    /// is the per-event hot loop: the pre-event diagnostic snapshot is one
+    /// small `memcpy` into the fixed buffer, the zip over
+    /// `(spec, class, cell)` runs without bounds checks, and the `ops`
+    /// accounting accumulates in the caller's register.
+    #[inline(always)]
+    fn step_ordering(
+        &mut self,
+        p: &CompiledProgram,
+        base: usize,
+        name: Name,
+        ops: &mut u64,
+    ) -> OrderingStep {
+        debug_assert!(self.started, "step before start");
+        let from = self.active;
+        let (lo, hi) = (self.active_lo, self.active_hi);
+        let op = self.active_op;
+        let actions = &p.actions[base + lo..base + hi];
+        let diagnostics = self.diagnostics;
+        if diagnostics {
+            self.prev_active = from;
+        }
+        let mut completed = false;
+        let mut error: Option<(ViolationKind, usize)> = None;
+        for (idx, ((action, cell), prev)) in actions
+            .iter()
+            .zip(&mut self.cells[lo..hi])
+            .zip(&mut self.prev_cells)
+            .enumerate()
+        {
+            if diagnostics {
+                // The pre-event diagnostic snapshot, fused into the step
+                // loop: the cell is already in a register here, so saving
+                // it costs one store instead of a second pass.
+                *prev = *cell;
+            }
+            match step_cell(action, cell, op, ops) {
+                RangeOutput::Progress => {}
+                RangeOutput::Ok | RangeOutput::Nok => completed = true,
+                RangeOutput::Err(kind) => {
+                    if error.is_none() {
+                        error = Some((kind, idx));
+                    }
+                }
+            }
+        }
+        if let Some((kind, range)) = error {
+            OrderingStep::Error {
+                kind,
+                fragment: from,
+                range,
+            }
+        } else if completed {
+            let cyclic = matches!(p.kind, ProgramKind::Timed { .. });
+            if !cyclic && from + 1 == p.n_frags() {
+                self.started = false;
+                OrderingStep::Complete
+            } else {
+                let to = (from + 1) % p.n_frags();
+                self.start_frag_with(p, to, name);
+                self.set_active(p, to);
+                OrderingStep::Handover { from, to }
+            }
+        } else {
+            OrderingStep::Progress
+        }
+    }
+
+    /// Whether fragment `f` (with the given cell states) could terminate
+    /// now — `FragmentRecognizer::can_complete` over the arena.
+    fn can_complete_over(&self, p: &CompiledProgram, f: usize, states: &[CellState]) -> bool {
+        let (lo, hi) = p.frag_range(f);
+        let mut any_complete = false;
+        for (spec, cell) in p.cells[lo..hi].iter().zip(states) {
+            match cell.state {
+                S_COUNTING if cell.cpt >= spec.min => any_complete = true,
+                S_DONE => any_complete = true,
+                S_COUNTING | S_ERROR => return false,
+                _ => {
+                    // Never participated: fatal only under `∧`.
+                    if p.frag_op[f] == FragmentOp::All {
+                        return false;
+                    }
+                }
+            }
+        }
+        any_complete
+    }
+
+    fn can_complete(&self, p: &CompiledProgram, f: usize) -> bool {
+        let (lo, hi) = p.frag_range(f);
+        self.can_complete_over(p, f, &self.cells[lo..hi])
+    }
+
+    /// Whether fragment `f` could still consume another event without
+    /// erroring — `FragmentRecognizer::can_extend` over the arena.
+    fn can_extend(&self, p: &CompiledProgram, f: usize) -> bool {
+        let (lo, hi) = p.frag_range(f);
+        p.cells[lo..hi]
+            .iter()
+            .zip(&self.cells[lo..hi])
+            .any(|(spec, cell)| match cell.state {
+                S_WAITING | S_WAITING_OTHER => true,
+                S_COUNTING => cell.cpt < spec.max,
+                _ => false,
+            })
+    }
+
+    /// Names acceptable as the next event of fragment `f`, computed over an
+    /// explicit state slice — `FragmentRecognizer::expected`.
+    fn frag_expected(&self, p: &CompiledProgram, f: usize, states: &[CellState]) -> NameSet {
+        let (lo, hi) = p.frag_range(f);
+        let mut out = NameSet::new();
+        for (spec, cell) in p.cells[lo..hi].iter().zip(states) {
+            let can_more = match cell.state {
+                S_WAITING | S_WAITING_OTHER => true,
+                S_COUNTING => cell.cpt < spec.max,
+                _ => false,
+            };
+            if can_more {
+                out.insert(spec.name);
+            }
+        }
+        if self.can_complete_over(p, f, states) {
+            out.union_with(&p.frag_accept[f]);
+        }
+        out
+    }
+
+    /// The ordering-level expected set over the *current* states.
+    fn ordering_expected(&self, p: &CompiledProgram) -> NameSet {
+        if self.started {
+            let (lo, hi) = p.frag_range(self.active);
+            self.frag_expected(p, self.active, &self.cells[lo..hi])
+        } else {
+            NameSet::new()
+        }
+    }
+
+    /// The expected set the interpreter would have snapshot *before* the
+    /// current event, derived lazily from the pre-event snapshot.
+    fn expected_before(&self, p: &CompiledProgram, from: ExpectedFrom) -> NameSet {
+        if !self.diagnostics {
+            return NameSet::new();
+        }
+        match from {
+            ExpectedFrom::Current => self.ordering_expected(p),
+            ExpectedFrom::Snapshot => self.frag_expected(p, self.prev_active, &self.prev_cells),
+        }
+    }
+
+    #[inline]
+    fn observe_antecedent(
+        &mut self,
+        p: &CompiledProgram,
+        repeated: bool,
+        event: TimedEvent,
+    ) -> Verdict {
+        if self.verdict.is_final() {
+            return self.verdict;
+        }
+        let Some(base) = p.row_base(event.name) else {
+            self.ops += 1; // alphabet projection test
+            return self.verdict;
+        };
+        self.antecedent_at(p, repeated, event, base)
+    }
+
+    /// [`MonState::observe_antecedent`] past the projection lookup; the
+    /// caller guarantees the event is in the alphabet and `base` is its
+    /// action-table row. The projection `ops` is still charged — the
+    /// interpreter performs (and counts) that test unconditionally.
+    #[inline]
+    fn antecedent_at(
+        &mut self,
+        p: &CompiledProgram,
+        repeated: bool,
+        event: TimedEvent,
+        base: usize,
+    ) -> Verdict {
+        let mut ops = 1u64; // alphabet projection test
+        let step = self.step_ordering(p, base, event.name, &mut ops);
+        self.ops += ops;
+        match step {
+            OrderingStep::Progress | OrderingStep::Handover { .. } => {
+                self.verdict = Verdict::PresumablySatisfied;
+            }
+            OrderingStep::Complete => {
+                self.episodes += 1;
+                self.ops += 1; // repeated-flag test
+                if repeated {
+                    self.rearm(p);
+                    self.verdict = Verdict::PresumablySatisfied;
+                } else {
+                    self.verdict = Verdict::Satisfied;
+                }
+            }
+            OrderingStep::Error {
+                kind,
+                fragment,
+                range,
+            } => {
+                self.verdict = Verdict::Violated;
+                self.violation = Some(Box::new(Violation {
+                    kind,
+                    event: Some(event),
+                    time: event.time,
+                    expected: self.expected_before(p, ExpectedFrom::Snapshot),
+                    detail: format!(
+                        "antecedent episode {}: fragment {}/{}, range {} rejected",
+                        self.episodes + 1,
+                        fragment + 1,
+                        p.n_frags(),
+                        range + 1,
+                    ),
+                }));
+            }
+        }
+        self.verdict
+    }
+
+    /// The latest possible end of the current `P` observation, if `P` is
+    /// currently complete.
+    fn premise_end(&self, p: &CompiledProgram, premise_len: usize) -> Option<SimTime> {
+        if let Some(frozen) = self.episode_start {
+            return Some(frozen);
+        }
+        if self.active + 1 == premise_len && self.can_complete(p, self.active) {
+            self.last_consumed
+        } else {
+            None
+        }
+    }
+
+    /// The obligation's deadline, movable or not.
+    fn open_deadline(
+        &self,
+        p: &CompiledProgram,
+        premise_len: usize,
+        bound: SimTime,
+    ) -> Option<SimTime> {
+        if self.response_done_at.is_some() {
+            return None;
+        }
+        self.premise_end(p, premise_len)?.checked_add(bound)
+    }
+
+    /// The deadline, only once it can no longer move.
+    fn hard_deadline(
+        &self,
+        p: &CompiledProgram,
+        premise_len: usize,
+        bound: SimTime,
+    ) -> Option<SimTime> {
+        if self.response_done_at.is_some() {
+            return None;
+        }
+        if let Some(frozen) = self.episode_start {
+            return frozen.checked_add(bound);
+        }
+        if self.active + 1 == premise_len
+            && self.can_complete(p, self.active)
+            && !self.can_extend(p, self.active)
+        {
+            return self.last_consumed?.checked_add(bound);
+        }
+        None
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn miss_deadline(
+        &mut self,
+        p: &CompiledProgram,
+        bound: SimTime,
+        kind: ViolationKind,
+        deadline: SimTime,
+        event: Option<TimedEvent>,
+        now: SimTime,
+        from: ExpectedFrom,
+    ) {
+        self.verdict = Verdict::Violated;
+        self.violation = Some(Box::new(Violation {
+            kind,
+            event,
+            time: now,
+            expected: self.expected_before(p, from),
+            detail: format!(
+                "episode {}: Q unfinished at {now}, deadline was {deadline} \
+                 (P ended {}, budget {})",
+                self.episodes + 1,
+                deadline.saturating_sub(bound),
+                bound,
+            ),
+        }));
+    }
+
+    #[inline]
+    fn observe_timed(
+        &mut self,
+        p: &CompiledProgram,
+        premise_len: usize,
+        bound: SimTime,
+        event: TimedEvent,
+    ) -> Verdict {
+        if self.verdict.is_final() {
+            return self.verdict;
+        }
+        let Some(base) = p.row_base(event.name) else {
+            self.ops += 1; // alphabet projection test
+                           // Even an unrelated event advances the clock.
+            return self.advance_time_timed(p, premise_len, bound, event.time);
+        };
+        self.timed_at(p, premise_len, bound, event, base)
+    }
+
+    /// [`MonState::observe_timed`] past the projection lookup (see
+    /// [`MonState::antecedent_at`] for the contract).
+    #[inline]
+    fn timed_at(
+        &mut self,
+        p: &CompiledProgram,
+        premise_len: usize,
+        bound: SimTime,
+        event: TimedEvent,
+        base: usize,
+    ) -> Verdict {
+        self.ops += 1; // alphabet projection test
+        self.ops += 1; // deadline compare
+        if let Some(deadline) = self.hard_deadline(p, premise_len, bound) {
+            if event.time > deadline {
+                self.miss_deadline(
+                    p,
+                    bound,
+                    ViolationKind::DeadlineMiss,
+                    deadline,
+                    Some(event),
+                    event.time,
+                    ExpectedFrom::Current,
+                );
+                return self.verdict;
+            }
+        }
+        let mut ops = 0u64;
+        let step = self.step_ordering(p, base, event.name, &mut ops);
+        self.ops += ops;
+        match step {
+            OrderingStep::Progress => {
+                self.last_consumed = Some(event.time);
+            }
+            OrderingStep::Handover { to, .. } => {
+                self.ops += 2; // boundary compares
+                if to == premise_len {
+                    // Q begins on this event: freeze the end of P.
+                    self.episode_start = self.last_consumed;
+                    debug_assert!(
+                        self.episode_start.is_some(),
+                        "handover into Q with no P event consumed"
+                    );
+                } else if to == 0 {
+                    // This event starts the next episode's P.
+                    self.episodes += 1;
+                    self.episode_start = None;
+                    self.response_done_at = None;
+                }
+                self.last_consumed = Some(event.time);
+            }
+            OrderingStep::Complete => unreachable!("cyclic recognizers never complete"),
+            OrderingStep::Error {
+                kind,
+                fragment,
+                range,
+            } => {
+                self.verdict = Verdict::Violated;
+                self.violation = Some(Box::new(Violation {
+                    kind,
+                    event: Some(event),
+                    time: event.time,
+                    expected: self.expected_before(p, ExpectedFrom::Snapshot),
+                    detail: format!(
+                        "timed-implication episode {}: fragment {}/{} ({}), range {} rejected",
+                        self.episodes + 1,
+                        fragment + 1,
+                        p.n_frags(),
+                        if fragment < premise_len {
+                            "in P"
+                        } else {
+                            "in Q"
+                        },
+                        range + 1,
+                    ),
+                }));
+                return self.verdict;
+            }
+        }
+        // Earliest completion of Q ends the episode's obligation.
+        self.ops += 2; // index compare + completion test
+        let last = p.n_frags() - 1;
+        if self.active == last
+            && self.episode_start.is_some()
+            && self.response_done_at.is_none()
+            && self.can_complete(p, self.active)
+        {
+            self.response_done_at = Some(event.time);
+            let start = self.episode_start.expect("episode started");
+            self.ops += 1; // budget compare
+            if event.time.saturating_sub(start) > bound {
+                let deadline = start.checked_add(bound).unwrap_or(SimTime::MAX);
+                self.miss_deadline(
+                    p,
+                    bound,
+                    ViolationKind::DeadlineMiss,
+                    deadline,
+                    Some(event),
+                    event.time,
+                    ExpectedFrom::Snapshot,
+                );
+                return self.verdict;
+            }
+        }
+        self.verdict = if self.open_deadline(p, premise_len, bound).is_some() {
+            Verdict::Pending
+        } else {
+            Verdict::PresumablySatisfied
+        };
+        self.verdict
+    }
+
+    fn advance_time_timed(
+        &mut self,
+        p: &CompiledProgram,
+        premise_len: usize,
+        bound: SimTime,
+        now: SimTime,
+    ) -> Verdict {
+        if self.verdict.is_final() {
+            return self.verdict;
+        }
+        self.ops += 1; // deadline compare
+        if let Some(deadline) = self.hard_deadline(p, premise_len, bound) {
+            if now > deadline {
+                self.miss_deadline(
+                    p,
+                    bound,
+                    ViolationKind::DeadlineMiss,
+                    deadline,
+                    None,
+                    now,
+                    ExpectedFrom::Current,
+                );
+            }
+        }
+        self.verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{build_monitor, PropertyMonitor};
+    use crate::parse::parse_property;
+    use lomon_trace::Trace;
+
+    /// Build both backends for `text`, interning `extra` names first so the
+    /// traces can carry out-of-alphabet events.
+    fn both(text: &str, extra: &[&str]) -> (Vocabulary, PropertyMonitor, CompiledMonitor) {
+        let mut voc = Vocabulary::new();
+        for name in extra {
+            voc.input(name);
+        }
+        let property = parse_property(text, &mut voc).expect("parses");
+        let interp = build_monitor(property.clone(), &voc).expect("well-formed");
+        let compiled = compile_monitor(property, &voc).expect("well-formed");
+        (voc, interp, compiled)
+    }
+
+    fn ev(voc: &Vocabulary, name: &str, ns: u64) -> TimedEvent {
+        TimedEvent::new(voc.lookup(name).expect("interned"), SimTime::from_ns(ns))
+    }
+
+    fn members(set: &NameSet) -> Vec<Name> {
+        set.iter().collect()
+    }
+
+    /// Feed both backends the same events in lockstep and compare verdict,
+    /// ops, deadline and expected set after every step, then at finish the
+    /// full violation diagnostics.
+    fn lockstep(text: &str, extra: &[&str], events: &[(&str, u64)], end_ns: u64) {
+        let (voc, mut interp, mut compiled) = both(text, extra);
+        assert_eq!(interp.state_bits(), compiled.state_bits(), "{text}");
+        assert_eq!(interp.ops(), compiled.ops(), "{text}: ops at construction");
+        for &(name, ns) in events {
+            let event = ev(&voc, name, ns);
+            let vi = interp.observe(event);
+            let vc = compiled.observe(event);
+            assert_eq!(vi, vc, "{text}: verdict after `{name}` at {ns}ns");
+            assert_eq!(
+                interp.ops(),
+                compiled.ops(),
+                "{text}: ops after `{name}` at {ns}ns"
+            );
+            assert_eq!(
+                interp.deadline(),
+                compiled.deadline(),
+                "{text}: deadline after `{name}` at {ns}ns"
+            );
+            assert_eq!(
+                members(&interp.expected()),
+                members(&compiled.expected()),
+                "{text}: expected after `{name}` at {ns}ns"
+            );
+        }
+        let end = SimTime::from_ns(end_ns);
+        assert_eq!(interp.finish(end), compiled.finish(end), "{text}: finish");
+        assert_eq!(interp.ops(), compiled.ops(), "{text}: ops at finish");
+        match (interp.violation(), compiled.violation()) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.kind, b.kind, "{text}");
+                assert_eq!(a.event, b.event, "{text}");
+                assert_eq!(a.time, b.time, "{text}");
+                assert_eq!(a.detail, b.detail, "{text}");
+                assert_eq!(members(&a.expected), members(&b.expected), "{text}");
+            }
+            (a, b) => panic!("{text}: one backend violated: interp {a:?} vs compiled {b:?}"),
+        }
+    }
+
+    #[test]
+    fn antecedent_satisfied_matches() {
+        lockstep(
+            "all{set_imgAddr, set_glAddr, set_glSize} << start once",
+            &["noise"],
+            &[
+                ("set_glAddr", 10),
+                ("noise", 15),
+                ("set_imgAddr", 20),
+                ("set_glSize", 30),
+                ("start", 40),
+                ("start", 50), // passive after the one-shot episode
+            ],
+            100,
+        );
+    }
+
+    #[test]
+    fn antecedent_violations_match() {
+        // Premature stop: the trigger arrives first.
+        lockstep("all{a, b} << start once", &[], &[("start", 10)], 20);
+        // TooMany: the [1,1] range re-occurs.
+        lockstep("all{a, b} << start once", &[], &[("a", 10), ("a", 20)], 30);
+        // MissingRange via the ∧-fragment.
+        lockstep("all{a, b} < c << i once", &[], &[("a", 10), ("c", 20)], 30);
+    }
+
+    #[test]
+    fn repeated_episodes_match() {
+        lockstep(
+            "n[2,3] << i repeated",
+            &[],
+            &[
+                ("n", 10),
+                ("n", 20),
+                ("i", 30),
+                ("n", 40),
+                ("n", 50),
+                ("n", 60),
+                ("i", 70),
+                // Third episode violates: only one n before i.
+                ("n", 80),
+                ("i", 90),
+            ],
+            100,
+        );
+    }
+
+    #[test]
+    fn any_fragment_and_handover_match() {
+        lockstep(
+            "all{a, b} < any{c[2,8], d} < e << i once",
+            &["noise"],
+            &[
+                ("b", 10),
+                ("a", 20),
+                ("d", 30), // handover into the ∨ fragment via d
+                ("c", 40),
+                ("c", 50),
+                ("noise", 55),
+                ("e", 60), // c-block + d both fine under ∨
+                ("i", 70),
+            ],
+            100,
+        );
+        // The nok path: c never participates.
+        lockstep(
+            "all{a} < any{c[2,8], d} << i once",
+            &[],
+            &[("a", 10), ("d", 20), ("i", 30)],
+            40,
+        );
+    }
+
+    #[test]
+    fn timed_nominal_and_miss_match() {
+        let text = "start => out:read[2,4] < out:irq within 100 ns";
+        lockstep(
+            text,
+            &["noise"],
+            &[
+                ("start", 10),
+                ("read", 20),
+                ("noise", 25),
+                ("read", 30),
+                ("irq", 50),
+            ],
+            200,
+        );
+        // Deadline miss revealed by the response completing too late.
+        lockstep(
+            text,
+            &[],
+            &[("start", 10), ("read", 20), ("read", 30), ("irq", 200)],
+            300,
+        );
+        // Deadline miss revealed by an out-of-alphabet event's timestamp.
+        lockstep(text, &["noise"], &[("start", 10), ("noise", 300)], 400);
+        // Deadline expired at end of observation.
+        lockstep(text, &[], &[("start", 10), ("read", 20)], 500);
+        // Pending at end of observation (within budget).
+        lockstep(text, &[], &[("start", 10), ("read", 20)], 90);
+        // Step errors inside the cyclic chain.
+        lockstep(text, &[], &[("read", 10)], 20);
+        lockstep(text, &[], &[("start", 10), ("read", 20), ("irq", 30)], 40);
+    }
+
+    #[test]
+    fn timed_repeated_episodes_match() {
+        let text = "start => out:irq within 100 ns";
+        lockstep(
+            text,
+            &[],
+            &[
+                ("start", 10),
+                ("irq", 50),
+                ("start", 1000),
+                ("irq", 1090),
+                ("start", 2000),
+                ("irq", 2500), // second budget blown
+            ],
+            3000,
+        );
+    }
+
+    #[test]
+    fn advance_time_matches() {
+        let (voc, mut interp, mut compiled) = both("start => out:irq within 100 ns", &[]);
+        let event = ev(&voc, "start", 10);
+        interp.observe(event);
+        compiled.observe(event);
+        for ns in [50, 100, 110, 111, 200] {
+            let t = SimTime::from_ns(ns);
+            assert_eq!(interp.advance_time(t), compiled.advance_time(t), "{ns}");
+            assert_eq!(interp.ops(), compiled.ops(), "{ns}");
+        }
+        let (a, b) = (interp.violation().unwrap(), compiled.violation().unwrap());
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.detail, b.detail);
+        assert_eq!(members(&a.expected), members(&b.expected));
+    }
+
+    #[test]
+    fn reset_matches_and_reuses() {
+        let (voc, mut interp, mut compiled) = both("all{a, b} << start repeated", &[]);
+        for &(name, ns) in &[("a", 10), ("start", 20)] {
+            interp.observe(ev(&voc, name, ns));
+            compiled.observe(ev(&voc, name, ns));
+        }
+        assert_eq!(interp.verdict(), Verdict::Violated);
+        assert_eq!(compiled.verdict(), Verdict::Violated);
+        interp.reset();
+        compiled.reset();
+        assert_eq!(interp.ops(), compiled.ops(), "ops after reset");
+        assert_eq!(compiled.verdict(), Verdict::PresumablySatisfied);
+        assert!(compiled.violation().is_none());
+        for &(name, ns) in &[("b", 10), ("a", 20), ("start", 30)] {
+            let vi = interp.observe(ev(&voc, name, ns));
+            let vc = compiled.observe(ev(&voc, name, ns));
+            assert_eq!(vi, vc);
+        }
+        assert_eq!(compiled.episodes(), 1);
+    }
+
+    #[test]
+    fn without_diagnostics_reports_empty_expected() {
+        let (voc, _interp, compiled) = both("all{a, b} << start once", &[]);
+        let mut compiled = compiled.without_diagnostics();
+        compiled.observe(ev(&voc, "start", 10));
+        assert_eq!(compiled.verdict(), Verdict::Violated);
+        assert!(compiled.violation().unwrap().expected.is_empty());
+    }
+
+    #[test]
+    fn run_to_end_agrees_via_trait() {
+        let (voc, mut interp, mut compiled) = both("any{a[2,8], b} << i once", &[]);
+        let names: Vec<Name> = ["a", "a", "a", "i"]
+            .iter()
+            .map(|n| voc.lookup(n).unwrap())
+            .collect();
+        let trace = Trace::from_names(names);
+        let vi = crate::verdict::run_to_end(&mut interp, &trace);
+        let vc = crate::verdict::run_to_end(&mut compiled, &trace);
+        assert_eq!(vi, vc);
+        assert_eq!(vi, Verdict::Satisfied);
+    }
+
+    #[test]
+    fn program_shape_is_flat() {
+        let mut voc = Vocabulary::new();
+        let property =
+            parse_property("all{a, b} < any{c[2,8], d} < e << i once", &mut voc).unwrap();
+        let property = wf::validate(property, &voc).unwrap();
+        let program = CompiledProgram::lower(&property);
+        assert_eq!(program.fragment_count(), 3);
+        assert_eq!(program.cell_count(), 5);
+        // 6 alphabet names (a, b, c, d, e, i) × 5 cells.
+        assert_eq!(program.actions.len(), 6 * 5);
+        assert_eq!(program.alphabet().len(), 6);
+        // Every in-alphabet (name, cell) pair is classified: with the
+        // linear context layout no entry is CLASS_NONE.
+        assert!(program.actions.iter().all(|a| a.class != CLASS_NONE));
+    }
+
+    #[test]
+    fn compile_monitor_rejects_ill_formed() {
+        let mut voc = Vocabulary::new();
+        let a = voc.input("a");
+        let prop: Property = crate::ast::Antecedent::new(
+            crate::ast::LooseOrdering::new(vec![crate::ast::Fragment::singleton(
+                crate::ast::Range::once(a),
+            )]),
+            a, // trigger inside P
+            true,
+        )
+        .into();
+        assert!(compile_monitor(prop, &voc).is_err());
+    }
+}

@@ -24,6 +24,10 @@
 //! * [`antecedent`], [`timed`] — the two root-pattern monitors;
 //! * [`monitor`] — validation + construction entry point
 //!   ([`monitor::build_monitor`]);
+//! * [`compiled`] — the flat-table execution backend: recognizer trees
+//!   lowered once into cell arenas + dense event→action tables
+//!   ([`compiled::compile_monitor`]), verdict- and ops-identical to the
+//!   interpreter but with an allocation-free integer hot path;
 //! * [`verdict`] — four-valued verdicts, violation diagnostics and the
 //!   object-safe [`verdict::Monitor`] trait;
 //! * [`semantics`] — an independent reference semantics (pattern →
@@ -57,6 +61,7 @@
 
 pub mod antecedent;
 pub mod ast;
+pub mod compiled;
 pub mod complexity;
 pub mod compose;
 pub mod context;
@@ -70,6 +75,7 @@ pub mod wf;
 
 pub use antecedent::AntecedentMonitor;
 pub use ast::{Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication};
+pub use compiled::{compile_monitor, CompiledMonitor, CompiledProgram};
 pub use monitor::{build_monitor, PropertyMonitor};
 pub use timed::TimedImplicationMonitor;
 pub use verdict::{run_to_end, Monitor, Verdict, Violation, ViolationKind};

@@ -1,13 +1,16 @@
 //! Compiling a property set into an [`Engine`]: parse/validate *everything*
 //! first, report every error, and build the inverted dispatch index once.
 
+use std::sync::Arc;
+
 use lomon_core::ast::Property;
+use lomon_core::compiled::CompiledProgram;
 use lomon_core::monitor::{build_monitor, PropertyMonitor};
 use lomon_core::parse::{parse_property, ParseError};
 use lomon_core::wf::WfError;
 use lomon_trace::{Name, NameSet, Vocabulary};
 
-use crate::session::{DispatchMode, Session};
+use crate::session::{Backend, DispatchMode, Session};
 
 /// Why one property of the set failed to compile. The engine never stops at
 /// the first bad property: [`Engine::compile`] returns *all* failures so a
@@ -72,13 +75,17 @@ impl CompileError {
     }
 }
 
-/// One validated property of the compiled set: the prototype monitor that
-/// sessions clone, plus everything dispatch needs precomputed.
+/// One validated property of the compiled set: the interpreter prototype
+/// that [`Backend::Interp`] sessions clone, the lowered flat-table program
+/// that [`Backend::Compiled`] sessions share, plus everything dispatch
+/// needs precomputed.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledProperty {
     pub(crate) prototype: PropertyMonitor,
+    pub(crate) program: Arc<CompiledProgram>,
     pub(crate) alphabet: NameSet,
-    pub(crate) display: String,
+    /// Shared so per-report property lines clone a pointer, not the text.
+    pub(crate) display: Arc<str>,
     pub(crate) timed: bool,
 }
 
@@ -87,12 +94,21 @@ pub(crate) struct CompiledProperty {
 #[derive(Debug, Clone)]
 pub struct Engine {
     pub(crate) properties: Vec<CompiledProperty>,
-    /// Inverted index: dense name index → ids of subscribed properties.
-    /// Names interned after compilation simply fall off the end (no
-    /// subscribers).
-    pub(crate) index: Vec<Vec<u32>>,
+    /// Inverted index in CSR form: the subscribers of name `n` are
+    /// `sub_ids[sub_start[n] .. sub_start[n + 1]]` — one flat array, no
+    /// per-name allocation to chase on the hot path. Names interned after
+    /// compilation simply fall off the end (no subscribers).
+    pub(crate) sub_start: Vec<u32>,
+    pub(crate) sub_ids: Vec<u32>,
+    /// Parallel to `sub_ids`: the subscriber's precomputed action-table row
+    /// for the name — the index's routing hint to the compiled backend
+    /// (unused by the interpreter, which re-projects internally).
+    pub(crate) sub_bases: Vec<u32>,
     /// Ids of timed-implication properties (the only ones with deadlines).
     pub(crate) timed_ids: Vec<u32>,
+    /// Dense id → is-timed flags: the per-step hot path reads this compact
+    /// array instead of striding over the full [`CompiledProperty`] structs.
+    pub(crate) timed_flags: Vec<bool>,
 }
 
 impl Engine {
@@ -161,13 +177,17 @@ impl Engine {
         let mut properties = Vec::with_capacity(parsed.len());
         for (index, source, property) in parsed {
             let timed = matches!(property, Property::Timed(_));
-            match build_monitor(property, voc) {
+            match build_monitor(property.clone(), voc) {
                 Ok(prototype) => {
                     let alphabet = prototype.alphabet();
+                    // `build_monitor` validated the property; lower it into
+                    // the flat-table program the compiled backend runs on.
+                    let program = Arc::new(CompiledProgram::lower(&property));
                     properties.push(CompiledProperty {
                         prototype,
+                        program,
                         alphabet,
-                        display: source,
+                        display: Arc::from(source),
                         timed,
                     });
                 }
@@ -181,6 +201,7 @@ impl Engine {
 
         let mut index = vec![Vec::new(); voc.len()];
         let mut timed_ids = Vec::new();
+        let mut timed_flags = Vec::with_capacity(properties.len());
         for (id, compiled) in properties.iter().enumerate() {
             for name in compiled.alphabet.iter() {
                 index[name.index()].push(id as u32);
@@ -188,11 +209,32 @@ impl Engine {
             if compiled.timed {
                 timed_ids.push(id as u32);
             }
+            timed_flags.push(compiled.timed);
+        }
+        let mut sub_start = Vec::with_capacity(index.len() + 1);
+        let mut sub_ids = Vec::new();
+        let mut sub_bases = Vec::new();
+        sub_start.push(0);
+        for (n, row) in index.iter().enumerate() {
+            let name = Name::from_index(n);
+            for &id in row {
+                sub_ids.push(id);
+                sub_bases.push(
+                    properties[id as usize]
+                        .program
+                        .action_row(name)
+                        .expect("subscription implies alphabet membership"),
+                );
+            }
+            sub_start.push(sub_ids.len() as u32);
         }
         Engine {
             properties,
-            index,
+            sub_start,
+            sub_ids,
+            sub_bases,
             timed_ids,
+            timed_flags,
         }
     }
 
@@ -212,7 +254,7 @@ impl Engine {
     ///
     /// Panics if `id` is out of range.
     pub fn property_display(&self, id: usize) -> &str {
-        &self.properties[id].display
+        self.properties[id].display.as_ref()
     }
 
     /// The alphabet of property `id`, as computed at compile time.
@@ -226,23 +268,43 @@ impl Engine {
 
     /// The ids of the properties subscribed to `name` — the index row an
     /// event of that name dispatches to.
+    #[inline]
     pub fn subscribers(&self, name: Name) -> &[u32] {
-        self.index
-            .get(name.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.subscribers_with_bases(name).0
     }
 
-    /// Open a fresh session using indexed dispatch.
+    /// The subscriber ids of `name` together with each subscriber's
+    /// precomputed action-table row (the routing hint consumed by
+    /// [`lomon_core::compiled::CompiledMonitor::observe_routed`]).
+    #[inline]
+    pub(crate) fn subscribers_with_bases(&self, name: Name) -> (&[u32], &[u32]) {
+        match self.sub_start.get(name.index()..name.index() + 2) {
+            Some(bounds) => {
+                let (s, e) = (bounds[0] as usize, bounds[1] as usize);
+                (&self.sub_ids[s..e], &self.sub_bases[s..e])
+            }
+            None => (&[], &[]),
+        }
+    }
+
+    /// Open a fresh session using indexed dispatch on the compiled
+    /// (flat-table) backend — the defaults.
     pub fn session(&self) -> Session<'_> {
         self.session_with(DispatchMode::Indexed)
     }
 
     /// Open a fresh session with an explicit dispatch mode —
     /// [`DispatchMode::Broadcast`] is the naive baseline the benchmarks
-    /// compare against.
+    /// compare against. Runs on the default [`Backend::Compiled`].
     pub fn session_with(&self, mode: DispatchMode) -> Session<'_> {
-        Session::new(self, mode)
+        self.session_with_backend(mode, Backend::Compiled)
+    }
+
+    /// Open a fresh session with explicit dispatch mode *and* execution
+    /// backend — [`Backend::Interp`] is the tree-walking differential
+    /// oracle the compiled backend is checked against.
+    pub fn session_with_backend(&self, mode: DispatchMode, backend: Backend) -> Session<'_> {
+        Session::new(self, mode, backend)
     }
 }
 

@@ -29,6 +29,31 @@
 //! ([`DispatchStats`]), and `cargo run -p lomon-bench --bin engine_dispatch`
 //! plots indexed vs naive-broadcast dispatch as the property count grows.
 //!
+//! ## Execution backends
+//!
+//! Orthogonal to *which* monitors an event reaches (dispatch) is *how* a
+//! monitor step executes. A [`Session`] runs one of two backends:
+//!
+//! * [`Backend::Compiled`] (the default) — each property is lowered once,
+//!   at [`Engine::compile`] time, into a flat arena of recognizer cells
+//!   plus a dense event→action table ([`lomon_core::compiled`]). A monitor
+//!   step is one table row index and a handful of integer state updates;
+//!   the hot path performs **no allocation**, so `reset()`/`close()` reuse
+//!   loops (trace batches, SMC campaigns) run millions of episodes through
+//!   one session without churn.
+//! * [`Backend::Interp`] — the tree-walking interpreter monitors
+//!   ([`lomon_core::monitor`]), which classify every event against the
+//!   recognition-context bitsets at runtime. Kept as the **differential
+//!   oracle**: both backends are verdict-, diagnostic- and ops-identical
+//!   (asserted by `tests/engine_oracle.rs` and the `hot_loop --check` CI
+//!   gate), so any disagreement is a bug in one of them. Use it to
+//!   cross-check a suspicious verdict (`--backend interp` on the CLI) or
+//!   when stepping through monitor internals in a debugger.
+//!
+//! `cargo run -p lomon-bench --bin hot_loop --release` measures the ns/event
+//! gap between the two and writes the machine-readable
+//! `BENCH_hot_loop.json` tracked at the repository root.
+//!
 //! ## Sessions
 //!
 //! One compiled [`Engine`] serves any number of independent [`Session`]s —
@@ -77,4 +102,4 @@ pub mod session;
 
 pub use compile::{CompileError, Engine};
 pub use report::{DispatchStats, EngineReport, PropertyReport};
-pub use session::{DispatchMode, Session};
+pub use session::{Backend, DispatchMode, Session};

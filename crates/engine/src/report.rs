@@ -5,6 +5,7 @@ use lomon_core::verdict::{Verdict, Violation};
 use lomon_trace::Vocabulary;
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Dispatch accounting for one session. The headline number is
 /// [`DispatchStats::steps_skipped`]: monitor steps a naive broadcast would
@@ -50,8 +51,9 @@ impl DispatchStats {
 pub struct PropertyReport {
     /// Position in the compiled set.
     pub index: usize,
-    /// The property's source text (or rendered AST).
-    pub property: String,
+    /// The property's source text (or rendered AST), shared with the engine
+    /// — reports clone a pointer, never the text itself.
+    pub property: Arc<str>,
     /// The verdict at report time.
     pub verdict: Verdict,
     /// Diagnostics, when the verdict is [`Verdict::Violated`].

@@ -1,11 +1,35 @@
 //! Sessions: per-stream monitor state over a shared compiled [`Engine`].
 
+use std::sync::Arc;
+
+use lomon_core::compiled::CompiledMonitor;
 use lomon_core::monitor::PropertyMonitor;
 use lomon_core::verdict::{Monitor, Verdict, Violation};
 use lomon_trace::{SimTime, TimedEvent};
 
 use crate::compile::Engine;
 use crate::report::{DispatchStats, EngineReport, PropertyReport};
+/// Backend-polymorphic routed stepping: the indexed dispatcher hands each
+/// subscriber the precomputed action-table row of the event's name. The
+/// compiled backend consumes it and skips its own projection lookup; the
+/// interpreter has no cheaper entry point and re-projects internally.
+trait RoutedMonitor: Monitor {
+    fn observe_routed(&mut self, event: TimedEvent, base: u32) -> Verdict;
+}
+
+impl RoutedMonitor for PropertyMonitor {
+    #[inline]
+    fn observe_routed(&mut self, event: TimedEvent, _base: u32) -> Verdict {
+        self.observe(event)
+    }
+}
+
+impl RoutedMonitor for CompiledMonitor {
+    #[inline]
+    fn observe_routed(&mut self, event: TimedEvent, base: u32) -> Verdict {
+        CompiledMonitor::observe_routed(self, event, base)
+    }
+}
 
 /// How a session routes events to monitors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,8 +43,51 @@ pub enum DispatchMode {
     Broadcast,
 }
 
-/// One monitored event stream: a clone of the engine's prototype monitors
-/// plus the per-stream dispatch state.
+/// Which execution backend steps a session's monitors.
+///
+/// Both backends are verdict-, diagnostic- and ops-identical (enforced by
+/// the oracle proptests and the `hot_loop --check` CI gate); they differ
+/// only in *how* a monitor step executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Flat-table monitors ([`lomon_core::compiled`]): one action-table
+    /// index plus integer state updates per event, no allocation. The
+    /// default for `check`/`watch`/`smc`.
+    Compiled,
+    /// Tree-walking interpreter monitors ([`lomon_core::monitor`]): enum
+    /// dispatch and per-recognizer bitset classification. Kept as the
+    /// differential oracle and for diagnosis.
+    Interp,
+}
+
+/// The per-stream monitor instances, one dense arena per backend. Keeping
+/// the arena monomorphic (instead of an enum per monitor) lets the dispatch
+/// loops specialize per backend: monitor steps are direct, inlinable calls
+/// and the arena has no per-element tag.
+#[derive(Debug, Clone)]
+enum MonitorArena {
+    Interp(Vec<PropertyMonitor>),
+    Compiled(Vec<CompiledMonitor>),
+}
+
+impl MonitorArena {
+    fn len(&self) -> usize {
+        match self {
+            MonitorArena::Interp(ms) => ms.len(),
+            MonitorArena::Compiled(ms) => ms.len(),
+        }
+    }
+
+    fn monitor(&self, id: usize) -> &dyn Monitor {
+        match self {
+            MonitorArena::Interp(ms) => &ms[id],
+            MonitorArena::Compiled(ms) => &ms[id],
+        }
+    }
+}
+
+/// One monitored event stream: per-property monitor instances (cloned
+/// prototypes or compiled-state arenas) plus the per-stream dispatch state.
 ///
 /// Verdict-wise, a session behaves exactly as if each property's monitor had
 /// individually observed the whole stream and then
@@ -32,9 +99,18 @@ pub enum DispatchMode {
 /// streaming caller can report verdicts as they happen.
 #[derive(Debug, Clone)]
 pub struct Session<'e> {
+    arena: MonitorArena,
+    core: Core<'e>,
+}
+
+/// Everything of a session except the monitors themselves — split out so
+/// the dispatch methods can borrow the arena and the bookkeeping state
+/// independently and stay generic over the backend's monitor type.
+#[derive(Debug, Clone)]
+struct Core<'e> {
     engine: &'e Engine,
     mode: DispatchMode,
-    monitors: Vec<PropertyMonitor>,
+    backend: Backend,
     active: Vec<bool>,
     active_count: usize,
     /// Per-property open hard deadline (timed properties only).
@@ -48,98 +124,94 @@ pub struct Session<'e> {
 }
 
 impl<'e> Session<'e> {
-    pub(crate) fn new(engine: &'e Engine, mode: DispatchMode) -> Self {
-        let monitors: Vec<PropertyMonitor> = engine
-            .properties
-            .iter()
-            .map(|p| p.prototype.clone())
-            .collect();
-        let n = monitors.len();
+    pub(crate) fn new(engine: &'e Engine, mode: DispatchMode, backend: Backend) -> Self {
+        let arena = match backend {
+            // Interp monitors deep-clone the prototype tree; compiled
+            // monitors allocate only their state arena and share the
+            // program tables.
+            Backend::Interp => MonitorArena::Interp(
+                engine
+                    .properties
+                    .iter()
+                    .map(|p| p.prototype.clone())
+                    .collect(),
+            ),
+            Backend::Compiled => MonitorArena::Compiled(
+                engine
+                    .properties
+                    .iter()
+                    .map(|p| CompiledMonitor::new(Arc::clone(&p.program)))
+                    .collect(),
+            ),
+        };
+        let n = arena.len();
         Session {
-            engine,
-            mode,
-            monitors,
-            active: vec![true; n],
-            active_count: n,
-            deadlines: vec![None; n],
-            next_deadline: None,
-            deadline_dirty: false,
-            newly_final: Vec::new(),
-            stats: DispatchStats::default(),
-            finished: false,
+            arena,
+            core: Core {
+                engine,
+                mode,
+                backend,
+                active: vec![true; n],
+                active_count: n,
+                deadlines: vec![None; n],
+                next_deadline: None,
+                deadline_dirty: false,
+                newly_final: Vec::new(),
+                stats: DispatchStats::default(),
+                finished: false,
+            },
         }
     }
 
     /// The engine this session was opened from.
     pub fn engine(&self) -> &'e Engine {
-        self.engine
+        self.core.engine
     }
 
     /// The dispatch mode this session runs with.
     pub fn mode(&self) -> DispatchMode {
-        self.mode
+        self.core.mode
+    }
+
+    /// The execution backend this session's monitors run on.
+    pub fn backend(&self) -> Backend {
+        self.core.backend
     }
 
     /// Feed one event to every monitor that can react to it.
+    #[inline]
     pub fn ingest(&mut self, event: TimedEvent) {
-        self.stats.events += 1;
-        match self.mode {
-            DispatchMode::Broadcast => {
-                for id in 0..self.monitors.len() {
-                    if self.active[id] {
-                        self.step_observe(id, event);
-                    }
-                }
-            }
-            DispatchMode::Indexed => {
-                let subscribers = self.engine.subscribers(event.name);
-                let live_before = self.active_count;
-                let mut stepped = 0u64;
-                // Timed monitors can flip to Violated on *any* event whose
-                // timestamp passes their hard deadline; sweep those first
-                // (skipping subscribers, whose own `observe` re-checks the
-                // deadline anyway).
-                stepped += self.sweep_deadlines(event.time, subscribers);
-                for &id in subscribers {
-                    let id = id as usize;
-                    if self.active[id] {
-                        self.step_observe(id, event);
-                        stepped += 1;
-                    }
-                }
-                self.stats.steps_skipped += (live_before as u64).saturating_sub(stepped);
-            }
+        match &mut self.arena {
+            MonitorArena::Interp(ms) => self.core.ingest_in(ms, event),
+            MonitorArena::Compiled(ms) => self.core.ingest_in(ms, event),
         }
     }
 
     /// Feed a batch of events (the bulk path: one call per recorded trace
     /// chunk instead of one per event).
     pub fn ingest_batch(&mut self, events: &[TimedEvent]) {
-        for (k, &event) in events.iter().enumerate() {
-            // Every monitor is quiescent once all verdicts are final; the
-            // remaining events can only bump the event counter.
-            if self.active_count == 0 {
-                self.stats.events += (events.len() - k) as u64;
-                return;
+        match (&mut self.arena, self.core.mode) {
+            (MonitorArena::Interp(ms), DispatchMode::Indexed) => {
+                self.core.ingest_batch_indexed(ms, events)
             }
-            self.ingest(event);
+            (MonitorArena::Compiled(ms), DispatchMode::Indexed) => {
+                self.core.ingest_batch_indexed(ms, events)
+            }
+            (MonitorArena::Interp(ms), DispatchMode::Broadcast) => {
+                self.core.ingest_batch_in(ms, events)
+            }
+            (MonitorArena::Compiled(ms), DispatchMode::Broadcast) => {
+                self.core.ingest_batch_in(ms, events)
+            }
         }
     }
 
     /// Notify the session that simulated time has advanced to `now` with no
     /// new event — lets timed monitors detect expired deadlines online.
     pub fn advance_time(&mut self, now: SimTime) {
-        match self.mode {
-            DispatchMode::Broadcast => {
-                for id in 0..self.monitors.len() {
-                    if self.active[id] {
-                        self.step_advance(id, now);
-                    }
-                }
-            }
-            DispatchMode::Indexed => {
-                self.sweep_deadlines(now, &[]);
-            }
+        match &mut self.arena {
+            MonitorArena::Interp(ms) => self.core.advance_time_in(ms, now),
+            MonitorArena::Compiled(ms) => self.core.advance_time_in(ms, now),
         }
     }
 
@@ -156,58 +228,68 @@ impl<'e> Session<'e> {
     /// SMC campaign running millions of episodes through one session).
     /// Idempotent, like `finish`.
     pub fn close(&mut self, end_time: SimTime) {
-        if !self.finished {
-            for id in 0..self.monitors.len() {
-                if !self.active[id] {
-                    continue;
-                }
-                self.monitors[id].finish(end_time);
-                if self.monitors[id].verdict().is_final() {
-                    self.retire(id);
-                }
-            }
-            self.finished = true;
+        match &mut self.arena {
+            MonitorArena::Interp(ms) => self.core.close_in(ms, end_time),
+            MonitorArena::Compiled(ms) => self.core.close_in(ms, end_time),
         }
     }
 
     /// Snapshot the current per-property verdicts and dispatch statistics
     /// without ending the stream.
     pub fn report(&self) -> EngineReport {
-        let properties = (0..self.monitors.len())
-            .map(|id| PropertyReport {
-                index: id,
-                property: self.engine.properties[id].display.clone(),
-                verdict: self.monitors[id].verdict(),
-                violation: self.monitors[id].violation().cloned(),
+        let properties = (0..self.arena.len())
+            .map(|id| {
+                let m = self.arena.monitor(id);
+                PropertyReport {
+                    index: id,
+                    // An `Arc` bump, not a copy of the property text —
+                    // reports in a tight reuse loop must not allocate per
+                    // property.
+                    property: Arc::clone(&self.core.engine.properties[id].display),
+                    verdict: m.verdict(),
+                    violation: m.violation().cloned(),
+                }
             })
             .collect();
-        let mut stats = self.stats;
-        stats.properties = self.monitors.len() as u64;
-        stats.retired = (self.monitors.len() - self.active_count) as u64;
+        let mut stats = self.core.stats;
+        stats.properties = self.arena.len() as u64;
+        stats.retired = (self.arena.len() - self.core.active_count) as u64;
         EngineReport { properties, stats }
     }
 
     /// Rewind every monitor to its initial state for the next stream,
     /// keeping all allocations. Statistics restart from zero.
     pub fn reset(&mut self) {
-        for (id, monitor) in self.monitors.iter_mut().enumerate() {
-            monitor.reset();
-            self.active[id] = true;
-            self.deadlines[id] = None;
+        match &mut self.arena {
+            MonitorArena::Interp(ms) => {
+                for m in ms.iter_mut() {
+                    m.reset();
+                }
+            }
+            MonitorArena::Compiled(ms) => {
+                for m in ms.iter_mut() {
+                    m.reset();
+                }
+            }
         }
-        self.active_count = self.monitors.len();
-        self.next_deadline = None;
-        self.deadline_dirty = false;
-        self.newly_final.clear();
-        self.stats = DispatchStats::default();
-        self.finished = false;
+        let core = &mut self.core;
+        for id in 0..self.arena.len() {
+            core.active[id] = true;
+            core.deadlines[id] = None;
+        }
+        core.active_count = self.arena.len();
+        core.next_deadline = None;
+        core.deadline_dirty = false;
+        core.newly_final.clear();
+        core.stats = DispatchStats::default();
+        core.finished = false;
     }
 
     /// The ids of properties whose verdict went final since the last call,
     /// in finalization order. Streaming callers poll this after each
     /// [`Session::ingest`] to report verdicts as they happen.
     pub fn take_newly_final(&mut self) -> Vec<u32> {
-        std::mem::take(&mut self.newly_final)
+        std::mem::take(&mut self.core.newly_final)
     }
 
     /// Current verdict of property `id`.
@@ -216,7 +298,7 @@ impl<'e> Session<'e> {
     ///
     /// Panics if `id` is out of range.
     pub fn verdict(&self, id: usize) -> Verdict {
-        self.monitors[id].verdict()
+        self.arena.monitor(id).verdict()
     }
 
     /// Violation report of property `id`, if it is violated.
@@ -225,46 +307,220 @@ impl<'e> Session<'e> {
     ///
     /// Panics if `id` is out of range.
     pub fn violation(&self, id: usize) -> Option<&Violation> {
-        self.monitors[id].violation()
+        match &self.arena {
+            MonitorArena::Interp(ms) => ms[id].violation(),
+            MonitorArena::Compiled(ms) => ms[id].violation(),
+        }
+    }
+
+    /// Abstract operations executed by property `id`'s monitor so far
+    /// (the [`lomon_core::verdict::Monitor::ops`] instrumentation) — both
+    /// backends count identically, which the oracle tests assert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn ops(&self, id: usize) -> u64 {
+        self.arena.monitor(id).ops()
     }
 
     /// Number of monitors still live (not retired).
     pub fn active_len(&self) -> usize {
-        self.active_count
+        self.core.active_count
     }
 
     /// Whether every property has reached a final verdict — the stream can
     /// be abandoned early.
     pub fn is_settled(&self) -> bool {
-        self.active_count == 0
+        self.core.active_count == 0
     }
 
     /// Dispatch statistics so far.
     pub fn stats(&self) -> &DispatchStats {
-        &self.stats
+        &self.core.stats
+    }
+}
+
+impl<'e> Core<'e> {
+    #[inline]
+    fn ingest_in<M: RoutedMonitor>(&mut self, monitors: &mut [M], event: TimedEvent) {
+        self.stats.events += 1;
+        match self.mode {
+            DispatchMode::Broadcast => {
+                for id in 0..monitors.len() {
+                    if self.active[id] {
+                        self.step_observe_plain(monitors, id, event);
+                    }
+                }
+            }
+            DispatchMode::Indexed => {
+                // One equal-length check up front lets the indexed loads
+                // below share a single bound.
+                assert!(
+                    self.active.len() == monitors.len()
+                        && self.engine.timed_flags.len() == monitors.len()
+                        && self.deadlines.len() == monitors.len()
+                );
+                let (ids, bases) = self.engine.subscribers_with_bases(event.name);
+                let live_before = self.active_count;
+                let mut stepped = 0u64;
+                // Timed monitors can flip to Violated on *any* event whose
+                // timestamp passes their hard deadline; sweep those first
+                // (skipping subscribers, whose own `observe` re-checks the
+                // deadline anyway). The guard keeps the common no-deadline
+                // case to two flag loads.
+                if self.deadline_dirty || self.next_deadline.is_some() {
+                    stepped += self.sweep_deadlines(monitors, event.time, ids);
+                }
+                for (&id, &base) in ids.iter().zip(bases) {
+                    let id = id as usize;
+                    if self.active[id] {
+                        self.step_observe(monitors, id, event, base);
+                        stepped += 1;
+                    }
+                }
+                self.stats.steps_skipped += (live_before as u64).saturating_sub(stepped);
+            }
+        }
+    }
+
+    fn ingest_batch_in<M: RoutedMonitor>(&mut self, monitors: &mut [M], events: &[TimedEvent]) {
+        for (k, &event) in events.iter().enumerate() {
+            // Every monitor is quiescent once all verdicts are final; the
+            // remaining events can only bump the event counter.
+            if self.active_count == 0 {
+                self.stats.events += (events.len() - k) as u64;
+                return;
+            }
+            self.ingest_in(monitors, event);
+        }
+    }
+
+    /// The whole-trace fast path: like per-event [`Core::ingest_in`] under
+    /// indexed dispatch, but with the statistics counters accumulated in
+    /// locals across the batch instead of read-modify-written per event.
+    fn ingest_batch_indexed<M: RoutedMonitor>(
+        &mut self,
+        monitors: &mut [M],
+        events: &[TimedEvent],
+    ) {
+        assert!(
+            self.active.len() == monitors.len()
+                && self.engine.timed_flags.len() == monitors.len()
+                && self.deadlines.len() == monitors.len()
+        );
+        let mut seen = 0u64;
+        let mut steps = 0u64;
+        let mut skipped = 0u64;
+        for (k, &event) in events.iter().enumerate() {
+            if self.active_count == 0 {
+                seen += (events.len() - k) as u64;
+                break;
+            }
+            seen += 1;
+            let mut stepped = 0u64;
+            let live_before = self.active_count;
+            let (ids, bases) = self.engine.subscribers_with_bases(event.name);
+            if self.deadline_dirty || self.next_deadline.is_some() {
+                // The sweep updates `self.stats` through the slow path;
+                // fold its step count into the locals afterwards.
+                let before = self.stats.monitor_steps;
+                stepped += self.sweep_deadlines(monitors, event.time, ids);
+                steps += self.stats.monitor_steps - before;
+                self.stats.monitor_steps = before;
+            }
+            for (&id, &base) in ids.iter().zip(bases) {
+                let id = id as usize;
+                if self.active[id] {
+                    let verdict = monitors[id].observe_routed(event, base);
+                    steps += 1;
+                    stepped += 1;
+                    if verdict.is_final() {
+                        self.retire(id);
+                    } else if self.engine.timed_flags[id] {
+                        self.deadlines[id] = monitors[id].deadline();
+                        self.deadline_dirty = true;
+                    }
+                }
+            }
+            skipped += (live_before as u64).saturating_sub(stepped);
+        }
+        self.stats.events += seen;
+        self.stats.monitor_steps += steps;
+        self.stats.steps_skipped += skipped;
+    }
+
+    fn advance_time_in<M: Monitor>(&mut self, monitors: &mut [M], now: SimTime) {
+        match self.mode {
+            DispatchMode::Broadcast => {
+                for id in 0..monitors.len() {
+                    if self.active[id] {
+                        self.step_advance(monitors, id, now);
+                    }
+                }
+            }
+            DispatchMode::Indexed => {
+                self.sweep_deadlines(monitors, now, &[]);
+            }
+        }
+    }
+
+    fn close_in<M: Monitor>(&mut self, monitors: &mut [M], end_time: SimTime) {
+        if !self.finished {
+            for (id, monitor) in monitors.iter_mut().enumerate() {
+                if !self.active[id] {
+                    continue;
+                }
+                monitor.finish(end_time);
+                if monitor.verdict().is_final() {
+                    self.retire(id);
+                }
+            }
+            self.finished = true;
+        }
     }
 
     /// Step monitor `id` with `event`, recording the step and retiring the
     /// monitor if its verdict went final.
-    fn step_observe(&mut self, id: usize, event: TimedEvent) {
-        let verdict = self.monitors[id].observe(event);
+    #[inline]
+    fn step_observe<M: RoutedMonitor>(
+        &mut self,
+        monitors: &mut [M],
+        id: usize,
+        event: TimedEvent,
+        base: u32,
+    ) {
+        let verdict = monitors[id].observe_routed(event, base);
         self.stats.monitor_steps += 1;
         if verdict.is_final() {
             self.retire(id);
-        } else if self.engine.properties[id].timed {
-            self.deadlines[id] = self.monitors[id].deadline();
+        } else if self.engine.timed_flags[id] {
+            self.deadlines[id] = monitors[id].deadline();
+            self.deadline_dirty = true;
+        }
+    }
+
+    /// Step monitor `id` with `event` without a routing hint (broadcast
+    /// mode steps unsubscribed monitors too, so no row is available).
+    fn step_observe_plain<M: Monitor>(&mut self, monitors: &mut [M], id: usize, event: TimedEvent) {
+        let verdict = monitors[id].observe(event);
+        self.stats.monitor_steps += 1;
+        if verdict.is_final() {
+            self.retire(id);
+        } else if self.engine.timed_flags[id] {
+            self.deadlines[id] = monitors[id].deadline();
             self.deadline_dirty = true;
         }
     }
 
     /// Step monitor `id` with a time notification.
-    fn step_advance(&mut self, id: usize, now: SimTime) {
-        let verdict = self.monitors[id].advance_time(now);
+    fn step_advance<M: Monitor>(&mut self, monitors: &mut [M], id: usize, now: SimTime) {
+        let verdict = monitors[id].advance_time(now);
         self.stats.monitor_steps += 1;
         if verdict.is_final() {
             self.retire(id);
-        } else if self.engine.properties[id].timed {
-            self.deadlines[id] = self.monitors[id].deadline();
+        } else if self.engine.timed_flags[id] {
+            self.deadlines[id] = monitors[id].deadline();
             self.deadline_dirty = true;
         }
     }
@@ -274,7 +530,7 @@ impl<'e> Session<'e> {
             self.active[id] = false;
             self.active_count -= 1;
             self.deadlines[id] = None;
-            if self.engine.properties[id].timed {
+            if self.engine.timed_flags[id] {
                 self.deadline_dirty = true;
             }
             self.newly_final.push(id as u32);
@@ -285,7 +541,12 @@ impl<'e> Session<'e> {
     /// passed, except those in `exclude` (they are about to be observed,
     /// which performs its own deadline check). Returns the number of
     /// monitors stepped.
-    fn sweep_deadlines(&mut self, now: SimTime, exclude: &[u32]) -> u64 {
+    fn sweep_deadlines<M: Monitor>(
+        &mut self,
+        monitors: &mut [M],
+        now: SimTime,
+        exclude: &[u32],
+    ) -> u64 {
         self.refresh_next_deadline();
         let Some(min) = self.next_deadline else {
             return 0;
@@ -300,7 +561,7 @@ impl<'e> Session<'e> {
                 continue;
             }
             if self.deadlines[id].is_some_and(|d| now > d) {
-                self.step_advance(id, now);
+                self.step_advance(monitors, id, now);
                 stepped += 1;
             }
         }

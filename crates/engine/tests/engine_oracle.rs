@@ -18,7 +18,7 @@ use lomon_core::ast::{
 use lomon_core::monitor::build_monitor;
 use lomon_core::verdict::{run_to_end, Monitor};
 use lomon_core::wf;
-use lomon_engine::{DispatchMode, Engine};
+use lomon_engine::{Backend, DispatchMode, Engine};
 use lomon_trace::{Name, SimTime, Trace, Vocabulary};
 
 const INPUT_POOL: usize = 10;
@@ -264,6 +264,118 @@ proptest! {
             prop_assert_eq!(x.verdict, y.verdict);
         }
         prop_assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    /// Compiled vs interpreted execution backends, in both dispatch modes:
+    /// per-property verdicts, the full violation diagnostics (kind,
+    /// triggering event, detection time, detail text, expected set) and the
+    /// abstract-operation counters must all agree — the compiled lowering
+    /// is required to be *observationally identical* to the tree-walking
+    /// interpreter, not merely verdict-equivalent.
+    #[test]
+    fn compiled_backend_matches_interpreter(
+        specs in prop::collection::vec(property_strategy(), 1..=4),
+        steps in prop::collection::vec((0usize..16, 0u64..=120), 0..=30),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (inputs, outputs) = pools(&mut voc);
+        let properties: Vec<Property> = specs
+            .iter()
+            .map(|s| build_property(s, &inputs, &outputs))
+            .collect();
+        prop_assume!(properties
+            .iter()
+            .all(|p| wf::check(p, &voc).is_empty()));
+
+        let universe: Vec<Name> = voc.iter().collect();
+        let trace = build_trace(&steps, &universe);
+        let engine = Engine::from_properties(properties, &voc)
+            .expect("well-formed by construction");
+
+        for mode in [DispatchMode::Indexed, DispatchMode::Broadcast] {
+            let mut interp = engine.session_with_backend(mode, Backend::Interp);
+            let mut compiled = engine.session_with_backend(mode, Backend::Compiled);
+            for &event in trace.iter() {
+                interp.ingest(event);
+                compiled.ingest(event);
+            }
+            let (ri, rc) = (interp.finish(trace.end_time()), compiled.finish(trace.end_time()));
+            for id in 0..engine.len() {
+                prop_assert_eq!(
+                    interp.verdict(id),
+                    compiled.verdict(id),
+                    "{:?}: verdict of {}", mode, engine.property_display(id)
+                );
+                prop_assert_eq!(
+                    interp.ops(id),
+                    compiled.ops(id),
+                    "{:?}: ops of {}", mode, engine.property_display(id)
+                );
+                match (interp.violation(id), compiled.violation(id)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.kind, b.kind);
+                        prop_assert_eq!(a.event, b.event);
+                        prop_assert_eq!(a.time, b.time);
+                        prop_assert_eq!(&a.detail, &b.detail);
+                        prop_assert_eq!(
+                            a.expected.iter().collect::<Vec<_>>(),
+                            b.expected.iter().collect::<Vec<_>>()
+                        );
+                    }
+                    (a, b) => prop_assert!(
+                        false,
+                        "{:?}: one backend violated {}: interp {:?} vs compiled {:?}",
+                        mode, engine.property_display(id), a, b
+                    ),
+                }
+            }
+            // The dispatch layer's accounting is backend-independent.
+            prop_assert_eq!(ri.stats, rc.stats);
+        }
+    }
+
+    /// A reset *compiled* session behaves like a fresh one in lockstep with
+    /// the interpreter — the `rearm`/arena-reuse fast paths must not leak
+    /// any episode state between streams.
+    #[test]
+    fn compiled_reset_matches_interpreter_reset(
+        specs in prop::collection::vec(property_strategy(), 1..=3),
+        first in prop::collection::vec((0usize..16, 0u64..=120), 0..=16),
+        second in prop::collection::vec((0usize..16, 0u64..=120), 0..=16),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (inputs, outputs) = pools(&mut voc);
+        let properties: Vec<Property> = specs
+            .iter()
+            .map(|s| build_property(s, &inputs, &outputs))
+            .collect();
+        prop_assume!(properties
+            .iter()
+            .all(|p| wf::check(p, &voc).is_empty()));
+
+        let universe: Vec<Name> = voc.iter().collect();
+        let (t1, t2) = (build_trace(&first, &universe), build_trace(&second, &universe));
+        let engine = Engine::from_properties(properties, &voc)
+            .expect("well-formed by construction");
+
+        let mut interp = engine.session_with_backend(DispatchMode::Indexed, Backend::Interp);
+        let mut compiled = engine.session_with_backend(DispatchMode::Indexed, Backend::Compiled);
+        for session in [&mut interp, &mut compiled] {
+            session.ingest_batch(t1.events());
+            session.finish(t1.end_time());
+            session.reset();
+            session.ingest_batch(t2.events());
+            session.finish(t2.end_time());
+        }
+        for id in 0..engine.len() {
+            prop_assert_eq!(interp.verdict(id), compiled.verdict(id));
+            prop_assert_eq!(interp.ops(id), compiled.ops(id));
+            prop_assert_eq!(
+                interp.violation(id).map(|v| v.kind),
+                compiled.violation(id).map(|v| v.kind)
+            );
+        }
     }
 
     /// A reset session behaves like a fresh one (allocation reuse across

@@ -30,7 +30,7 @@ use std::fmt::Write as _;
 use rand::rngs::StdRng;
 use rand::{RngCore as _, SeedableRng};
 
-use lomon_engine::{CompileError, Engine, Session};
+use lomon_engine::{Backend, CompileError, DispatchMode, Engine, Session};
 use lomon_trace::{TimedEvent, Vocabulary};
 
 use crate::estimate::{half_width, required_episodes};
@@ -69,6 +69,11 @@ pub struct CampaignConfig {
     pub confidence: f64,
     /// The question mode.
     pub mode: CampaignMode,
+    /// Monitor execution backend. The compiled flat-table backend (the
+    /// default) re-pays nothing per episode; the interpreter is the
+    /// verdict-identical differential oracle, so switching backends never
+    /// changes a report.
+    pub backend: Backend,
 }
 
 impl CampaignConfig {
@@ -79,6 +84,7 @@ impl CampaignConfig {
             jobs: 0,
             confidence: 0.95,
             mode: CampaignMode::Estimate { episodes },
+            backend: Backend::Compiled,
         }
     }
 
@@ -93,6 +99,7 @@ impl CampaignConfig {
             mode: CampaignMode::Estimate {
                 episodes: required_episodes(epsilon, 1.0 - confidence),
             },
+            backend: Backend::Compiled,
         }
     }
 
@@ -106,12 +113,19 @@ impl CampaignConfig {
                 config,
                 max_episodes: 100_000,
             },
+            backend: Backend::Compiled,
         }
     }
 
     /// Override the worker count (`0` = all cores).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Override the monitor execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -398,7 +412,9 @@ impl<'m, M: EpisodeModel + ?Sized> Campaign<'m, M> {
         // per batch.
         let mut workers: Vec<Worker<'_>> = (0..jobs)
             .map(|_| Worker {
-                session: self.engine.session(),
+                session: self
+                    .engine
+                    .session_with_backend(DispatchMode::Indexed, self.config.backend),
                 buffer: Vec::new(),
             })
             .collect();

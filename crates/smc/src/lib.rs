@@ -55,5 +55,6 @@ pub use campaign::{
     effective_jobs, Campaign, CampaignConfig, CampaignError, CampaignMode, CampaignReport,
     PropertyEstimate, SprtReport,
 };
+pub use lomon_engine::Backend;
 pub use model::{EpisodeModel, GenModel, ScenarioModel};
 pub use sprt::{Sprt, SprtConfig, SprtDecision};

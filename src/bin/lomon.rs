@@ -33,7 +33,7 @@ use std::io::BufRead as _;
 use std::process::ExitCode;
 
 use lomon::core::parse::parse_property;
-use lomon::engine::{Engine, Session};
+use lomon::engine::{Backend, DispatchMode, Engine, Session};
 use lomon::gen::{generate, GeneratorConfig};
 use lomon::smc::{
     Campaign, CampaignConfig, CampaignMode, EpisodeModel, GenModel, ScenarioModel, SprtConfig,
@@ -66,14 +66,20 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!("usage:");
-    eprintln!("  lomon check <trace-file>... <property>...");
-    eprintln!("  lomon watch [--format trace|ndjson] <property>...");
+    eprintln!("  lomon check [--backend compiled|interp] <trace-file>... <property>...");
+    eprintln!("  lomon watch [--format trace|ndjson] [--backend compiled|interp]");
+    eprintln!("              <property>...");
     eprintln!("  lomon smc   [--episodes N] [--jobs J] [--seed S] [--confidence C]");
     eprintln!("              [--epsilon E] [--sprt P0 P1] [--fault-prob Q]");
+    eprintln!("              [--backend compiled|interp]");
     eprintln!("              [--trace <file> [--mutation-prob Q]] [property...]");
     eprintln!("  lomon vcd   <trace-file>");
     eprintln!("  lomon gen   <property> [seed [episodes]]");
     eprintln!("  lomon demo");
+    eprintln!();
+    eprintln!("--backend selects the monitor execution backend: the compiled");
+    eprintln!("flat-table backend (default) or the tree-walking interpreter");
+    eprintln!("(the verdict-identical differential oracle).");
     eprintln!();
     eprintln!("property example:");
     eprintln!("  'all{{set_imgAddr, set_glAddr, set_glSize}} << start once'");
@@ -106,7 +112,47 @@ fn compile_all(properties: &[String], voc: &mut Vocabulary) -> Result<Engine, Ex
     })
 }
 
+/// Extract the `--backend compiled|interp` flag (either spelling) from
+/// `args`, leaving the remaining arguments in place. Defaults to the
+/// compiled backend.
+fn take_backend_flag(args: &mut Vec<String>) -> Result<Backend, ExitCode> {
+    let mut backend = Backend::Compiled;
+    let mut i = 0;
+    while i < args.len() {
+        let (consumed, value) = if args[i] == "--backend" {
+            match args.get(i + 1) {
+                Some(v) => (2, v.clone()),
+                None => {
+                    eprintln!("error: `--backend` requires a value");
+                    return Err(usage());
+                }
+            }
+        } else if let Some(v) = args[i].strip_prefix("--backend=") {
+            (1, v.to_owned())
+        } else {
+            i += 1;
+            continue;
+        };
+        backend = match value.as_str() {
+            "compiled" => Backend::Compiled,
+            "interp" => Backend::Interp,
+            other => {
+                eprintln!("error: unknown backend `{other}` (expected `compiled` or `interp`)");
+                return Err(usage());
+            }
+        };
+        args.drain(i..i + consumed);
+    }
+    Ok(backend)
+}
+
 fn check(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let backend = match take_backend_flag(&mut args) {
+        Ok(backend) => backend,
+        Err(code) => return code,
+    };
+    let args = &args[..];
     // The leading arguments that name readable files are the traces; the
     // rest are properties. A leading argument that is *not* a file but
     // does not look like a property either is still an intended trace
@@ -145,7 +191,7 @@ fn check(args: &[String]) -> ExitCode {
         Ok(engine) => engine,
         Err(code) => return code,
     };
-    let mut session = engine.session();
+    let mut session = engine.session_with_backend(DispatchMode::Indexed, backend);
     let mut all_ok = true;
     for (path, trace) in paths.iter().zip(&traces) {
         session.reset();
@@ -194,6 +240,11 @@ enum StreamLine {
 }
 
 fn watch(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let backend = match take_backend_flag(&mut args) {
+        Ok(backend) => backend,
+        Err(code) => return code,
+    };
     let mut format = StreamFormat::Trace;
     let mut properties: Vec<String> = Vec::new();
     let mut iter = args.iter();
@@ -235,7 +286,7 @@ fn watch(args: &[String]) -> ExitCode {
         Ok(engine) => engine,
         Err(code) => return code,
     };
-    let mut session = engine.session();
+    let mut session = engine.session_with_backend(DispatchMode::Indexed, backend);
 
     let stdin = std::io::stdin();
     let mut last_time = SimTime::ZERO;
@@ -507,6 +558,12 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, E
 }
 
 fn smc(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let backend = match take_backend_flag(&mut args) {
+        Ok(backend) => backend,
+        Err(code) => return code,
+    };
+    let args = &args[..];
     let mut episodes: Option<u64> = None;
     let mut jobs = 0usize;
     let mut seed = 1u64;
@@ -620,6 +677,7 @@ fn smc(args: &[String]) -> ExitCode {
         jobs,
         confidence,
         mode,
+        backend,
     };
 
     // Assemble the model and run. The two arms carry different concrete
