@@ -270,9 +270,78 @@ impl CompiledProgram {
         &self.alphabet
     }
 
+    /// Whether the program encodes a timed implication (the only kind that
+    /// carries deadlines).
+    pub fn is_timed(&self) -> bool {
+        matches!(self.kind, ProgramKind::Timed { .. })
+    }
+
+    /// Structural fingerprint of the program: two programs with equal
+    /// fingerprints are **observationally identical** — given the same
+    /// event/time sequence their monitors produce the same verdicts,
+    /// violation diagnostics (kind, detail, expected set), deadlines and
+    /// `ops` at every step. This is what makes cross-property state sharing
+    /// in [`crate::fused`] sound: a single cell arena can serve every
+    /// property whose program fingerprints equal, because nothing
+    /// observable can ever distinguish their monitors.
+    ///
+    /// The encoding covers everything the monitor dynamics read: the
+    /// program kind (with the `repeated` flag / premise length / time
+    /// bound), the fragment layout and connectives, each cell's
+    /// `(name, min, max)` spec **in order** (order matters: violation
+    /// details name the rejecting range by position), the per-fragment
+    /// stopping sets, the alphabet, and the whole event→action table.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut key = Vec::with_capacity(
+            8 + self.frag_start.len() + 2 * self.frag_op.len() + 3 * self.cells.len(),
+        );
+        match self.kind {
+            ProgramKind::Antecedent { repeated } => {
+                key.push(0);
+                key.push(u64::from(repeated));
+            }
+            ProgramKind::Timed { premise_len, bound } => {
+                key.push(1);
+                key.push(u64::from(premise_len));
+                key.push(bound.as_ps());
+            }
+        }
+        key.extend(self.frag_start.iter().map(|&s| u64::from(s)));
+        key.extend(self.frag_op.iter().map(|&op| match op {
+            FragmentOp::All => 0u64,
+            FragmentOp::Any => 1u64,
+        }));
+        for accept in &self.frag_accept {
+            key.push(accept.len() as u64);
+            key.extend(accept.iter().map(|n| n.index() as u64));
+        }
+        for cell in &self.cells {
+            key.push(cell.name.index() as u64);
+            key.push(u64::from(cell.min));
+            key.push(u64::from(cell.max));
+        }
+        key.push(self.alphabet.len() as u64);
+        key.extend(self.alphabet.iter().map(|n| n.index() as u64));
+        // The table is derived from the structure above, but keying it too
+        // costs nothing at compile time and keeps the key self-evidently
+        // complete. The packing is exact (8 + 32 bits used of 40+32), so
+        // distinct tables never collide.
+        for a in &self.actions {
+            key.push(u64::from(a.class) | (u64::from(a.min) << 8));
+            key.push(u64::from(a.max));
+        }
+        key
+    }
+
     /// Number of recognizer cells in the arena.
     pub fn cell_count(&self) -> usize {
         self.cells.len()
+    }
+
+    /// One past the highest [`Name::index`] in the alphabet — the width a
+    /// dense name-indexed lookup covering this program must have.
+    pub fn lookup_width(&self) -> usize {
+        self.lookup.len()
     }
 
     /// Number of fragments in the (concatenated) chain.

@@ -65,6 +65,7 @@ pub mod compiled;
 pub mod complexity;
 pub mod compose;
 pub mod context;
+pub mod fused;
 pub mod monitor;
 pub mod parse;
 pub mod recognizer;
@@ -76,6 +77,7 @@ pub mod wf;
 pub use antecedent::AntecedentMonitor;
 pub use ast::{Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication};
 pub use compiled::{compile_monitor, CompiledMonitor, CompiledProgram};
+pub use fused::{FusedProgram, Sharing};
 pub use monitor::{build_monitor, PropertyMonitor};
 pub use timed::TimedImplicationMonitor;
 pub use verdict::{run_to_end, Monitor, Verdict, Violation, ViolationKind};

@@ -1,10 +1,13 @@
 //! Compiling a property set into an [`Engine`]: parse/validate *everything*
-//! first, report every error, and build the inverted dispatch index once.
+//! first, report every error, then lower the **whole rulebook** into one
+//! fused program — unique recognizer groups plus the single global
+//! event→action CSR table every backend dispatches through.
 
 use std::sync::Arc;
 
 use lomon_core::ast::Property;
 use lomon_core::compiled::CompiledProgram;
+use lomon_core::fused::{build_csr, FusedProgram, Sharing};
 use lomon_core::monitor::{build_monitor, PropertyMonitor};
 use lomon_core::parse::{parse_property, ParseError};
 use lomon_core::wf::WfError;
@@ -94,17 +97,26 @@ pub(crate) struct CompiledProperty {
 #[derive(Debug, Clone)]
 pub struct Engine {
     pub(crate) properties: Vec<CompiledProperty>,
-    /// Inverted index in CSR form: the subscribers of name `n` are
-    /// `sub_ids[sub_start[n] .. sub_start[n + 1]]` — one flat array, no
-    /// per-name allocation to chase on the hot path. Names interned after
-    /// compilation simply fall off the end (no subscribers).
-    pub(crate) sub_start: Vec<u32>,
-    pub(crate) sub_ids: Vec<u32>,
-    /// Parallel to `sub_ids`: the subscriber's precomputed action-table row
-    /// for the name — the index's routing hint to the compiled backend
-    /// (unused by the interpreter, which re-projects internally).
-    pub(crate) sub_bases: Vec<u32>,
-    /// Ids of timed-implication properties (the only ones with deadlines).
+    /// The rulebook lowered as one program: unique recognizer groups
+    /// (structurally deduplicated across properties), the group→members
+    /// fan-out, and the single global name→(group, action-row) CSR table
+    /// the default fused backend dispatches through. The per-property
+    /// backends use the flat `prop_*` index below, which carries the same
+    /// routing facts at property granularity.
+    pub(crate) fused: Arc<FusedProgram>,
+    /// The dispatch index at property granularity: the subscribers of
+    /// name `n` are `prop_subs[prop_start[n] .. prop_start[n + 1]]`
+    /// (ascending) with, in parallel, each property's action-table row
+    /// offset for `n` in `prop_bases`. Built from the per-property
+    /// programs (see `build`), it carries the same routing facts as the
+    /// fused CSR expanded through the member table; the per-property
+    /// backends keep this flat form because re-walking the group→members
+    /// indirection per event costs them ~30% on the disjoint hot loop.
+    pub(crate) prop_start: Vec<u32>,
+    pub(crate) prop_subs: Vec<u32>,
+    pub(crate) prop_bases: Vec<u32>,
+    /// Ids of timed-implication properties (the only ones with deadlines)
+    /// — property-granular, for the per-property backends' deadline sweep.
     pub(crate) timed_ids: Vec<u32>,
     /// Dense id → is-timed flags: the per-step hot path reads this compact
     /// array instead of striding over the full [`CompiledProperty`] structs.
@@ -199,40 +211,53 @@ impl Engine {
             }
         }
 
-        let mut index = vec![Vec::new(); voc.len()];
         let mut timed_ids = Vec::new();
         let mut timed_flags = Vec::with_capacity(properties.len());
         for (id, compiled) in properties.iter().enumerate() {
-            for name in compiled.alphabet.iter() {
-                index[name.index()].push(id as u32);
-            }
             if compiled.timed {
                 timed_ids.push(id as u32);
             }
             timed_flags.push(compiled.timed);
         }
-        let mut sub_start = Vec::with_capacity(index.len() + 1);
-        let mut sub_ids = Vec::new();
-        let mut sub_bases = Vec::new();
-        sub_start.push(0);
-        for (n, row) in index.iter().enumerate() {
-            let name = Name::from_index(n);
-            for &id in row {
-                sub_ids.push(id);
-                sub_bases.push(
-                    properties[id as usize]
+        let programs: Vec<Arc<CompiledProgram>> =
+            properties.iter().map(|p| Arc::clone(&p.program)).collect();
+        let fused = Arc::new(FusedProgram::fuse(&programs));
+
+        // Property-granular CSR for the per-property backends, built
+        // directly from each property's own program (alphabet + action
+        // rows). Equal fingerprints make a property's table identical to
+        // its fused group's, so this holds the same routing facts as
+        // expanding the fused CSR through the member table — just with
+        // ascending property ids per name (stable counting sort over
+        // properties in id order).
+        let width = properties
+            .iter()
+            .flat_map(|p| p.program.alphabet().iter())
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let prop_items: Vec<(usize, (u32, u32))> = properties
+            .iter()
+            .enumerate()
+            .flat_map(|(id, p)| {
+                p.program.alphabet().iter().map(move |name| {
+                    let base = p
                         .program
                         .action_row(name)
-                        .expect("subscription implies alphabet membership"),
-                );
-            }
-            sub_start.push(sub_ids.len() as u32);
-        }
+                        .expect("alphabet member has an action row");
+                    (name.index(), (id as u32, base))
+                })
+            })
+            .collect();
+        let (prop_start, prop_pairs) = build_csr(width, &prop_items);
+        let (prop_subs, prop_bases) = prop_pairs.into_iter().unzip();
+
         Engine {
             properties,
-            sub_start,
-            sub_ids,
-            sub_bases,
+            fused,
+            prop_start,
+            prop_subs,
+            prop_bases,
             timed_ids,
             timed_flags,
         }
@@ -266,43 +291,58 @@ impl Engine {
         &self.properties[id].alphabet
     }
 
-    /// The ids of the properties subscribed to `name` — the index row an
-    /// event of that name dispatches to.
-    #[inline]
-    pub fn subscribers(&self, name: Name) -> &[u32] {
-        self.subscribers_with_bases(name).0
+    /// The fused rulebook program: unique recognizer groups, the
+    /// group→members fan-out, and the global name→(group, row) CSR table
+    /// all backends dispatch through.
+    pub fn fused(&self) -> &Arc<FusedProgram> {
+        &self.fused
     }
 
-    /// The subscriber ids of `name` together with each subscriber's
-    /// precomputed action-table row (the routing hint consumed by
-    /// [`lomon_core::compiled::CompiledMonitor::observe_routed`]).
+    /// How much structure the rulebook fusion shared (unique programs and
+    /// cells vs the per-property totals) — static facts of the compiled
+    /// set, echoed into every session's dispatch statistics.
+    pub fn sharing(&self) -> Sharing {
+        self.fused.sharing()
+    }
+
+    /// The ids of the properties subscribed to `name` — the index row an
+    /// event of that name dispatches to, in ascending property order.
     #[inline]
-    pub(crate) fn subscribers_with_bases(&self, name: Name) -> (&[u32], &[u32]) {
-        match self.sub_start.get(name.index()..name.index() + 2) {
+    pub fn subscribers(&self, name: Name) -> impl Iterator<Item = u32> + '_ {
+        self.prop_subscribers(name).0.iter().copied()
+    }
+
+    /// The property-granular CSR row of `name`: subscribed property ids
+    /// (ascending) with, in parallel, each property's precomputed
+    /// action-table row offset for the name. Empty for names outside
+    /// every alphabet (including names interned after compilation).
+    #[inline]
+    pub(crate) fn prop_subscribers(&self, name: Name) -> (&[u32], &[u32]) {
+        match self.prop_start.get(name.index()..name.index() + 2) {
             Some(bounds) => {
                 let (s, e) = (bounds[0] as usize, bounds[1] as usize);
-                (&self.sub_ids[s..e], &self.sub_bases[s..e])
+                (&self.prop_subs[s..e], &self.prop_bases[s..e])
             }
             None => (&[], &[]),
         }
     }
 
-    /// Open a fresh session using indexed dispatch on the compiled
-    /// (flat-table) backend — the defaults.
+    /// Open a fresh session using indexed dispatch on the fused rulebook
+    /// backend — the defaults.
     pub fn session(&self) -> Session<'_> {
         self.session_with(DispatchMode::Indexed)
     }
 
     /// Open a fresh session with an explicit dispatch mode —
     /// [`DispatchMode::Broadcast`] is the naive baseline the benchmarks
-    /// compare against. Runs on the default [`Backend::Compiled`].
+    /// compare against. Runs on the default [`Backend::Fused`].
     pub fn session_with(&self, mode: DispatchMode) -> Session<'_> {
-        self.session_with_backend(mode, Backend::Compiled)
+        self.session_with_backend(mode, Backend::Fused)
     }
 
     /// Open a fresh session with explicit dispatch mode *and* execution
-    /// backend — [`Backend::Interp`] is the tree-walking differential
-    /// oracle the compiled backend is checked against.
+    /// backend — [`Backend::Compiled`] steps one monitor per property,
+    /// [`Backend::Interp`] is the tree-walking differential oracle.
     pub fn session_with_backend(&self, mode: DispatchMode, backend: Backend) -> Session<'_> {
         Session::new(self, mode, backend)
     }
@@ -344,13 +384,35 @@ mod tests {
         assert_eq!(engine.len(), 2);
         let a = voc.lookup("a").unwrap();
         let b = voc.lookup("b").unwrap();
-        assert_eq!(engine.subscribers(a), &[0]);
-        assert_eq!(engine.subscribers(b), &[0, 1]);
+        assert_eq!(engine.subscribers(a).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(engine.subscribers(b).collect::<Vec<_>>(), vec![0, 1]);
         // A name interned only after compilation has no subscribers.
         let late = voc.input("latecomer");
-        assert!(engine.subscribers(late).is_empty());
+        assert_eq!(engine.subscribers(late).count(), 0);
         assert!(engine.alphabet(1).contains(b));
         assert_eq!(engine.property_display(1), "b << go once");
+    }
+
+    #[test]
+    fn identical_properties_fuse_into_one_group() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(
+            &[
+                "all{a, b} << start once",
+                "b << go once",
+                "all{a, b} << start once",
+            ],
+            &mut voc,
+        )
+        .expect("compiles");
+        let sharing = engine.sharing();
+        assert_eq!(sharing.properties, 3);
+        assert_eq!(sharing.unique_programs, 2);
+        assert_eq!(sharing.total_cells, 2 + 1 + 2);
+        assert_eq!(sharing.unique_cells, 2 + 1);
+        // Subscriber expansion still reports every member property.
+        let a = voc.lookup("a").unwrap();
+        assert_eq!(engine.subscribers(a).collect::<Vec<_>>(), vec![0, 2]);
     }
 
     #[test]

@@ -32,27 +32,40 @@
 //! ## Execution backends
 //!
 //! Orthogonal to *which* monitors an event reaches (dispatch) is *how* a
-//! monitor step executes. A [`Session`] runs one of two backends:
+//! monitor step executes. A [`Session`] runs one of three backends:
 //!
-//! * [`Backend::Compiled`] (the default) — each property is lowered once,
-//!   at [`Engine::compile`] time, into a flat arena of recognizer cells
-//!   plus a dense event→action table ([`lomon_core::compiled`]). A monitor
-//!   step is one table row index and a handful of integer state updates;
-//!   the hot path performs **no allocation**, so `reset()`/`close()` reuse
-//!   loops (trace batches, SMC campaigns) run millions of episodes through
-//!   one session without churn.
+//! * [`Backend::Fused`] (the default) — at [`Engine::compile`] time the
+//!   **whole rulebook** is lowered into one fused program
+//!   ([`lomon_core::fused`]): per-property flat-table programs interned
+//!   with structural deduplication, so every set of observationally
+//!   identical properties shares **one** mutable cell arena, and one
+//!   global event→(group, action-row) CSR table routes each event over
+//!   the *unique* groups only. Verdicts fan back out to per-property
+//!   slots through the group→members table. On overlapping rulebooks
+//!   (many properties watching one interface — the SMC and NISTT shapes)
+//!   this does strictly less work than any per-property backend: 200
+//!   properties over a shared bus alphabet cost ~98 ns/event instead of
+//!   the per-property backend's ~3.2 µs (see `BENCH_hot_loop.json`).
+//! * [`Backend::Compiled`] — one flat-table monitor *per property*
+//!   ([`lomon_core::compiled`]): a monitor step is one table row index
+//!   and a handful of integer state updates, no allocation. The
+//!   first-line **differential oracle** for the fused backend (same
+//!   lowering, no sharing), and equivalent to it when no two properties
+//!   share structure.
 //! * [`Backend::Interp`] — the tree-walking interpreter monitors
 //!   ([`lomon_core::monitor`]), which classify every event against the
-//!   recognition-context bitsets at runtime. Kept as the **differential
-//!   oracle**: both backends are verdict-, diagnostic- and ops-identical
-//!   (asserted by `tests/engine_oracle.rs` and the `hot_loop --check` CI
-//!   gate), so any disagreement is a bug in one of them. Use it to
-//!   cross-check a suspicious verdict (`--backend interp` on the CLI) or
-//!   when stepping through monitor internals in a debugger.
+//!   recognition-context bitsets at runtime. The **root oracle**, closest
+//!   to the paper's construction: use it to cross-check a suspicious
+//!   verdict (`--backend interp` on the CLI) or when stepping through
+//!   monitor internals in a debugger.
 //!
-//! `cargo run -p lomon-bench --bin hot_loop --release` measures the ns/event
-//! gap between the two and writes the machine-readable
-//! `BENCH_hot_loop.json` tracked at the repository root.
+//! All three backends are verdict-, diagnostic- and ops-identical per
+//! property (asserted by `tests/engine_oracle.rs` and the `hot_loop
+//! --check` CI gate), so any disagreement is a bug in one of them.
+//! `cargo run -p lomon-bench --bin hot_loop --release` measures the
+//! ns/event gaps and writes the machine-readable `BENCH_hot_loop.json`
+//! tracked at the repository root; [`DispatchStats`] exposes how much the
+//! fusion shared (`unique_cells` vs `total_cells`, `shared_hits`).
 //!
 //! ## Sessions
 //!

@@ -2,7 +2,7 @@
 //! statistics that make the index's win measurable.
 
 use lomon_core::verdict::{Verdict, Violation};
-use lomon_trace::Vocabulary;
+use lomon_trace::{json_escape, Vocabulary};
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -24,6 +24,18 @@ pub struct DispatchStats {
     pub steps_skipped: u64,
     /// Monitors retired (verdict went final) by the end of the report.
     pub retired: u64,
+    /// Recognizer cells summed over every property's own lowered program —
+    /// what a purely per-property backend allocates and steps. A static
+    /// fact of the compiled rulebook, identical across backends.
+    pub total_cells: u64,
+    /// Recognizer cells actually allocated after the rulebook fusion
+    /// interned structurally identical programs (one copy per unique
+    /// group). `total_cells - unique_cells` is the arena the fusion saved.
+    pub unique_cells: u64,
+    /// Properties served by a monitor step *beyond the first*: every time
+    /// a shared fused group advanced, each extra member property it spoke
+    /// for counts one shared hit. Zero on the per-property backends.
+    pub shared_hits: u64,
 }
 
 impl DispatchStats {
@@ -35,14 +47,22 @@ impl DispatchStats {
 
     /// One-line human rendering.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} events x {} properties: {} monitor steps ({} skipped live, {} naive)",
             self.events,
             self.properties,
             self.monitor_steps,
             self.steps_skipped,
             self.broadcast_steps(),
-        )
+        );
+        if self.unique_cells < self.total_cells {
+            let _ = write!(
+                line,
+                "; fused {} cells into {} ({} shared hits)",
+                self.total_cells, self.unique_cells, self.shared_hits,
+            );
+        }
+        line
     }
 }
 
@@ -95,6 +115,50 @@ impl EngineReport {
         let _ = writeln!(out, "  dispatch: {}", self.stats.render());
         out
     }
+
+    /// One-line JSON rendering for machine consumers (`lomon check
+    /// --format json`): the per-property verdicts (with their diagnostics)
+    /// and the full dispatch statistics, including the fusion counters.
+    pub fn render_json(&self, voc: &Vocabulary) -> String {
+        let mut out = String::from("{\"properties\": [");
+        for (k, p) in self.properties.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"index\": {}, \"property\": \"{}\", \"verdict\": \"{}\"",
+                p.index,
+                json_escape(&p.property),
+                p.verdict,
+            );
+            if let Some(violation) = &p.violation {
+                let _ = write!(
+                    out,
+                    ", \"diagnostic\": \"{}\"",
+                    json_escape(&violation.display(voc))
+                );
+            }
+            out.push('}');
+        }
+        let s = &self.stats;
+        let _ = write!(
+            out,
+            "], \"ok\": {}, \"stats\": {{\"properties\": {}, \"events\": {}, \
+             \"monitor_steps\": {}, \"steps_skipped\": {}, \"retired\": {}, \
+             \"total_cells\": {}, \"unique_cells\": {}, \"shared_hits\": {}}}}}",
+            self.is_ok(),
+            s.properties,
+            s.events,
+            s.monitor_steps,
+            s.steps_skipped,
+            s.retired,
+            s.total_cells,
+            s.unique_cells,
+            s.shared_hits,
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +186,40 @@ mod tests {
         assert!(text.contains("dispatch: 1 events x 1 properties"), "{text}");
         assert_eq!(report.stats.broadcast_steps(), 1);
         assert_eq!(report.stats.retired, 1);
+    }
+
+    #[test]
+    fn render_shows_fusion_only_when_sharing_happened() {
+        let mut voc = Vocabulary::new();
+        let solo = Engine::compile(&["all{a, b} << start once"], &mut voc).expect("compiles");
+        assert!(!solo.session().report().stats.render().contains("fused"));
+        let shared = Engine::compile(
+            &["all{a, b} << start once", "all{a, b} << start once"],
+            &mut voc,
+        )
+        .expect("compiles");
+        let line = shared.session().report().stats.render();
+        assert!(line.contains("fused 4 cells into 2"), "{line}");
+    }
+
+    #[test]
+    fn json_report_carries_verdicts_and_stats() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(
+            &["all{a, b} << start once", "all{a, b} << start once"],
+            &mut voc,
+        )
+        .expect("compiles");
+        let mut session = engine.session();
+        let start = voc.lookup("start").unwrap();
+        session.ingest(TimedEvent::new(start, SimTime::from_ns(5)));
+        let report = session.finish(SimTime::from_ns(10));
+        let json = report.render_json(&voc);
+        assert!(json.contains("\"verdict\": \"violated\""), "{json}");
+        assert!(json.contains("\"diagnostic\": "), "{json}");
+        assert!(json.contains("\"ok\": false"), "{json}");
+        assert!(json.contains("\"total_cells\": 4"), "{json}");
+        assert!(json.contains("\"unique_cells\": 2"), "{json}");
+        assert!(json.contains("\"shared_hits\": 1"), "{json}");
     }
 }

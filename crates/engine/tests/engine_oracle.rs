@@ -419,4 +419,151 @@ proptest! {
         }
         prop_assert_eq!(reused_report.stats, fresh_report.stats);
     }
+
+    /// The fused rulebook backend against both per-property oracles, on
+    /// rulebooks built to *overlap*: a handful of base properties over the
+    /// shared name pools, sampled **with repetition**, so structurally
+    /// identical properties (guaranteed shared groups) and distinct
+    /// properties over a shared alphabet both occur. For both dispatch
+    /// modes, every property's verdict, full violation diagnostics (kind,
+    /// event, time, detail, expected set) and ops counter must agree across
+    /// Fused, Compiled and Interp — cross-property cell sharing is required
+    /// to be observationally invisible.
+    #[test]
+    fn fused_backend_matches_oracles_on_overlapping_rulebooks(
+        base in prop::collection::vec(property_strategy(), 1..=3),
+        picks in prop::collection::vec(0usize..3, 2..=6),
+        steps in prop::collection::vec((0usize..16, 0u64..=120), 0..=30),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (inputs, outputs) = pools(&mut voc);
+        let properties: Vec<Property> = picks
+            .iter()
+            .map(|&pick| build_property(&base[pick % base.len()], &inputs, &outputs))
+            .collect();
+        prop_assume!(properties
+            .iter()
+            .all(|p| wf::check(p, &voc).is_empty()));
+
+        let universe: Vec<Name> = voc.iter().collect();
+        let trace = build_trace(&steps, &universe);
+        let engine = Engine::from_properties(properties, &voc)
+            .expect("well-formed by construction");
+        // Repetition in `picks` must have fused into shared groups.
+        let sharing = engine.sharing();
+        prop_assert!(sharing.unique_programs <= sharing.properties);
+        prop_assert!(sharing.unique_cells <= sharing.total_cells);
+
+        for mode in [DispatchMode::Indexed, DispatchMode::Broadcast] {
+            let mut fused = engine.session_with_backend(mode, Backend::Fused);
+            let mut compiled = engine.session_with_backend(mode, Backend::Compiled);
+            let mut interp = engine.session_with_backend(mode, Backend::Interp);
+            for &event in trace.iter() {
+                fused.ingest(event);
+                compiled.ingest(event);
+                interp.ingest(event);
+            }
+            let rf = fused.finish(trace.end_time());
+            let rc = compiled.finish(trace.end_time());
+            interp.finish(trace.end_time());
+            for id in 0..engine.len() {
+                prop_assert_eq!(
+                    fused.verdict(id),
+                    compiled.verdict(id),
+                    "{:?}: verdict of {}", mode, engine.property_display(id)
+                );
+                prop_assert_eq!(fused.verdict(id), interp.verdict(id));
+                prop_assert_eq!(
+                    fused.ops(id),
+                    compiled.ops(id),
+                    "{:?}: ops of {}", mode, engine.property_display(id)
+                );
+                prop_assert_eq!(fused.ops(id), interp.ops(id));
+                match (fused.violation(id), compiled.violation(id)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.kind, b.kind);
+                        prop_assert_eq!(a.event, b.event);
+                        prop_assert_eq!(a.time, b.time);
+                        prop_assert_eq!(&a.detail, &b.detail);
+                        prop_assert_eq!(
+                            a.expected.iter().collect::<Vec<_>>(),
+                            b.expected.iter().collect::<Vec<_>>()
+                        );
+                    }
+                    (a, b) => prop_assert!(
+                        false,
+                        "{:?}: one backend violated {}: fused {:?} vs compiled {:?}",
+                        mode, engine.property_display(id), a, b
+                    ),
+                }
+            }
+            // The fused backend serves the same properties with at most as
+            // many monitor steps (shared groups step once), and its
+            // sharing counters account exactly for the fan-out.
+            prop_assert!(rf.stats.monitor_steps <= rc.stats.monitor_steps);
+            prop_assert_eq!(rf.stats.events, rc.stats.events);
+            prop_assert_eq!(
+                rf.stats.monitor_steps + rf.stats.shared_hits + rf.stats.steps_skipped,
+                rc.stats.monitor_steps + rc.stats.steps_skipped
+            );
+            prop_assert_eq!(rc.stats.shared_hits, 0);
+        }
+    }
+
+    /// A reset *fused* session behaves like a fresh one in lockstep with
+    /// the compiled oracle — rewinding the shared group arena must not
+    /// leak episode state (deadlines, fragment progress, retirement)
+    /// between streams, including across the group→members fan-out.
+    #[test]
+    fn fused_reset_matches_fresh_and_oracle(
+        base in prop::collection::vec(property_strategy(), 1..=2),
+        picks in prop::collection::vec(0usize..2, 2..=4),
+        first in prop::collection::vec((0usize..16, 0u64..=120), 0..=16),
+        second in prop::collection::vec((0usize..16, 0u64..=120), 0..=16),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (inputs, outputs) = pools(&mut voc);
+        let properties: Vec<Property> = picks
+            .iter()
+            .map(|&pick| build_property(&base[pick % base.len()], &inputs, &outputs))
+            .collect();
+        prop_assume!(properties
+            .iter()
+            .all(|p| wf::check(p, &voc).is_empty()));
+
+        let universe: Vec<Name> = voc.iter().collect();
+        let (t1, t2) = (build_trace(&first, &universe), build_trace(&second, &universe));
+        let engine = Engine::from_properties(properties, &voc)
+            .expect("well-formed by construction");
+
+        // Reused fused session and a lockstep compiled oracle.
+        let mut fused = engine.session_with_backend(DispatchMode::Indexed, Backend::Fused);
+        let mut compiled = engine.session_with_backend(DispatchMode::Indexed, Backend::Compiled);
+        for session in [&mut fused, &mut compiled] {
+            session.ingest_batch(t1.events());
+            session.finish(t1.end_time());
+            session.reset();
+            session.ingest_batch(t2.events());
+            session.finish(t2.end_time());
+        }
+        // Fresh fused session over stream 2 only.
+        let mut fresh = engine.session_with_backend(DispatchMode::Indexed, Backend::Fused);
+        fresh.ingest_batch(t2.events());
+        let fresh_report = fresh.finish(t2.end_time());
+
+        for id in 0..engine.len() {
+            prop_assert_eq!(fused.verdict(id), compiled.verdict(id));
+            prop_assert_eq!(fused.verdict(id), fresh.verdict(id));
+            // Ops accumulate across `reset()` (lifetime instrumentation),
+            // so the reused sessions are compared with each other, not
+            // with the fresh one.
+            prop_assert_eq!(fused.ops(id), compiled.ops(id));
+            prop_assert_eq!(
+                fused.violation(id).map(|v| v.kind),
+                compiled.violation(id).map(|v| v.kind)
+            );
+        }
+        prop_assert_eq!(fused.report().stats, fresh_report.stats);
+    }
 }

@@ -31,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore as _, SeedableRng};
 
 use lomon_engine::{Backend, CompileError, DispatchMode, Engine, Session};
-use lomon_trace::{TimedEvent, Vocabulary};
+use lomon_trace::{json_escape, TimedEvent, Vocabulary};
 
 use crate::estimate::{half_width, required_episodes};
 use crate::model::EpisodeModel;
@@ -69,10 +69,14 @@ pub struct CampaignConfig {
     pub confidence: f64,
     /// The question mode.
     pub mode: CampaignMode,
-    /// Monitor execution backend. The compiled flat-table backend (the
-    /// default) re-pays nothing per episode; the interpreter is the
-    /// verdict-identical differential oracle, so switching backends never
-    /// changes a report.
+    /// Monitor execution backend. The fused rulebook backend (the
+    /// default) shares one cell arena across structurally identical
+    /// properties and re-pays nothing per episode; `Compiled` and
+    /// `Interp` are the verdict-identical differential oracles. Switching
+    /// backends never changes the statistical content of a report
+    /// (verdicts, estimates, SPRT decisions, `events`); only
+    /// [`CampaignReport::monitor_steps`] differs, because the fused
+    /// backend steps each shared group once for all its members.
     pub backend: Backend,
 }
 
@@ -84,7 +88,7 @@ impl CampaignConfig {
             jobs: 0,
             confidence: 0.95,
             mode: CampaignMode::Estimate { episodes },
-            backend: Backend::Compiled,
+            backend: Backend::Fused,
         }
     }
 
@@ -99,7 +103,7 @@ impl CampaignConfig {
             mode: CampaignMode::Estimate {
                 episodes: required_episodes(epsilon, 1.0 - confidence),
             },
-            backend: Backend::Compiled,
+            backend: Backend::Fused,
         }
     }
 
@@ -113,7 +117,7 @@ impl CampaignConfig {
                 config,
                 max_episodes: 100_000,
             },
-            backend: Backend::Compiled,
+            backend: Backend::Fused,
         }
     }
 
@@ -283,6 +287,72 @@ impl CampaignReport {
             out,
             "  campaign: {} episodes, {} events, {} monitor steps, seed {}",
             self.episodes, self.events, self.monitor_steps, self.seed,
+        );
+        out
+    }
+
+    /// One-line JSON rendering for machine consumers (`lomon smc --format
+    /// json`): the per-property estimates (with their SPRT outcomes, when
+    /// present) and the campaign totals. Deterministic for a given report,
+    /// so piping it through `diff` across `--jobs` values is a valid
+    /// determinism check.
+    pub fn render_json(&self) -> String {
+        // Shortest-roundtrip float rendering; a non-finite value (only
+        // possible in a degenerate zero-episode campaign) becomes `null`.
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        let mut out = String::from("{\"properties\": [");
+        for (k, p) in self.properties.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            let (lo, hi) = p.interval();
+            let _ = write!(
+                out,
+                "{{\"property\": \"{}\", \"successes\": {}, \"episodes\": {}, \
+                 \"mean\": {}, \"half_width\": {}, \"interval\": [{}, {}], \
+                 \"confidence\": {}",
+                json_escape(&p.property),
+                p.successes,
+                p.episodes,
+                num(p.mean),
+                num(p.half_width),
+                num(lo),
+                num(hi),
+                num(p.confidence),
+            );
+            if let Some(sprt) = &p.sprt {
+                let decision = match sprt.decision {
+                    Some(d) => format!("\"{d}\""),
+                    None => "null".to_owned(),
+                };
+                let _ = write!(
+                    out,
+                    ", \"sprt\": {{\"p0\": {}, \"p1\": {}, \"decision\": {decision}, \
+                     \"episodes_used\": {}, \"llr\": {}}}",
+                    num(sprt.config.p0),
+                    num(sprt.config.p1),
+                    sprt.episodes_used,
+                    num(sprt.llr),
+                );
+            }
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            "], \"seed\": {}, \"episodes\": {}, \"events\": {}, \
+             \"monitor_steps\": {}, \"all_decided\": {}, \"any_rejected\": {}}}",
+            self.seed,
+            self.episodes,
+            self.events,
+            self.monitor_steps,
+            self.all_decided(),
+            self.any_rejected(),
         );
         out
     }

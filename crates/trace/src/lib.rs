@@ -37,6 +37,7 @@
 
 pub mod event;
 pub mod io;
+pub mod json;
 pub mod lexer;
 pub mod name;
 pub mod time;
@@ -45,6 +46,7 @@ pub mod vcd;
 
 pub use event::TimedEvent;
 pub use io::{parse_trace_line, read_trace, write_trace, TraceLine, TraceParseError};
+pub use json::json_escape;
 pub use lexer::{LexedEvent, LexedToken, RunLengthLexer};
 pub use name::{Direction, Name, NameSet, Vocabulary};
 pub use time::SimTime;

@@ -42,10 +42,14 @@ fn main() {
     ];
     println!("\n== stream 1 (nominal) ==");
     let mut session = engine.session();
+    // One reused buffer for the per-event verdict poll — the hot-path
+    // pattern: `drain_newly_final_into` moves the ids without allocating.
+    let mut finalized = Vec::new();
     for (us, name) in nominal {
         let name = voc.intern(name, lomon::trace::Direction::Input);
         session.ingest(TimedEvent::new(name, SimTime::from_us(us)));
-        for id in session.take_newly_final() {
+        session.drain_newly_final_into(&mut finalized);
+        for &id in &finalized {
             println!(
                 "  at {}: [{}] {}",
                 SimTime::from_us(us),
@@ -65,7 +69,8 @@ fn main() {
     for (us, name) in [(5, "dma_go"), (9, "set_imgAddr")] {
         let name = voc.intern(name, lomon::trace::Direction::Input);
         session.ingest(TimedEvent::new(name, SimTime::from_us(us)));
-        for id in session.take_newly_final() {
+        session.drain_newly_final_into(&mut finalized);
+        for &id in &finalized {
             let id = id as usize;
             println!(
                 "  at {}: [{}] {}",

@@ -40,7 +40,8 @@ use lomon::smc::{
 };
 use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
 use lomon::trace::{
-    read_trace, write_trace, write_vcd, Direction, SimTime, TimedEvent, TraceLine, Vocabulary,
+    json_escape, read_trace, write_trace, write_vcd, Direction, SimTime, TimedEvent, TraceLine,
+    Vocabulary,
 };
 
 fn main() -> ExitCode {
@@ -66,20 +67,25 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!("usage:");
-    eprintln!("  lomon check [--backend compiled|interp] <trace-file>... <property>...");
-    eprintln!("  lomon watch [--format trace|ndjson] [--backend compiled|interp]");
+    eprintln!("  lomon check [--backend fused|compiled|interp] [--format text|json]");
+    eprintln!("              <trace-file>... <property>...");
+    eprintln!("  lomon watch [--format trace|ndjson] [--backend fused|compiled|interp]");
     eprintln!("              <property>...");
     eprintln!("  lomon smc   [--episodes N] [--jobs J] [--seed S] [--confidence C]");
     eprintln!("              [--epsilon E] [--sprt P0 P1] [--fault-prob Q]");
-    eprintln!("              [--backend compiled|interp]");
+    eprintln!("              [--backend fused|compiled|interp] [--format text|json]");
     eprintln!("              [--trace <file> [--mutation-prob Q]] [property...]");
     eprintln!("  lomon vcd   <trace-file>");
     eprintln!("  lomon gen   <property> [seed [episodes]]");
     eprintln!("  lomon demo");
     eprintln!();
-    eprintln!("--backend selects the monitor execution backend: the compiled");
-    eprintln!("flat-table backend (default) or the tree-walking interpreter");
-    eprintln!("(the verdict-identical differential oracle).");
+    eprintln!("--backend selects the monitor execution backend: the fused rulebook");
+    eprintln!("program (default; structurally identical properties share one cell");
+    eprintln!("arena), the per-property compiled flat tables, or the tree-walking");
+    eprintln!("interpreter (the verdict-identical differential oracles).");
+    eprintln!();
+    eprintln!("--format json makes `check` and `smc` print one machine-readable");
+    eprintln!("JSON report per trace file / campaign instead of the text report.");
     eprintln!();
     eprintln!("property example:");
     eprintln!("  'all{{set_imgAddr, set_glAddr, set_glSize}} << start once'");
@@ -112,44 +118,78 @@ fn compile_all(properties: &[String], voc: &mut Vocabulary) -> Result<Engine, Ex
     })
 }
 
-/// Extract the `--backend compiled|interp` flag (either spelling) from
-/// `args`, leaving the remaining arguments in place. Defaults to the
-/// compiled backend.
-fn take_backend_flag(args: &mut Vec<String>) -> Result<Backend, ExitCode> {
-    let mut backend = Backend::Compiled;
+/// Extract every occurrence of the valued `flag` (both the two-argument
+/// and the `=` spelling) from `args`, leaving the remaining arguments in
+/// place. Returns the last value given, or `None` when the flag is absent.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ExitCode> {
+    let prefixed = format!("{flag}=");
+    let mut value = None;
     let mut i = 0;
     while i < args.len() {
-        let (consumed, value) = if args[i] == "--backend" {
+        let (consumed, v) = if args[i] == flag {
             match args.get(i + 1) {
                 Some(v) => (2, v.clone()),
                 None => {
-                    eprintln!("error: `--backend` requires a value");
+                    eprintln!("error: `{flag}` requires a value");
                     return Err(usage());
                 }
             }
-        } else if let Some(v) = args[i].strip_prefix("--backend=") {
+        } else if let Some(v) = args[i].strip_prefix(&prefixed) {
             (1, v.to_owned())
         } else {
             i += 1;
             continue;
         };
-        backend = match value.as_str() {
-            "compiled" => Backend::Compiled,
-            "interp" => Backend::Interp,
-            other => {
-                eprintln!("error: unknown backend `{other}` (expected `compiled` or `interp`)");
-                return Err(usage());
-            }
-        };
+        value = Some(v);
         args.drain(i..i + consumed);
     }
-    Ok(backend)
+    Ok(value)
+}
+
+/// Extract the `--backend fused|compiled|interp` flag from `args`.
+/// Defaults to the fused rulebook backend.
+fn take_backend_flag(args: &mut Vec<String>) -> Result<Backend, ExitCode> {
+    match take_value_flag(args, "--backend")?.as_deref() {
+        None | Some("fused") => Ok(Backend::Fused),
+        Some("compiled") => Ok(Backend::Compiled),
+        Some("interp") => Ok(Backend::Interp),
+        Some(other) => {
+            eprintln!(
+                "error: unknown backend `{other}` (expected `fused`, `compiled` or `interp`)"
+            );
+            Err(usage())
+        }
+    }
+}
+
+/// Output format of `check` and `smc` reports.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReportFormat {
+    Text,
+    Json,
+}
+
+/// Extract the `--format text|json` flag from `args`. Defaults to the
+/// human-readable text report.
+fn take_report_format_flag(args: &mut Vec<String>) -> Result<ReportFormat, ExitCode> {
+    match take_value_flag(args, "--format")?.as_deref() {
+        None | Some("text") => Ok(ReportFormat::Text),
+        Some("json") => Ok(ReportFormat::Json),
+        Some(other) => {
+            eprintln!("error: unknown format `{other}` (expected `text` or `json`)");
+            Err(usage())
+        }
+    }
 }
 
 fn check(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
+        Err(code) => return code,
+    };
+    let format = match take_report_format_flag(&mut args) {
+        Ok(format) => format,
         Err(code) => return code,
     };
     let args = &args[..];
@@ -195,17 +235,28 @@ fn check(args: &[String]) -> ExitCode {
     let mut all_ok = true;
     for (path, trace) in paths.iter().zip(&traces) {
         session.reset();
-        println!(
-            "{path}: {} events, end at {}",
-            trace.len(),
-            trace.end_time()
-        );
         session.ingest_batch(trace.events());
         let report = session.finish(trace.end_time());
-        print!("{}", report.render(&voc));
+        match format {
+            ReportFormat::Text => {
+                println!(
+                    "{path}: {} events, end at {}",
+                    trace.len(),
+                    trace.end_time()
+                );
+                print!("{}", report.render(&voc));
+            }
+            // One JSON object per trace file, NDJSON-style, so a script
+            // over many files maps lines to files.
+            ReportFormat::Json => println!(
+                "{{\"file\": \"{}\", {}",
+                json_escape(path),
+                &report.render_json(&voc)[1..],
+            ),
+        }
         all_ok &= report.is_ok();
     }
-    if paths.len() > 1 {
+    if format == ReportFormat::Text && paths.len() > 1 {
         println!(
             "{} files checked: {}",
             paths.len(),
@@ -290,6 +341,7 @@ fn watch(args: &[String]) -> ExitCode {
 
     let stdin = std::io::stdin();
     let mut last_time = SimTime::ZERO;
+    let mut finalized = Vec::new();
     for (idx, line) in stdin.lock().lines().enumerate() {
         let line_no = idx + 1;
         let line = match line {
@@ -320,7 +372,7 @@ fn watch(args: &[String]) -> ExitCode {
                 last_time = time;
                 let name = voc.intern(&name, direction);
                 session.ingest(TimedEvent::new(name, time));
-                report_finalized(&mut session, &voc, format);
+                report_finalized(&mut session, &voc, format, &mut finalized);
             }
             Ok(Some(StreamLine::End(time))) => {
                 // Like `read_trace`: `end` advances the observation clock
@@ -335,7 +387,7 @@ fn watch(args: &[String]) -> ExitCode {
                 }
                 last_time = time;
                 session.advance_time(time);
-                report_finalized(&mut session, &voc, format);
+                report_finalized(&mut session, &voc, format, &mut finalized);
             }
             Err(message) => {
                 eprintln!("error: stream line {line_no}: {message}");
@@ -348,7 +400,7 @@ fn watch(args: &[String]) -> ExitCode {
     }
 
     let report = session.finish(last_time);
-    report_finalized(&mut session, &voc, format);
+    report_finalized(&mut session, &voc, format, &mut finalized);
     match format {
         StreamFormat::Trace => eprint!("{}", report.render(&voc)),
         StreamFormat::Ndjson => {
@@ -381,8 +433,17 @@ fn watch(args: &[String]) -> ExitCode {
 }
 
 /// Print the verdicts that finalized since the last call, as they happen.
-fn report_finalized(session: &mut Session<'_>, voc: &Vocabulary, format: StreamFormat) {
-    for id in session.take_newly_final() {
+/// `finalized` is a caller-owned scratch buffer: this runs once per stream
+/// event, so the ids are drained into reused capacity instead of a fresh
+/// allocation per call ([`Session::drain_newly_final_into`]).
+fn report_finalized(
+    session: &mut Session<'_>,
+    voc: &Vocabulary,
+    format: StreamFormat,
+    finalized: &mut Vec<u32>,
+) {
+    session.drain_newly_final_into(finalized);
+    for &id in finalized.iter() {
         let id = id as usize;
         let verdict = session.verdict(id);
         let text = session.engine().property_display(id);
@@ -533,22 +594,6 @@ fn parse_flat_json(text: &str) -> Result<Vec<(String, String)>, String> {
     Ok(pairs)
 }
 
-/// Escape a string for embedding in a JSON string literal.
-fn json_escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// Parse `text` as a `T`, or print an error naming `flag` and exit-code 2.
 fn parse_flag_value<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, ExitCode> {
     text.parse().map_err(|_| {
@@ -561,6 +606,10 @@ fn smc(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
+        Err(code) => return code,
+    };
+    let format = match take_report_format_flag(&mut args) {
+        Ok(format) => format,
         Err(code) => return code,
     };
     let args = &args[..];
@@ -690,11 +739,13 @@ fn smc(args: &[String]) -> ExitCode {
             if !properties.is_empty() {
                 model = model.with_properties(properties);
             }
-            println!(
-                "smc: platform campaign, fault probability {fault_prob}, seed {seed}, jobs {}",
-                lomon::smc::effective_jobs(jobs)
-            );
-            run_smc(&model, &config)
+            if format == ReportFormat::Text {
+                println!(
+                    "smc: platform campaign, fault probability {fault_prob}, seed {seed}, jobs {}",
+                    lomon::smc::effective_jobs(jobs)
+                );
+            }
+            run_smc(&model, &config, format)
         }
         Some(path) => {
             if properties.is_empty() {
@@ -718,19 +769,23 @@ fn smc(args: &[String]) -> ExitCode {
             };
             let mutation_prob = mutation_prob.unwrap_or(0.5);
             let model = model.with_mutation_probability(mutation_prob);
-            println!(
-                "smc: trace campaign over {path}, mutation probability {mutation_prob}, \
-                 seed {seed}, jobs {}",
-                lomon::smc::effective_jobs(jobs)
-            );
-            run_smc(&model, &config)
+            if format == ReportFormat::Text {
+                println!(
+                    "smc: trace campaign over {path}, mutation probability {mutation_prob}, \
+                     seed {seed}, jobs {}",
+                    lomon::smc::effective_jobs(jobs)
+                );
+            }
+            run_smc(&model, &config, format)
         }
     }
 }
 
 /// Compile, run and render one campaign; the exit code is 1 when an SPRT
 /// accepted `H1` (the satisfaction probability is below the threshold).
-fn run_smc<M: EpisodeModel>(model: &M, config: &CampaignConfig) -> ExitCode {
+/// The JSON format prints only the report object — no preamble and no
+/// wall clock — so stdout is deterministic across `--jobs` and pipeable.
+fn run_smc<M: EpisodeModel>(model: &M, config: &CampaignConfig, format: ReportFormat) -> ExitCode {
     let campaign = match Campaign::new(model, *config) {
         Ok(campaign) => campaign,
         Err(lomon::smc::CampaignError::Compile(errors)) => {
@@ -748,8 +803,13 @@ fn run_smc<M: EpisodeModel>(model: &M, config: &CampaignConfig) -> ExitCode {
     let started = std::time::Instant::now();
     let report = campaign.run();
     let elapsed = started.elapsed();
-    print!("{}", report.render());
-    println!("  wall clock: {:.2?}", elapsed);
+    match format {
+        ReportFormat::Text => {
+            print!("{}", report.render());
+            println!("  wall clock: {:.2?}", elapsed);
+        }
+        ReportFormat::Json => println!("{}", report.render_json()),
+    }
     if report.any_rejected() {
         ExitCode::FAILURE
     } else {

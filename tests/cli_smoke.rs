@@ -293,3 +293,78 @@ fn smc_reports_property_errors_before_running() {
     assert_eq!(output.status.code(), Some(1));
     assert!(stderr(&output).contains("error in property"));
 }
+
+#[test]
+fn check_format_json_emits_machine_report_with_sharing_stats() {
+    // Two copies of the property: the fused backend (the default) interns
+    // them into one group, which the JSON stats must expose.
+    let output = lomon(&["check", "--format", "json", FIXTURE, PROPERTY, PROPERTY]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "one JSON object per trace file: {text}");
+    let json = lines[0];
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"file\": \"tests/fixtures/ipu_config.trace\""));
+    assert!(json.contains("\"verdict\": \"presumably satisfied\""));
+    assert!(json.contains("\"ok\": true"), "{json}");
+    assert!(json.contains("\"total_cells\": 6"), "{json}");
+    assert!(json.contains("\"unique_cells\": 3"), "{json}");
+    // No text-report furniture on stdout in JSON mode.
+    assert!(!text.contains("dispatch:"), "{text}");
+}
+
+#[test]
+fn check_backends_agree_on_the_fixture() {
+    let verdicts = |backend: &str| {
+        let output = lomon(&["check", "--backend", backend, FIXTURE, PROPERTY]);
+        assert!(
+            output.status.success(),
+            "backend {backend} stderr: {}",
+            stderr(&output)
+        );
+        stdout(&output)
+            .lines()
+            .filter(|l| l.trim_start().starts_with('['))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    let fused = verdicts("fused");
+    assert_eq!(fused, verdicts("compiled"));
+    assert_eq!(fused, verdicts("interp"));
+}
+
+#[test]
+fn unknown_backend_is_rejected() {
+    let output = lomon(&["check", "--backend", "bogus", FIXTURE, PROPERTY]);
+    assert_eq!(output.status.code(), Some(2), "stderr: {}", stderr(&output));
+    assert!(stderr(&output).contains("unknown backend"));
+}
+
+#[test]
+fn smc_format_json_is_jobs_independent() {
+    let run = |jobs: &str| {
+        let output = lomon(&[
+            "smc",
+            "--format",
+            "json",
+            "--episodes",
+            "12",
+            "--jobs",
+            jobs,
+            "--seed",
+            "9",
+            "--fault-prob",
+            "0.5",
+        ]);
+        assert!(output.status.success(), "stderr: {}", stderr(&output));
+        stdout(&output)
+    };
+    // JSON mode prints only the report object — no preamble, no wall
+    // clock — so the whole stdout is bit-identical across worker counts.
+    let one = run("1");
+    assert_eq!(one, run("3"));
+    assert_eq!(one.lines().count(), 1, "{one}");
+    assert!(one.contains("\"mean\": "), "{one}");
+    assert!(one.contains("\"episodes\": 12"), "{one}");
+}
