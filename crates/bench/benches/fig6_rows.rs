@@ -36,7 +36,7 @@ fn bench_fig6(c: &mut Criterion) {
                     monitor.verdict()
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
 
         if PslMonitor::build_with(
@@ -67,7 +67,7 @@ fn bench_fig6(c: &mut Criterion) {
                         monitor.verdict()
                     },
                     BatchSize::SmallInput,
-                )
+                );
             });
         }
     }

@@ -22,7 +22,7 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             generate(&property, &GeneratorConfig::new(seed)).trace.len()
-        })
+        });
     });
 
     let base = generate(&property, &GeneratorConfig::new(1)).trace;
@@ -31,7 +31,7 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             mutate(&property, &base, 10, seed).len()
-        })
+        });
     });
     group.finish();
 }

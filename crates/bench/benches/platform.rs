@@ -14,7 +14,7 @@ fn bench_platform(c: &mut Criterion) {
             let report = run_scenario(&config);
             assert!(report.all_ok());
             report.stats.dispatched
-        })
+        });
     });
     group.bench_function("scenario/bare", |b| {
         b.iter(|| {
@@ -22,7 +22,7 @@ fn bench_platform(c: &mut Criterion) {
             config.monitors = false;
             let report = run_scenario(&config);
             report.stats.dispatched
-        })
+        });
     });
     group.finish();
 }

@@ -42,7 +42,7 @@ fn bench_range_width(c: &mut Criterion) {
                 },
                 |m| run_monitor(m, &workload).verdict(),
                 BatchSize::SmallInput,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("viapsl", width), &width, |b, _| {
             b.iter_batched(
@@ -57,7 +57,7 @@ fn bench_range_width(c: &mut Criterion) {
                 },
                 |m| run_monitor(m, &workload).verdict(),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -81,14 +81,14 @@ fn bench_fragment_size(c: &mut Criterion) {
                 },
                 |m| run_monitor(m, &workload).verdict(),
                 BatchSize::SmallInput,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("viapsl", k), &k, |b, _| {
             b.iter_batched(
                 || PslMonitor::build(&property).expect("small"),
                 |m| run_monitor(m, &workload).verdict(),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

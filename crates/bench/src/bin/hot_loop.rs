@@ -36,8 +36,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use lomon_core::analysis::prune_dead;
+use lomon_core::Monitor as _;
 use lomon_engine::{Backend, DispatchMode, Engine, Session};
-use lomon_trace::{SimTime, TimedEvent, Vocabulary};
+use lomon_trace::{NameSet, SimTime, TimedEvent, Vocabulary};
 
 /// The CI gate: compiled must beat interpreted by at least this factor on
 /// the gated multi-property workloads. The static floor sits below the
@@ -249,6 +251,30 @@ fn parse_baseline(text: &str) -> Vec<(String, f64, Option<f64>)> {
         .collect()
 }
 
+/// `--check` extension for the lint `--fix-prune` contract: restrict the
+/// fused rulebook to the workload's own event corpus, prune the dead
+/// action-table rows ([`prune_dead`]), and replay the workload through
+/// both rulebooks step by step — every per-group verdict, at every event
+/// and at finish, must be identical.
+fn prune_identical(engine: &Engine, events: &[TimedEvent]) -> bool {
+    let corpus: NameSet = events.iter().map(|e| e.name).collect();
+    let outcome = prune_dead(engine.fused(), Some(&corpus), 1 << 20);
+    let mut original = engine.fused().instantiate();
+    let mut pruned = outcome.fused.instantiate();
+    let end = events.last().map(|e| e.time).unwrap_or(SimTime::ZERO);
+    for event in events {
+        for (o, p) in original.iter_mut().zip(pruned.iter_mut()) {
+            if o.observe(*event) != p.observe(*event) {
+                return false;
+            }
+        }
+    }
+    original
+        .iter_mut()
+        .zip(pruned.iter_mut())
+        .all(|(o, p)| o.finish(end) == p.finish(end))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_mode = args.iter().any(|a| a == "--check");
@@ -384,6 +410,15 @@ fn main() -> ExitCode {
     }
 
     if check_mode {
+        for w in &workloads {
+            if !prune_identical(&w.engine, &w.events) {
+                println!(
+                    "FAIL: {}: pruning the corpus-dead action-table rows changed a verdict",
+                    w.name
+                );
+                ok = false;
+            }
+        }
         for row in rows.iter().filter(|r| r.gated) {
             if row.speedup() < GATE_SPEEDUP {
                 println!(

@@ -95,6 +95,12 @@ impl AntecedentMonitor {
         self.episodes
     }
 
+    /// Episodes in which the antecedent obligation was discharged (for an
+    /// antecedent property every completed episode is a satisfied one).
+    pub fn satisfied_episodes(&self) -> u64 {
+        self.episodes
+    }
+
     fn snapshot_expected(&mut self) {
         if self.diagnostics {
             self.last_expected = self.recognizer.expected();

@@ -379,9 +379,134 @@ impl CompiledProgram {
             _ => None,
         }
     }
+
+    /// Total number of event→action table entries (rows × cells).
+    pub(crate) fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Exploration depth for the bounded-model analyses in
+    /// [`crate::analysis`]: enough unit-step events to complete every
+    /// range's minimum, hand over across every fragment boundary, and
+    /// observe the verdict one step past completion. Traces longer than
+    /// this revisit monitor states already covered by shorter ones (the
+    /// cell automata are finite and counters saturate at the range bounds).
+    pub fn bounded_horizon(&self) -> usize {
+        let mins: usize = self.cells.iter().map(|c| c.min as usize).sum();
+        mins + self.n_frags() + 2
+    }
+
+    /// Rebuild the program with out-of-corpus rows dropped and dead entries
+    /// neutralized: rows of names in `drop` vanish from the table (their
+    /// lookup slot becomes [`NO_ROW`], so their events take the cheaper
+    /// out-of-alphabet path), and kept entries whose `live` flag is unset
+    /// are rewritten to [`CLASS_NONE`] (a read-only no-op wherever the
+    /// liveness walk proved they can only ever self-loop). The `alphabet`
+    /// set is intentionally left unchanged — it documents the property, not
+    /// the table layout — so dropped names still project, they just resolve
+    /// to no row.
+    ///
+    /// Verdict-preserving on every trace whose events avoid `drop`;
+    /// [`Monitor::ops`] accounting is **not** preserved (a neutralized
+    /// entry charges the out-of-alphabet classification cost).
+    pub(crate) fn pruned(&self, live: &[bool], drop: &NameSet) -> (CompiledProgram, PruneStats) {
+        assert_eq!(live.len(), self.actions.len(), "liveness mask shape");
+        let n_cells = self.cells.len();
+        let names: Vec<Name> = self.alphabet.iter().collect();
+        let mut lookup = vec![NO_ROW; self.lookup.len()];
+        let mut actions = Vec::new();
+        let mut stats = PruneStats {
+            rows: 0,
+            dropped_rows: 0,
+            entries: 0,
+            neutralized_entries: 0,
+        };
+        for name in names {
+            let Some(base) = self.row_base(name) else {
+                continue; // already dropped by an earlier prune
+            };
+            stats.rows += 1;
+            stats.entries += n_cells;
+            if drop.contains(name) {
+                stats.dropped_rows += 1;
+                continue;
+            }
+            lookup[name.index()] = actions.len() as u32;
+            for c in 0..n_cells {
+                let a = self.actions[base + c];
+                if live[base + c] {
+                    actions.push(a);
+                } else {
+                    if a.class != CLASS_NONE {
+                        stats.neutralized_entries += 1;
+                    }
+                    actions.push(Action {
+                        class: CLASS_NONE,
+                        min: 0,
+                        max: 0,
+                    });
+                }
+            }
+        }
+        let program = CompiledProgram {
+            kind: self.kind,
+            cells: self.cells.clone(),
+            frag_start: self.frag_start.clone(),
+            frag_op: self.frag_op.clone(),
+            frag_accept: self.frag_accept.clone(),
+            lookup,
+            actions,
+            alphabet: self.alphabet.clone(),
+            state_bits: self.state_bits,
+            max_frag_cells: self.max_frag_cells,
+        };
+        (program, stats)
+    }
+}
+
+/// What [`CompiledProgram::pruned`] removed, for lint reports and the
+/// `--fix-prune` summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Action-table rows before pruning.
+    pub rows: usize,
+    /// Rows removed outright (their name cannot occur in the corpus).
+    pub dropped_rows: usize,
+    /// Table entries before pruning (`rows × cells`).
+    pub entries: usize,
+    /// Kept entries rewritten to the no-op class by the liveness walk.
+    pub neutralized_entries: usize,
+}
+
+impl PruneStats {
+    /// Fold another program's stats into this one (rulebook totals).
+    pub fn absorb(&mut self, other: PruneStats) {
+        self.rows += other.rows;
+        self.dropped_rows += other.dropped_rows;
+        self.entries += other.entries;
+        self.neutralized_entries += other.neutralized_entries;
+    }
+
+    /// Entries physically removed from the table by row dropping.
+    pub fn dropped_entries(&self) -> usize {
+        if self.rows == 0 {
+            return 0;
+        }
+        self.dropped_rows * (self.entries / self.rows)
+    }
+}
+
+fn verdict_code(v: Verdict) -> u64 {
+    match v {
+        Verdict::PresumablySatisfied => 0,
+        Verdict::Pending => 1,
+        Verdict::Satisfied => 2,
+        Verdict::Violated => 3,
+    }
 }
 
 /// Where a violation's expected-set diagnostic is derived from.
+#[derive(Clone, Copy)]
 enum ExpectedFrom {
     /// The current (unmutated) cell states — for violations detected
     /// *before* the event steps any cell (deadline checks, end of trace).
@@ -410,6 +535,9 @@ struct MonState {
     /// line keeps the monitor state small and cache-resident.
     violation: Option<Box<Violation>>,
     episodes: u64,
+    /// Episodes discharged non-vacuously: in-budget `Q` completions for
+    /// timed programs (antecedent programs read `episodes` instead).
+    fired: u64,
     diagnostics: bool,
     ops: u64,
     /// Pre-event snapshot: the active fragment and its cell states before
@@ -488,6 +616,7 @@ impl CompiledMonitor {
             verdict: Verdict::PresumablySatisfied,
             violation: None,
             episodes: 0,
+            fired: 0,
             diagnostics: true,
             ops: 0,
             prev_active: 0,
@@ -516,6 +645,86 @@ impl CompiledMonitor {
     /// Completed episodes so far (same counting as the interpreter's).
     pub fn episodes(&self) -> u64 {
         self.st.episodes
+    }
+
+    /// Episodes whose obligation was discharged non-vacuously — completed
+    /// `P << i` episodes for antecedents, in-budget `Q` completions for
+    /// timed implications. The compiled counterpart of
+    /// `PropertyMonitor::satisfied_episodes`.
+    pub fn satisfied_episodes(&self) -> u64 {
+        match self.program.kind {
+            ProgramKind::Antecedent { .. } => self.st.episodes,
+            ProgramKind::Timed { .. } => self.st.fired,
+        }
+    }
+
+    /// A finite abstraction of the monitor state for the bounded-model
+    /// walks in [`crate::analysis`]: two monitors with equal keys (at equal
+    /// `now`) produce the same verdict/satisfaction facts under every
+    /// future unit-step input sequence. Covers the cell arena, the active
+    /// fragment, the verdict, the satisfied-episode flag, and — for timed
+    /// programs — the episode clocks as `now`-relative offsets saturated
+    /// just past the deadline budget (beyond which only "expired" matters).
+    pub(crate) fn analysis_key(&self, now: SimTime) -> Vec<u64> {
+        let st = &self.st;
+        let verdict = verdict_code(st.verdict);
+        let satisfied = u64::from(self.satisfied_episodes() > 0);
+        if st.verdict.is_final() {
+            return vec![u64::MAX, verdict, satisfied];
+        }
+        let mut key = Vec::with_capacity(7 + 2 * st.cells.len());
+        key.push(verdict);
+        key.push(st.active as u64);
+        key.push(u64::from(st.started));
+        key.push(satisfied);
+        for cell in &st.cells {
+            key.push(u64::from(cell.state));
+            key.push(u64::from(cell.cpt));
+        }
+        if let ProgramKind::Timed { bound, .. } = self.program.kind {
+            let cap = bound.as_ps().saturating_add(1);
+            let offset = |t: Option<SimTime>| match t {
+                Some(t) => now.as_ps().saturating_sub(t.as_ps()).min(cap),
+                None => u64::MAX,
+            };
+            key.push(offset(st.last_consumed));
+            key.push(offset(st.episode_start));
+            key.push(u64::from(st.response_done_at.is_some()));
+        }
+        key
+    }
+
+    /// Mark the action-table entries an event for any name in `branch`
+    /// would read *effectively* from the current state: entries outside
+    /// the active fragment are never consulted, and `(state, class)` pairs
+    /// that provably self-loop without output — the no-op class, idle or
+    /// errored cells, and the concurrent self-loops of `s2`/`s4` — are
+    /// skipped. The dead-table walk in [`crate::analysis`] folds these
+    /// marks over every reachable state; whatever stays unmarked is safe
+    /// for [`CompiledProgram::pruned`] to neutralize.
+    pub(crate) fn mark_live_actions(&self, branch: &[Name], live: &mut [bool]) {
+        let st = &self.st;
+        if st.verdict.is_final() || !st.started {
+            return;
+        }
+        let p = &*self.program;
+        for &name in branch {
+            let Some(base) = p.row_base(name) else {
+                continue;
+            };
+            for idx in st.active_lo..st.active_hi {
+                let class = p.actions[base + idx].class;
+                let effective = !matches!(
+                    (st.cells[idx].state, class),
+                    (_, CLASS_NONE)
+                        | (S_IDLE | S_ERROR, _)
+                        | (S_WAITING_OTHER | S_DONE, CLASS_CONCURRENT)
+                );
+                if effective {
+                    live[base + idx] = true;
+                }
+            }
+        }
     }
 
     /// Like [`Monitor::observe`] for an event whose action-table row the
@@ -634,6 +843,7 @@ impl Monitor for CompiledMonitor {
         st.verdict = Verdict::PresumablySatisfied;
         st.violation = None;
         st.episodes = 0;
+        st.fired = 0;
         st.last_consumed = None;
         st.episode_start = None;
         st.response_done_at = None;
@@ -1244,6 +1454,7 @@ impl MonState {
                 );
                 return self.verdict;
             }
+            self.fired += 1;
         }
         self.verdict = if self.open_deadline(p, premise_len, bound).is_some() {
             Verdict::Pending

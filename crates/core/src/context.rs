@@ -112,7 +112,7 @@ pub fn linear_contexts(ordering: &LooseOrdering, stop: &NameSet) -> Vec<Vec<Rang
             if j + 1 < q {
                 after.union_with(stop);
             }
-            fragment_contexts(&ordering.fragments[j], before, accept, after)
+            fragment_contexts(&ordering.fragments[j], &before, &accept, &after)
         })
         .collect()
 }
@@ -138,16 +138,16 @@ pub fn cyclic_contexts(fragments: &[Fragment]) -> Vec<Vec<RangeContext>> {
                     after.union_with(alpha);
                 }
             }
-            fragment_contexts(&fragments[j], NameSet::new(), accept, after)
+            fragment_contexts(&fragments[j], &NameSet::new(), &accept, &after)
         })
         .collect()
 }
 
 fn fragment_contexts(
     fragment: &Fragment,
-    before: NameSet,
-    accept: NameSet,
-    after: NameSet,
+    before: &NameSet,
+    accept: &NameSet,
+    after: &NameSet,
 ) -> Vec<RangeContext> {
     let alpha = fragment.alpha();
     fragment

@@ -139,7 +139,18 @@ impl FusedProgram {
             });
             prop_group.push(group);
         }
+        Self::assemble(groups, prop_group)
+    }
 
+    /// Build the fused tables over an already-deduplicated arena:
+    /// `prop_group[p]` names the group serving property `p`. Split out of
+    /// [`FusedProgram::fuse`] so [`crate::analysis`] can rebuild a rulebook
+    /// around *rewritten* groups (dead-table pruning) while preserving the
+    /// original property↔group assignment.
+    pub(crate) fn assemble(
+        groups: Vec<Arc<CompiledProgram>>,
+        prop_group: Vec<u32>,
+    ) -> FusedProgram {
         // Group → members CSR; members come out ascending because
         // properties are scanned in id order.
         let member_items: Vec<(usize, u32)> = prop_group
@@ -158,11 +169,12 @@ impl FusedProgram {
             .iter()
             .enumerate()
             .flat_map(|(g, program)| {
-                program.alphabet().iter().map(move |name| {
-                    let base = program
-                        .action_row(name)
-                        .expect("alphabet member has an action row");
-                    (name.index(), (g as u32, base))
+                // A pruned program's alphabet can name rows the table no
+                // longer carries (see `CompiledProgram::pruned`) — those
+                // names simply get no CSR entry.
+                program.alphabet().iter().filter_map(move |name| {
+                    let base = program.action_row(name)?;
+                    Some((name.index(), (g as u32, base)))
                 })
             })
             .collect();
@@ -281,6 +293,21 @@ impl FusedProgram {
     /// Dense group → is-timed flags.
     pub fn timed_flags(&self) -> &[bool] {
         &self.timed_flags
+    }
+
+    /// Rebuild the rulebook around a rewritten program arena (same length
+    /// and order as the current groups), preserving the property↔group
+    /// assignment. This is how `--fix-prune` feeds dead-table-pruned
+    /// programs back into the fused representation: the CSR tables are
+    /// re-derived from the new programs' (possibly smaller) action tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not have exactly one program per existing
+    /// group.
+    pub fn with_groups(&self, groups: Vec<Arc<CompiledProgram>>) -> FusedProgram {
+        assert_eq!(groups.len(), self.groups.len(), "one program per group");
+        Self::assemble(groups, self.prop_group.clone())
     }
 
     /// Allocate the mutable half: one monitor per unique group, each

@@ -32,7 +32,10 @@
 //!   object-safe [`verdict::Monitor`] trait;
 //! * [`semantics`] — an independent reference semantics (pattern →
 //!   finite automaton) used as the ground-truth oracle in tests;
-//! * [`complexity`] — the Drct cost model of Section 7.
+//! * [`complexity`] — the Drct cost model of Section 7;
+//! * [`analysis`] — whole-rulebook static analysis over the compiled
+//!   representation: vacuity, subsumption, conflict, coverage and
+//!   dead-table detection, reported as coded [`analysis::Diagnostic`]s.
 //!
 //! ## Quick start
 //!
@@ -59,6 +62,9 @@
 //! assert_eq!(verdict, Verdict::Satisfied);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod analysis;
 pub mod antecedent;
 pub mod ast;
 pub mod compiled;
@@ -74,9 +80,10 @@ pub mod timed;
 pub mod verdict;
 pub mod wf;
 
+pub use analysis::{AnalysisOptions, DiagCode, Diagnostic, Severity};
 pub use antecedent::AntecedentMonitor;
 pub use ast::{Antecedent, Fragment, FragmentOp, LooseOrdering, Property, Range, TimedImplication};
-pub use compiled::{compile_monitor, CompiledMonitor, CompiledProgram};
+pub use compiled::{compile_monitor, CompiledMonitor, CompiledProgram, PruneStats};
 pub use fused::{FusedProgram, Sharing};
 pub use monitor::{build_monitor, PropertyMonitor};
 pub use timed::TimedImplicationMonitor;

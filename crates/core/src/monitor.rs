@@ -95,6 +95,16 @@ impl PropertyMonitor {
         Monitor::alphabet(self).clone()
     }
 
+    /// Episodes in which the property's obligation was discharged
+    /// non-vacuously: completed `P << i` episodes for antecedents,
+    /// in-budget `Q` completions for timed implications.
+    pub fn satisfied_episodes(&self) -> u64 {
+        match self {
+            PropertyMonitor::Antecedent(m) => m.satisfied_episodes(),
+            PropertyMonitor::Timed(m) => m.satisfied_episodes(),
+        }
+    }
+
     /// Disable diagnostics (expected-set snapshots) on the wrapped monitor.
     pub fn without_diagnostics(self) -> Self {
         match self {

@@ -70,6 +70,8 @@ pub struct TimedImplicationMonitor {
     /// Earliest completion of `Q` (the paper's `stop`), once reached.
     response_done_at: Option<SimTime>,
     episodes: u64,
+    /// Episodes whose response `Q` completed within the budget.
+    responses_in_time: u64,
     diagnostics: bool,
     last_expected: NameSet,
     ops: u64,
@@ -97,6 +99,7 @@ impl TimedImplicationMonitor {
             episode_start: None,
             response_done_at: None,
             episodes: 0,
+            responses_in_time: 0,
             diagnostics: true,
             last_expected: NameSet::new(),
             ops: 0,
@@ -122,6 +125,12 @@ impl TimedImplicationMonitor {
     /// begins).
     pub fn episodes(&self) -> u64 {
         self.episodes
+    }
+
+    /// Episodes whose response `Q` completed within the deadline budget:
+    /// the monitor's notion of a *satisfied* (non-vacuous) episode.
+    pub fn satisfied_episodes(&self) -> u64 {
+        self.responses_in_time
     }
 
     fn snapshot_expected(&mut self) {
@@ -302,6 +311,7 @@ impl Monitor for TimedImplicationMonitor {
                 );
                 return self.verdict;
             }
+            self.responses_in_time += 1;
         }
         self.verdict = self.current_positive_verdict();
         self.snapshot_expected();
@@ -374,6 +384,7 @@ impl Monitor for TimedImplicationMonitor {
         self.episode_start = None;
         self.response_done_at = None;
         self.episodes = 0;
+        self.responses_in_time = 0;
         self.snapshot_expected();
     }
 

@@ -1,0 +1,186 @@
+//! Differential gate for the bounded-model lint walkers.
+//!
+//! The static analyses (`L004` vacuity, `L005` subsumption, `L006`
+//! conflict) rest on two walkers in `lomon_core::analysis`: `satisfiable`
+//! and `pair_facts`, breadth-first searches over compiled-monitor state
+//! deduplicated through `analysis_key`. Their soundness claim is that the
+//! key is *exact* for the unit-step model — deduplication loses no facts.
+//!
+//! This gate checks that claim differentially: for randomly generated
+//! small properties it enumerates **every** bounded trace literally (all
+//! event/gap choice sequences up to the same horizon, no deduplication at
+//! all) through the *interpreter* backend — a different lowering and a
+//! different execution path — and demands bit-identical verdicts for
+//! every fact the lint relies on.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lomon_core::analysis::{pair_facts, satisfiable, PairFacts};
+use lomon_core::compiled::CompiledProgram;
+use lomon_core::monitor::{build_monitor, PropertyMonitor};
+use lomon_core::parse::parse_property;
+use lomon_core::verdict::{Monitor, Verdict};
+use lomon_trace::{Name, SimTime, TimedEvent, Vocabulary};
+
+/// Far beyond what any generated property needs: the walkers must never
+/// give up on these models, so a `None` (budget exceeded) fails the gate.
+const BUDGET: usize = 1 << 22;
+
+/// Small loose-orderings over the inputs `a`, `b` — every pattern shape:
+/// single events, ranges, `all`/`any` fragments, fragment sequences.
+const ORDERINGS: &[&str] = &[
+    "a",
+    "b",
+    "all{a, b}",
+    "any{a, b}",
+    "a[1,2]",
+    "all{a[1,2], b}",
+    "any{a, b[1,2]}",
+    "a < b",
+    "a[1,2] < b",
+];
+
+/// A full property: an antecedent requirement triggered by `i`, or a timed
+/// implication answered by the output `o` (deadline 0 included on purpose
+/// — it is vacuous under the unit-step model, exercising `L004`).
+fn property_text() -> impl Strategy<Value = String> {
+    (0usize..ORDERINGS.len(), 0usize..2, 0u64..4, 0usize..2).prop_map(
+        |(ordering, mode, within, kind)| {
+            let ordering = ORDERINGS[ordering];
+            if kind == 0 {
+                let mode = if mode == 0 { "once" } else { "repeated" };
+                format!("{ordering} << i {mode}")
+            } else {
+                format!("{ordering} => out:o within {within} ns")
+            }
+        },
+    )
+}
+
+/// Compile one property text both ways: the flat program the walkers
+/// explore, and the interpreter monitor the ground truth steps.
+fn both_backends(text: &str, voc: &mut Vocabulary) -> (Arc<CompiledProgram>, PropertyMonitor) {
+    let property = parse_property(text, voc).expect("generated text parses");
+    let program = Arc::new(CompiledProgram::lower(
+        &lomon_core::wf::validate(property.clone(), voc).expect("well-formed"),
+    ));
+    let interp = build_monitor(property, voc)
+        .expect("well-formed")
+        .without_diagnostics();
+    (program, interp)
+}
+
+/// `(ok, success)` of the interpreter monitor if observation ended now —
+/// the interp mirror of the walkers' `finish_facts`.
+fn interp_finish_facts(mon: &PropertyMonitor, now: SimTime) -> (bool, bool) {
+    let mut probe = mon.clone();
+    let ok = probe.finish(now) != Verdict::Violated;
+    (ok, ok && probe.satisfied_episodes() > 0)
+}
+
+/// Every successor of a node in the bounded model: one gap (time advances
+/// without an event) plus one per branch name, all at `depth + 1` ns.
+fn successors(mon: &PropertyMonitor, depth: usize, branch: &[Name]) -> Vec<PropertyMonitor> {
+    let next = SimTime::from_ns(depth as u64 + 1);
+    let mut out = Vec::with_capacity(branch.len() + 1);
+    let mut gap = mon.clone();
+    gap.advance_time(next);
+    out.push(gap);
+    for &name in branch {
+        let mut step = mon.clone();
+        step.observe(TimedEvent::new(name, next));
+        out.push(step);
+    }
+    out
+}
+
+/// Ground truth for `satisfiable`: literal enumeration of every choice
+/// sequence of at most `horizon` steps, no state deduplication.
+fn enumerate_success(mon: &PropertyMonitor, depth: usize, horizon: usize, branch: &[Name]) -> bool {
+    let (_, succ) = interp_finish_facts(mon, SimTime::from_ns(depth as u64));
+    if succ {
+        return true;
+    }
+    // A final monitor ignores every further event, so extensions repeat
+    // the same finish facts (the walkers prune identically).
+    if depth == horizon || mon.verdict().is_final() {
+        return false;
+    }
+    successors(mon, depth, branch)
+        .iter()
+        .any(|next| enumerate_success(next, depth + 1, horizon, branch))
+}
+
+/// Ground truth for `pair_facts`: the same literal enumeration over the
+/// shared trace, stepping both interpreter monitors in lock-step.
+fn enumerate_pair(
+    ma: &PropertyMonitor,
+    mb: &PropertyMonitor,
+    depth: usize,
+    horizon: usize,
+    branch: &[Name],
+    facts: &mut PairFacts,
+) {
+    let now = SimTime::from_ns(depth as u64);
+    let (ok_i, succ_i) = interp_finish_facts(ma, now);
+    let (ok_j, succ_j) = interp_finish_facts(mb, now);
+    facts.ok_i_not_j |= ok_i && !ok_j;
+    facts.ok_j_not_i |= ok_j && !ok_i;
+    facts.succ_i_ok_j |= succ_i && ok_j;
+    facts.succ_j_ok_i |= succ_j && ok_i;
+    facts.succ_i |= succ_i;
+    facts.succ_j |= succ_j;
+    if depth == horizon || (ma.verdict().is_final() && mb.verdict().is_final()) {
+        return;
+    }
+    for (na, nb) in successors(ma, depth, branch)
+        .into_iter()
+        .zip(successors(mb, depth, branch))
+    {
+        enumerate_pair(&na, &nb, depth + 1, horizon, branch, facts);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The vacuity verdict agrees with literal trace enumeration.
+    #[test]
+    fn satisfiable_matches_exhaustive_enumeration(text in property_text()) {
+        let mut voc = Vocabulary::new();
+        let (program, interp) = both_backends(&text, &mut voc);
+        let horizon = program.bounded_horizon();
+        prop_assume!(horizon <= 7);
+        let branch: Vec<Name> = program.alphabet().iter().collect();
+        let walked = satisfiable(&program, horizon, BUDGET)
+            .expect("budget generous enough for every generated model");
+        let enumerated = enumerate_success(&interp, 0, horizon, &branch);
+        prop_assert_eq!(walked, enumerated, "property: {}", text);
+    }
+
+    /// Every joint fact behind the subsumption and conflict lints agrees
+    /// with literal product enumeration.
+    #[test]
+    fn pair_facts_match_exhaustive_enumeration(
+        ta in property_text(),
+        tb in property_text(),
+    ) {
+        let mut voc = Vocabulary::new();
+        let (pa, ia) = both_backends(&ta, &mut voc);
+        let (pb, ib) = both_backends(&tb, &mut voc);
+        let horizon = pa.bounded_horizon().max(pb.bounded_horizon());
+        prop_assume!(horizon <= 7);
+        let mut alpha = pa.alphabet().clone();
+        alpha.union_with(pb.alphabet());
+        let branch: Vec<Name> = alpha.iter().collect();
+        let walked = pair_facts(&pa, &pb, horizon, BUDGET)
+            .expect("budget generous enough for every generated model");
+        let mut enumerated = PairFacts::default();
+        enumerate_pair(&ia, &ib, 0, horizon, &branch, &mut enumerated);
+        // The walker may stop early once every fact is set; that is only
+        // sound if "every fact" really is the fixpoint — compare exactly.
+        prop_assert_eq!(walked, enumerated, "pair: {} / {}", ta, tb);
+    }
+}

@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 
+use lomon_core::analysis::{self, AnalysisOptions, DiagCode, Diagnostic};
 use lomon_core::ast::Property;
 use lomon_core::compiled::CompiledProgram;
 use lomon_core::fused::{build_csr, FusedProgram, Sharing};
@@ -155,6 +156,33 @@ impl Engine {
             errors.sort_by_key(CompileError::index);
             Err(errors)
         }
+    }
+
+    /// Like [`Engine::compile`], followed by the whole-rulebook static
+    /// analysis of [`lomon_core::analysis`]: returns the engine together
+    /// with every `L003`–`L009` finding (duplicates, vacuity, subsumption,
+    /// conflicts, coverage, dead tables). The CLI surfaces these as
+    /// warnings on `check`/`watch`/`smc` and as the full report on
+    /// `lomon lint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns one [`CompileError`] per failing property, exactly as
+    /// [`Engine::compile`] — render those as diagnostics with
+    /// [`error_diagnostics`].
+    pub fn compile_with_analysis<S: AsRef<str>>(
+        texts: &[S],
+        voc: &mut Vocabulary,
+        opts: &AnalysisOptions,
+    ) -> Result<(Engine, Vec<Diagnostic>), Vec<CompileError>> {
+        let engine = Self::compile(texts, voc)?;
+        let displays: Vec<&str> = engine
+            .properties
+            .iter()
+            .map(|p| p.display.as_ref())
+            .collect();
+        let diagnostics = analysis::analyze(&engine.fused, &displays, voc, opts);
+        Ok((engine, diagnostics))
     }
 
     /// Build an engine from already-constructed ASTs (validated here).
@@ -346,6 +374,23 @@ impl Engine {
     pub fn session_with_backend(&self, mode: DispatchMode, backend: Backend) -> Session<'_> {
         Session::new(self, mode, backend)
     }
+}
+
+/// Render compile failures through the diagnostic sink: parse errors as
+/// `L001`, well-formedness violations as `L002` — so `lomon lint` and
+/// `lomon check` report syntactic, semantic and structural findings in one
+/// format.
+pub fn error_diagnostics(errors: &[CompileError], voc: &Vocabulary) -> Vec<Diagnostic> {
+    errors
+        .iter()
+        .map(|error| {
+            let code = match error {
+                CompileError::Parse { .. } => DiagCode::L001,
+                CompileError::IllFormed { .. } => DiagCode::L002,
+            };
+            Diagnostic::new(code, vec![error.index()], error.display(voc))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -62,6 +62,17 @@
 //! All three backends are verdict-, diagnostic- and ops-identical per
 //! property (asserted by `tests/engine_oracle.rs` and the `hot_loop
 //! --check` CI gate), so any disagreement is a bug in one of them.
+//!
+//! ## Static analysis
+//!
+//! [`Engine::compile_with_analysis`] compiles the rulebook and then runs
+//! the whole-rulebook static analysis of [`lomon_core::analysis`] over the
+//! fused representation — duplicate, vacuous, subsumed and conflicting
+//! properties, unobserved vocabulary, dead action-table entries — returning
+//! the engine together with the coded [`lomon_core::analysis::Diagnostic`]
+//! findings. Compile failures convert to the same diagnostic form through
+//! [`compile::error_diagnostics`]. The CLI's `lomon lint` is a thin shell
+//! over these two calls.
 //! `cargo run -p lomon-bench --bin hot_loop --release` measures the
 //! ns/event gaps and writes the machine-readable `BENCH_hot_loop.json`
 //! tracked at the repository root; [`DispatchStats`] exposes how much the
@@ -109,10 +120,12 @@
 //! assert!(report.stats.steps_skipped > 0, "the index skipped work");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod compile;
 pub mod report;
 pub mod session;
 
-pub use compile::{CompileError, Engine};
+pub use compile::{error_diagnostics, CompileError, Engine};
 pub use report::{DispatchStats, EngineReport, PropertyReport};
 pub use session::{Backend, DispatchMode, Session};

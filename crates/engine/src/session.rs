@@ -81,6 +81,18 @@ pub enum Backend {
     Interp,
 }
 
+impl Backend {
+    /// Stable lowercase name, as spelled on the CLI (`--backend fused`)
+    /// and in machine-readable reports (`lomon watch` NDJSON summary).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Fused => "fused",
+            Backend::Compiled => "compiled",
+            Backend::Interp => "interp",
+        }
+    }
+}
+
 /// The per-stream monitor instances, one dense arena per backend. Keeping
 /// the arena monomorphic (instead of an enum per monitor) lets the dispatch
 /// loops specialize per backend: monitor steps are direct, inlinable calls
@@ -233,22 +245,22 @@ impl<'e> Session<'e> {
     pub fn ingest_batch(&mut self, events: &[TimedEvent]) {
         match (&mut self.arena, self.core.mode) {
             (MonitorArena::Interp(ms), DispatchMode::Indexed) => {
-                self.core.ingest_batch_indexed(ms, events)
+                self.core.ingest_batch_indexed(ms, events);
             }
             (MonitorArena::Compiled(ms), DispatchMode::Indexed) => {
-                self.core.ingest_batch_indexed(ms, events)
+                self.core.ingest_batch_indexed(ms, events);
             }
             (MonitorArena::Fused(ms), DispatchMode::Indexed) => {
-                self.core.ingest_batch_indexed(ms, events)
+                self.core.ingest_batch_indexed(ms, events);
             }
             (MonitorArena::Interp(ms), DispatchMode::Broadcast) => {
-                self.core.ingest_batch_in(ms, events)
+                self.core.ingest_batch_in(ms, events);
             }
             (MonitorArena::Compiled(ms), DispatchMode::Broadcast) => {
-                self.core.ingest_batch_in(ms, events)
+                self.core.ingest_batch_in(ms, events);
             }
             (MonitorArena::Fused(ms), DispatchMode::Broadcast) => {
-                self.core.ingest_batch_in(ms, events)
+                self.core.ingest_batch_in(ms, events);
             }
         }
     }
@@ -529,7 +541,7 @@ impl<'e> Core<'e> {
         match self.backend {
             Backend::Fused => self.ingest_batch_indexed_in::<M, true>(monitors, events),
             Backend::Compiled | Backend::Interp => {
-                self.ingest_batch_indexed_in::<M, false>(monitors, events)
+                self.ingest_batch_indexed_in::<M, false>(monitors, events);
             }
         }
     }

@@ -345,7 +345,7 @@ mod tests {
         assert_eq!(Psl::or(vec![]), Psl::Const(false));
         assert_eq!(Psl::or(vec![Psl::Const(true), a.clone()]), Psl::Const(true));
         // Nested conjunctions flatten.
-        let nested = Psl::and(vec![Psl::and(vec![a.clone(), a.clone()]), a.clone()]);
+        let nested = Psl::and(vec![Psl::and(vec![a.clone(), a.clone()]), a]);
         assert_eq!(nested.node_count(), 4); // And + 3 atoms
     }
 
@@ -357,7 +357,7 @@ mod tests {
         // always(t -> next(!t until! i))
         let f = Psl::always(Psl::implies(
             t.clone(),
-            Psl::next(Psl::until(Psl::not(t.clone()), trig)),
+            Psl::next(Psl::until(Psl::not(t), trig)),
         ));
         assert_eq!(f.node_count(), 8);
         assert_eq!(f.expanded_node_count(), 8); // no symbolic atoms

@@ -464,7 +464,7 @@ mod tests {
             Verdict::Violated
         );
         // a after b (same episode): Order fires.
-        let mut m = monitor.clone();
+        let mut m = monitor;
         assert_eq!(
             run_to_end(&mut m, &Trace::from_names([a, b, a])),
             Verdict::Violated
@@ -483,7 +483,7 @@ mod tests {
                 "{seq:?}"
             );
         }
-        let mut m = monitor.clone();
+        let mut m = monitor;
         assert_eq!(
             run_to_end(&mut m, &Trace::from_names([i])),
             Verdict::Violated
@@ -515,7 +515,7 @@ mod tests {
             Verdict::Violated
         );
         // Double irq.
-        let mut m = monitor.clone();
+        let mut m = monitor;
         assert_eq!(
             run_to_end(&mut m, &Trace::from_names([start, read, read, irq, irq])),
             Verdict::Violated

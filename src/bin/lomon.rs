@@ -10,6 +10,8 @@
 //! lomon watch [--format trace|ndjson] <property>...
 //!                                             monitor an event stream from stdin
 //! lomon smc   [options] [property...]         statistical model-checking campaign
+//! lomon lint  [options] <rulebook|property>...
+//!                                             static analysis of a rulebook
 //! lomon vcd   <trace-file>                    print the trace as VCD
 //! lomon gen   <property> [seed [episodes]]    print a generated satisfying trace
 //! lomon demo                                  record + check a platform run
@@ -28,20 +30,29 @@
 //! platform simulations (default) or `lomon-gen` stimuli over a trace
 //! file — monitored in parallel, with Chernoff–Hoeffding estimates and
 //! optional SPRT hypothesis tests per property.
+//!
+//! `lint` compiles a rulebook without running anything and reports the
+//! whole-rulebook static analysis ([`lomon::core::analysis`]): duplicate,
+//! vacuous, subsumed and conflicting properties, coverage gaps and dead
+//! action-table entries, each under a stable `L0xx` code. The same
+//! analysis runs implicitly on `check`/`watch`/`smc` rulebooks, which
+//! print the warnings and accept `--deny-warnings` to refuse them.
 
 use std::io::BufRead as _;
 use std::process::ExitCode;
 
+use lomon::core::analysis::{prune_dead, AnalysisOptions, Diagnostic, Severity};
 use lomon::core::parse::parse_property;
-use lomon::engine::{Backend, DispatchMode, Engine, Session};
+use lomon::core::verdict::Monitor as _;
+use lomon::engine::{error_diagnostics, Backend, DispatchMode, Engine, Session};
 use lomon::gen::{generate, GeneratorConfig};
 use lomon::smc::{
     Campaign, CampaignConfig, CampaignMode, EpisodeModel, GenModel, ScenarioModel, SprtConfig,
 };
 use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
 use lomon::trace::{
-    json_escape, read_trace, write_trace, write_vcd, Direction, SimTime, TimedEvent, TraceLine,
-    Vocabulary,
+    json_escape, read_trace, write_trace, write_vcd, Direction, Name, NameSet, SimTime, TimedEvent,
+    TraceLine, Vocabulary,
 };
 
 fn main() -> ExitCode {
@@ -50,10 +61,11 @@ fn main() -> ExitCode {
         Some("check") if args.len() >= 3 => check(&args[1..]),
         Some("watch") if args.len() >= 2 => watch(&args[1..]),
         Some("smc") => smc(&args[1..]),
+        Some("lint") if args.len() >= 2 => lint(&args[1..]),
         Some("vcd") if args.len() == 2 => vcd(&args[1]),
         Some("gen") if args.len() >= 2 && args.len() <= 4 => gen(&args[1], &args[2..]),
         Some("demo") if args.len() == 1 => demo(),
-        Some(command @ ("check" | "watch" | "vcd" | "gen" | "demo")) => {
+        Some(command @ ("check" | "watch" | "lint" | "vcd" | "gen" | "demo")) => {
             eprintln!("error: wrong arguments for `lomon {command}`");
             usage()
         }
@@ -75,6 +87,8 @@ fn usage() -> ExitCode {
     eprintln!("              [--epsilon E] [--sprt P0 P1] [--fault-prob Q]");
     eprintln!("              [--backend fused|compiled|interp] [--format text|json]");
     eprintln!("              [--trace <file> [--mutation-prob Q]] [property...]");
+    eprintln!("  lomon lint  [--format text|json] [--trace <file>] [--fix-prune]");
+    eprintln!("              [--deny-warnings] <rulebook-file|property>...");
     eprintln!("  lomon vcd   <trace-file>");
     eprintln!("  lomon gen   <property> [seed [episodes]]");
     eprintln!("  lomon demo");
@@ -99,6 +113,15 @@ fn usage() -> ExitCode {
     eprintln!("--trace <file> episodes mutating a recorded trace (the first");
     eprintln!("property anchors the mutations). --sprt tests H0: p >= P0 against");
     eprintln!("H1: p <= P1 per property and exits 1 if any property accepts H1.");
+    eprintln!();
+    eprintln!("lint statically analyses a rulebook (files hold one property per");
+    eprintln!("line, `#` comments allowed) and reports coded findings: duplicate,");
+    eprintln!("vacuous, subsumed or conflicting properties, unobserved vocabulary");
+    eprintln!("and — given a `--trace` corpus — unsubscribed events and dead");
+    eprintln!("action-table rows (`--fix-prune` drops them and self-checks the");
+    eprintln!("verdicts). Exit 0 clean, 1 warnings, 2 errors. check/watch/smc run");
+    eprintln!("the same analysis and print its warnings; `--deny-warnings` makes");
+    eprintln!("them (and lint) fail on any warning.");
     ExitCode::from(2)
 }
 
@@ -109,13 +132,41 @@ fn load(path: &str, voc: &mut Vocabulary) -> Result<lomon::trace::Trace, String>
 
 /// Compile the whole property set, reporting *every* error before giving
 /// up — a long rulebook is fixed in one pass, not one error at a time.
-fn compile_all(properties: &[String], voc: &mut Vocabulary) -> Result<Engine, ExitCode> {
-    Engine::compile(properties, voc).map_err(|errors| {
-        for error in &errors {
-            eprintln!("error in property:\n{}", error.display(voc));
+/// Compilation also runs the whole-rulebook static analysis: warnings
+/// (duplicate / vacuous / subsumed / conflicting properties) go to stderr,
+/// and with `deny_warnings` any warning refuses the rulebook. Notes are
+/// lint-only detail and stay silent here (`lomon lint` prints everything).
+fn compile_all(
+    properties: &[String],
+    voc: &mut Vocabulary,
+    deny_warnings: bool,
+) -> Result<Engine, ExitCode> {
+    let opts = AnalysisOptions::default();
+    match Engine::compile_with_analysis(properties, voc, &opts) {
+        Ok((engine, diagnostics)) => {
+            let warnings = diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count();
+            for diagnostic in diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+            {
+                eprintln!("{}", diagnostic.render_text());
+            }
+            if deny_warnings && warnings > 0 {
+                eprintln!("error: rulebook has {warnings} warning(s) (--deny-warnings)");
+                return Err(ExitCode::FAILURE);
+            }
+            Ok(engine)
         }
-        ExitCode::FAILURE
-    })
+        Err(errors) => {
+            for error in &errors {
+                eprintln!("error in property:\n{}", error.display(voc));
+            }
+            Err(ExitCode::FAILURE)
+        }
+    }
 }
 
 /// Extract every occurrence of the valued `flag` (both the two-argument
@@ -144,6 +195,14 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>,
         args.drain(i..i + consumed);
     }
     Ok(value)
+}
+
+/// Extract every occurrence of the boolean `flag` from `args`, returning
+/// whether it was present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
 }
 
 /// Extract the `--backend fused|compiled|interp` flag from `args`.
@@ -184,6 +243,7 @@ fn take_report_format_flag(args: &mut Vec<String>) -> Result<ReportFormat, ExitC
 
 fn check(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
+    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
         Err(code) => return code,
@@ -227,7 +287,7 @@ fn check(args: &[String]) -> ExitCode {
             }
         }
     }
-    let engine = match compile_all(properties, &mut voc) {
+    let engine = match compile_all(properties, &mut voc, deny_warnings) {
         Ok(engine) => engine,
         Err(code) => return code,
     };
@@ -292,6 +352,7 @@ enum StreamLine {
 
 fn watch(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
+    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
         Err(code) => return code,
@@ -333,7 +394,7 @@ fn watch(args: &[String]) -> ExitCode {
     }
 
     let mut voc = Vocabulary::new();
-    let engine = match compile_all(&properties, &mut voc) {
+    let engine = match compile_all(&properties, &mut voc, deny_warnings) {
         Ok(engine) => engine,
         Err(code) => return code,
     };
@@ -416,11 +477,15 @@ fn watch(args: &[String]) -> ExitCode {
                 );
             }
             println!(
-                "{{\"summary\": true, \"events\": {}, \"monitor_steps\": {}, \
-                 \"steps_skipped\": {}, \"violations\": {}}}",
+                "{{\"summary\": true, \"backend\": \"{}\", \"events\": {}, \
+                 \"monitor_steps\": {}, \"steps_skipped\": {}, \
+                 \"unique_cells\": {}, \"shared_hits\": {}, \"violations\": {}}}",
+                backend.label(),
                 report.stats.events,
                 report.stats.monitor_steps,
                 report.stats.steps_skipped,
+                report.stats.unique_cells,
+                report.stats.shared_hits,
                 report.violations().count(),
             );
         }
@@ -602,8 +667,37 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, E
     })
 }
 
+/// Pre-flight the rulebook analysis for `smc`, whose campaign compiles the
+/// properties itself: print the warnings, honouring `--deny-warnings`.
+/// Compile *errors* are left for the campaign to report with full context.
+fn report_rulebook_warnings(properties: &[String], deny_warnings: bool) -> Result<(), ExitCode> {
+    if properties.is_empty() {
+        return Ok(());
+    }
+    let mut voc = Vocabulary::new();
+    let opts = AnalysisOptions::default();
+    if let Ok((_, diagnostics)) = Engine::compile_with_analysis(properties, &mut voc, &opts) {
+        let warnings = diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        for diagnostic in diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+        {
+            eprintln!("{}", diagnostic.render_text());
+        }
+        if deny_warnings && warnings > 0 {
+            eprintln!("error: rulebook has {warnings} warning(s) (--deny-warnings)");
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    Ok(())
+}
+
 fn smc(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
+    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
         Err(code) => return code,
@@ -700,6 +794,10 @@ fn smc(args: &[String]) -> ExitCode {
     if trace_path.is_none() && mutation_prob.is_some() {
         eprintln!("error: `--mutation-prob` requires `--trace`");
         return usage();
+    }
+
+    if let Err(code) = report_rulebook_warnings(&properties, deny_warnings) {
+        return code;
     }
 
     // Assemble the mode: SPRT with early stopping, or fixed-size
@@ -814,6 +912,191 @@ fn run_smc<M: EpisodeModel>(model: &M, config: &CampaignConfig, format: ReportFo
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `lomon lint` — compile a rulebook, run the whole-rulebook static
+/// analysis, print the findings and exit 0 (clean or notes only), 1
+/// (warnings) or 2 (errors, or warnings under `--deny-warnings`).
+///
+/// Arguments that name readable files are rulebook files (one property per
+/// line, `#` comments and blank lines skipped); everything else is an
+/// inline property. `--trace <file>` supplies an event corpus, enabling
+/// the coverage (`L008`) and dead-table (`L009`) findings; `--fix-prune`
+/// additionally prunes the dead action-table rows and, when a corpus is
+/// given, self-checks that the pruned rulebook is verdict-identical on it.
+fn lint(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
+    let fix_prune = take_bool_flag(&mut args, "--fix-prune");
+    let format = match take_report_format_flag(&mut args) {
+        Ok(format) => format,
+        Err(code) => return code,
+    };
+    let trace_path = match take_value_flag(&mut args, "--trace") {
+        Ok(path) => path,
+        Err(code) => return code,
+    };
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("error: unknown flag `{flag}`");
+        return usage();
+    }
+
+    // Collect the rulebook: file arguments contribute one property per
+    // non-comment line, the rest are inline property texts.
+    let mut properties: Vec<String> = Vec::new();
+    for arg in &args {
+        if std::path::Path::new(arg).is_file() {
+            let text = match std::fs::read_to_string(arg) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: cannot read {arg}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            properties.extend(
+                text.lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .map(str::to_owned),
+            );
+        } else {
+            properties.push(arg.clone());
+        }
+    }
+    if properties.is_empty() {
+        eprintln!("error: the rulebook is empty");
+        return ExitCode::from(2);
+    }
+
+    // An optional trace corpus: per-name event counts for the coverage
+    // and dead-table analyses, and the self-check replay for --fix-prune.
+    let mut voc = Vocabulary::new();
+    let trace = match &trace_path {
+        None => None,
+        Some(path) => match load(path, &mut voc) {
+            Ok(trace) => Some(trace),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let corpus: Option<Vec<(Name, u64)>> = trace.as_ref().map(|trace| {
+        let mut counts: std::collections::BTreeMap<Name, u64> = std::collections::BTreeMap::new();
+        for event in trace.events() {
+            *counts.entry(event.name).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    });
+
+    let opts = AnalysisOptions {
+        corpus,
+        ..AnalysisOptions::default()
+    };
+    let (engine, diagnostics) = match Engine::compile_with_analysis(&properties, &mut voc, &opts) {
+        Ok(compiled) => compiled,
+        Err(errors) => {
+            emit_diagnostics(&error_diagnostics(&errors, &voc), &properties, format);
+            return ExitCode::from(2);
+        }
+    };
+    emit_diagnostics(&diagnostics, &properties, format);
+
+    if fix_prune {
+        let corpus_set: Option<NameSet> = opts
+            .corpus
+            .as_ref()
+            .map(|counts| counts.iter().map(|&(name, _)| name).collect());
+        let outcome = prune_dead(engine.fused(), corpus_set.as_ref(), opts.state_budget);
+        let stats = outcome.stats;
+        println!(
+            "fix-prune: dropped {} of {} action-table rows ({} entries), \
+             neutralized {} further entries",
+            stats.dropped_rows,
+            stats.rows,
+            stats.dropped_entries(),
+            stats.neutralized_entries,
+        );
+        // The prune is verdict-preserving on corpus traces by construction;
+        // trust nothing, replay the corpus through both rulebooks.
+        if let Some(trace) = &trace {
+            let mut original = engine.fused().instantiate();
+            let mut pruned = outcome.fused.instantiate();
+            for event in trace.events() {
+                for (o, p) in original.iter_mut().zip(pruned.iter_mut()) {
+                    if o.observe(*event) != p.observe(*event) {
+                        eprintln!(
+                            "error: fix-prune self-check failed: verdicts diverge at {} \
+                             `{}` — this is a bug, the unpruned rulebook stands",
+                            event.time,
+                            voc.resolve(event.name),
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let end = trace.end_time();
+            for (o, p) in original.iter_mut().zip(pruned.iter_mut()) {
+                if o.finish(end) != p.finish(end) {
+                    eprintln!(
+                        "error: fix-prune self-check failed: final verdicts diverge — \
+                         this is a bug, the unpruned rulebook stands"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            println!(
+                "fix-prune: self-check ok — verdicts identical over {} corpus events",
+                trace.len()
+            );
+        }
+    }
+
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::from(2)
+    } else if warnings > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Print lint findings: one text line or one NDJSON object per finding,
+/// plus a text-mode summary tail.
+fn emit_diagnostics(diagnostics: &[Diagnostic], properties: &[String], format: ReportFormat) {
+    match format {
+        ReportFormat::Text => {
+            for diagnostic in diagnostics {
+                println!("{}", diagnostic.render_text());
+            }
+            let (mut errors, mut warnings, mut notes) = (0, 0, 0);
+            for diagnostic in diagnostics {
+                match diagnostic.severity {
+                    Severity::Error => errors += 1,
+                    Severity::Warning => warnings += 1,
+                    Severity::Note => notes += 1,
+                }
+            }
+            println!(
+                "lint: {} propert{}, {errors} error(s), {warnings} warning(s), {notes} note(s)",
+                properties.len(),
+                if properties.len() == 1 { "y" } else { "ies" },
+            );
+        }
+        ReportFormat::Json => {
+            for diagnostic in diagnostics {
+                println!("{}", diagnostic.render_json());
+            }
+        }
     }
 }
 

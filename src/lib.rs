@@ -10,8 +10,8 @@
 //! | Module | Crate | Paper |
 //! |---|---|---|
 //! | [`trace`] | `lomon-trace` | §2 interfaces, names, simulated time |
-//! | [`core`] | `lomon-core` | §3–§5 patterns, Fig. 5 recognizers, Drct monitors, compiled flat-table backend, fused rulebook programs |
-//! | [`engine`] | `lomon-engine` | streaming multi-property engine, event-indexed dispatch, fused/compiled/interpreted backends |
+//! | [`core`] | `lomon-core` | §3–§5 patterns, Fig. 5 recognizers, Drct monitors, compiled flat-table backend, fused rulebook programs, static analysis (`core::analysis`: L003–L009 lints, dead-table pruning) |
+//! | [`engine`] | `lomon-engine` | streaming multi-property engine, event-indexed dispatch, fused/compiled/interpreted backends, compile-time analysis integration |
 //! | [`psl`] | `lomon-psl` | §5 translation to PSL, ViaPSL baseline |
 //! | [`sync`] | `lomon-sync` | §6 Lustre-style synchronous validation |
 //! | [`gen`] | `lomon-gen` | §8 stimuli generation (future work) |

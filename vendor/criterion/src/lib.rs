@@ -185,6 +185,8 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    // `id` by value to mirror the real criterion's signature.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized, R>(
         &mut self,
         id: BenchmarkId,
@@ -196,7 +198,7 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id);
         run_one(&full, self.sample_size, self.throughput, |b| {
-            routine(b, input)
+            routine(b, input);
         });
         self
     }
