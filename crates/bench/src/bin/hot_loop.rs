@@ -36,10 +36,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use lomon_bench::workloads::{disjoint, overlapping};
 use lomon_core::analysis::prune_dead;
 use lomon_core::Monitor as _;
 use lomon_engine::{Backend, DispatchMode, Engine, Session};
-use lomon_trace::{NameSet, SimTime, TimedEvent, Vocabulary};
+use lomon_trace::{NameSet, SimTime, TimedEvent};
 
 /// The CI gate: compiled must beat interpreted by at least this factor on
 /// the gated multi-property workloads. The static floor sits below the
@@ -70,66 +71,6 @@ struct Workload {
     fused_gated: bool,
     engine: Engine,
     events: Vec<TimedEvent>,
-}
-
-/// Episodes of one property arrive in short bursts before the stream moves
-/// on — the granularity a TLM platform produces (one transaction's writes
-/// complete before the next component's begin).
-const EPISODE_BURST: usize = 4;
-
-/// `count` antecedent properties over pairwise-disjoint alphabets, plus the
-/// event stream that completes `rounds` episodes of each, interleaved at
-/// [`EPISODE_BURST`] granularity.
-fn disjoint(count: usize, rounds: usize) -> (Engine, Vec<TimedEvent>) {
-    let mut voc = Vocabulary::new();
-    let rulebook: Vec<String> = (0..count)
-        .map(|k| format!("all{{p{k}_a, p{k}_b, p{k}_c}} << p{k}_start repeated"))
-        .collect();
-    let engine = Engine::compile(&rulebook, &mut voc).expect("bench rulebook compiles");
-    let mut events = Vec::with_capacity(count * rounds * 4);
-    let mut ns = 0u64;
-    for _ in 0..rounds.div_ceil(EPISODE_BURST) {
-        for k in 0..count {
-            for _ in 0..EPISODE_BURST {
-                for suffix in ["a", "b", "c", "start"] {
-                    ns += 10;
-                    let name = voc
-                        .lookup(&format!("p{k}_{suffix}"))
-                        .expect("compiled name");
-                    events.push(TimedEvent::new(name, SimTime::from_ns(ns)));
-                }
-            }
-        }
-    }
-    (engine, events)
-}
-
-/// `count` antecedent properties over one *shared* alphabet (rotated range
-/// order, alternating `all`/`any`), and the stream that satisfies them all
-/// — every event concerns every property. The texts repeat with period 6
-/// (2 connectives × 3 rotations), so the fused backend shares 6 unique
-/// groups regardless of `count`.
-fn overlapping(count: usize, rounds: usize) -> (Engine, Vec<TimedEvent>) {
-    let mut voc = Vocabulary::new();
-    let names = ["s_a", "s_b", "s_c"];
-    let rulebook: Vec<String> = (0..count)
-        .map(|k| {
-            let op = if k % 2 == 0 { "all" } else { "any" };
-            let rotated: Vec<&str> = (0..3).map(|j| names[(k + j) % 3]).collect();
-            format!("{op}{{{}}} << s_start repeated", rotated.join(", "))
-        })
-        .collect();
-    let engine = Engine::compile(&rulebook, &mut voc).expect("bench rulebook compiles");
-    let mut events = Vec::with_capacity(rounds * 4);
-    let mut ns = 0u64;
-    for _ in 0..rounds {
-        for name in ["s_a", "s_b", "s_c", "s_start"] {
-            ns += 10;
-            let name = voc.lookup(name).expect("compiled name");
-            events.push(TimedEvent::new(name, SimTime::from_ns(ns)));
-        }
-    }
-    (engine, events)
 }
 
 struct Measurement {

@@ -12,6 +12,8 @@
 //! This library holds the shared harness: the six Fig. 6 configurations,
 //! per-strategy measurement, and table formatting.
 
+pub mod workloads;
+
 use lomon_core::ast::Property;
 use lomon_core::complexity::{drct_cost, measure_drct};
 use lomon_core::parse::parse_property;

@@ -123,9 +123,11 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod metrics;
 pub mod report;
 pub mod session;
 
 pub use compile::{error_diagnostics, CompileError, Engine};
+pub use metrics::SessionMetrics;
 pub use report::{DispatchStats, EngineReport, PropertyReport};
 pub use session::{Backend, DispatchMode, Session};

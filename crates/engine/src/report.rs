@@ -45,6 +45,33 @@ impl DispatchStats {
         self.properties * self.events
     }
 
+    /// The canonical machine-readable stats object — **the** schema every
+    /// CLI surface shares (`check --format json`'s `"stats"`, `watch`'s
+    /// NDJSON summary, `smc`'s JSON report, `--stats-every` heartbeats),
+    /// derived from the obs snapshot. Fields:
+    ///
+    /// `backend`, `properties`, `events`, `monitor_steps`,
+    /// `steps_skipped`, `retired`, `total_cells`, `unique_cells`,
+    /// `shared_hits`, `violations`.
+    pub fn render_json_object(&self, backend: &str, violations: u64) -> String {
+        format!(
+            "{{\"backend\": \"{}\", \"properties\": {}, \"events\": {}, \
+             \"monitor_steps\": {}, \"steps_skipped\": {}, \"retired\": {}, \
+             \"total_cells\": {}, \"unique_cells\": {}, \"shared_hits\": {}, \
+             \"violations\": {}}}",
+            backend,
+            self.properties,
+            self.events,
+            self.monitor_steps,
+            self.steps_skipped,
+            self.retired,
+            self.total_cells,
+            self.unique_cells,
+            self.shared_hits,
+            violations,
+        )
+    }
+
     /// One-line human rendering.
     pub fn render(&self) -> String {
         let mut line = format!(
@@ -87,6 +114,9 @@ pub struct EngineReport {
     pub properties: Vec<PropertyReport>,
     /// Dispatch accounting.
     pub stats: DispatchStats,
+    /// Stable label of the backend that produced the report
+    /// ([`crate::Backend::label`]).
+    pub backend: &'static str,
 }
 
 impl EngineReport {
@@ -141,21 +171,12 @@ impl EngineReport {
             }
             out.push('}');
         }
-        let s = &self.stats;
+        let violations = self.violations().count() as u64;
         let _ = write!(
             out,
-            "], \"ok\": {}, \"stats\": {{\"properties\": {}, \"events\": {}, \
-             \"monitor_steps\": {}, \"steps_skipped\": {}, \"retired\": {}, \
-             \"total_cells\": {}, \"unique_cells\": {}, \"shared_hits\": {}}}}}",
+            "], \"ok\": {}, \"stats\": {}}}",
             self.is_ok(),
-            s.properties,
-            s.events,
-            s.monitor_steps,
-            s.steps_skipped,
-            s.retired,
-            s.total_cells,
-            s.unique_cells,
-            s.shared_hits,
+            self.stats.render_json_object(self.backend, violations),
         );
         out
     }

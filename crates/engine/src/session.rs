@@ -18,6 +18,7 @@ use lomon_core::verdict::{Monitor, Verdict, Violation};
 use lomon_trace::{SimTime, TimedEvent};
 
 use crate::compile::Engine;
+use crate::metrics::{MetricsSink, SessionMetrics};
 use crate::report::{DispatchStats, EngineReport, PropertyReport};
 
 /// Backend-polymorphic routed stepping: the indexed dispatcher hands each
@@ -170,6 +171,9 @@ struct Core<'e> {
     newly_final: Vec<u32>,
     stats: DispatchStats,
     finished: bool,
+    /// Telemetry sink, if a registry is attached. The hot loops never see
+    /// it: deltas are flushed at batch boundaries only.
+    metrics: Option<MetricsSink>,
 }
 
 impl<'e> Session<'e> {
@@ -211,8 +215,19 @@ impl<'e> Session<'e> {
                 newly_final: Vec::new(),
                 stats: base_stats(engine),
                 finished: false,
+                metrics: None,
             },
         }
+    }
+
+    /// Attach this session to a [`SessionMetrics`] bundle (obtained from
+    /// [`SessionMetrics::register`]): from now on the session flushes its
+    /// dispatch-statistics deltas into the shared counters at every batch
+    /// boundary. Attaching mid-stream flushes nothing retroactively for
+    /// counters already at a watermark of zero — i.e. the whole history of
+    /// this stream is credited on the next flush.
+    pub fn attach_metrics(&mut self, metrics: Arc<SessionMetrics>) {
+        self.core.metrics = Some(MetricsSink::new(metrics));
     }
 
     /// The engine this session was opened from.
@@ -238,6 +253,7 @@ impl<'e> Session<'e> {
             MonitorArena::Compiled(ms) => self.core.ingest_in(ms, event),
             MonitorArena::Fused(ms) => self.core.ingest_in(ms, event),
         }
+        self.core.flush_metrics();
     }
 
     /// Feed a batch of events (the bulk path: one call per recorded trace
@@ -263,6 +279,7 @@ impl<'e> Session<'e> {
                 self.core.ingest_batch_in(ms, events);
             }
         }
+        self.core.flush_metrics();
     }
 
     /// Notify the session that simulated time has advanced to `now` with no
@@ -273,6 +290,7 @@ impl<'e> Session<'e> {
             MonitorArena::Compiled(ms) => self.core.advance_time_in(ms, now),
             MonitorArena::Fused(ms) => self.core.advance_time_in(ms, now),
         }
+        self.core.flush_metrics();
     }
 
     /// Declare end of observation and return the report. All still-live
@@ -288,10 +306,23 @@ impl<'e> Session<'e> {
     /// SMC campaign running millions of episodes through one session).
     /// Idempotent, like `finish`.
     pub fn close(&mut self, end_time: SimTime) {
+        let was_finished = self.core.finished;
         match &mut self.arena {
             MonitorArena::Interp(ms) => self.core.close_in(ms, end_time),
             MonitorArena::Compiled(ms) => self.core.close_in(ms, end_time),
             MonitorArena::Fused(ms) => self.core.close_in(ms, end_time),
+        }
+        self.core.flush_metrics();
+        // Verdicts are counted exactly once per stream, at the
+        // not-finished → finished transition (`close` is idempotent).
+        if !was_finished && self.core.finished {
+            if let Some(sink) = &self.core.metrics {
+                for id in 0..self.core.engine.len() {
+                    let verdict = self.arena.property_monitor(self.core.engine, id).verdict();
+                    sink.metrics.verdict_counter(verdict).inc();
+                }
+                sink.metrics.streams.inc();
+            }
         }
     }
 
@@ -315,12 +346,19 @@ impl<'e> Session<'e> {
         let mut stats = self.core.stats;
         stats.properties = self.core.engine.len() as u64;
         stats.retired = (self.core.engine.len() - self.core.active_props) as u64;
-        EngineReport { properties, stats }
+        EngineReport {
+            properties,
+            stats,
+            backend: self.core.backend.label(),
+        }
     }
 
     /// Rewind every monitor to its initial state for the next stream,
     /// keeping all allocations. Statistics restart from zero.
     pub fn reset(&mut self) {
+        // Credit whatever the last batch left unflushed before the
+        // statistics restart from zero; the watermarks restart with them.
+        self.core.flush_metrics();
         match &mut self.arena {
             MonitorArena::Interp(ms) => {
                 for m in ms.iter_mut() {
@@ -346,6 +384,9 @@ impl<'e> Session<'e> {
         core.newly_final.clear();
         core.stats = base_stats(core.engine);
         core.finished = false;
+        if let Some(sink) = &mut core.metrics {
+            sink.flushed = Default::default();
+        }
     }
 
     /// The ids of properties whose verdict went final since the last call,
@@ -433,6 +474,31 @@ fn base_stats(engine: &Engine) -> DispatchStats {
 }
 
 impl<'e> Core<'e> {
+    /// Flush the statistics accumulated since the last flush into the
+    /// attached metrics sink, if any. Called at batch boundaries only —
+    /// the common detached case is one branch on a `None`.
+    fn flush_metrics(&mut self) {
+        let Some(sink) = &mut self.metrics else {
+            return;
+        };
+        let stats = &self.stats;
+        let retired = (self.engine.len() - self.active_props) as u64;
+        let m = &sink.metrics;
+        let f = &mut sink.flushed;
+        m.events.add(stats.events - f.events);
+        m.monitor_steps.add(stats.monitor_steps - f.monitor_steps);
+        m.steps_skipped.add(stats.steps_skipped - f.steps_skipped);
+        m.shared_hits.add(stats.shared_hits - f.shared_hits);
+        m.retirements.add(retired.saturating_sub(f.retired));
+        f.events = stats.events;
+        f.monitor_steps = stats.monitor_steps;
+        f.steps_skipped = stats.steps_skipped;
+        f.shared_hits = stats.shared_hits;
+        f.retired = retired;
+        #[allow(clippy::cast_precision_loss)]
+        m.properties_live.set(self.active_props as f64);
+    }
+
     /// How many properties one step of `unit` serves: the group's member
     /// count under the fused backend, 1 otherwise.
     #[inline]
@@ -968,6 +1034,43 @@ mod tests {
             assert_eq!(fused.verdict(id), compiled.verdict(id), "property {id}");
             assert_eq!(fused.ops(id), compiled.ops(id), "property {id}");
         }
+    }
+
+    #[test]
+    fn metrics_flush_matches_stats_and_counts_verdicts_once() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let registry = lomon_obs::Registry::new();
+        let metrics = SessionMetrics::register(&registry);
+        let mut session = engine.session();
+        session.attach_metrics(Arc::clone(&metrics));
+        let events: Vec<TimedEvent> = [("a", 10), ("b", 20), ("start", 30)]
+            .into_iter()
+            .map(|(n, t)| event(&voc, n, t))
+            .collect();
+        session.ingest_batch(&events);
+        assert_eq!(metrics.events.get(), session.stats().events);
+        assert_eq!(metrics.monitor_steps.get(), session.stats().monitor_steps);
+        assert_eq!(metrics.steps_skipped.get(), session.stats().steps_skipped);
+        assert_eq!(metrics.retirements.get(), 1); // property 0 went final
+        session.close(SimTime::from_ns(40));
+        assert_eq!(metrics.streams.get(), 1);
+        assert_eq!(metrics.verdict_counter(Verdict::Satisfied).get(), 1);
+        assert_eq!(
+            metrics.verdict_counter(Verdict::PresumablySatisfied).get(),
+            1
+        );
+        // close is idempotent: no double counting.
+        session.close(SimTime::from_ns(40));
+        assert_eq!(metrics.streams.get(), 1);
+        assert_eq!(metrics.verdict_counter(Verdict::Satisfied).get(), 1);
+        // A second stream through the reused session adds fresh deltas.
+        let total = metrics.events.get();
+        session.reset();
+        session.ingest_batch(&events);
+        assert_eq!(metrics.events.get(), total + events.len() as u64);
+        session.close(SimTime::from_ns(40));
+        assert_eq!(metrics.streams.get(), 2);
     }
 
     #[test]

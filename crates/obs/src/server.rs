@@ -1,0 +1,194 @@
+//! A minimal hand-rolled HTTP/1.1 listener serving metric snapshots.
+//!
+//! `GET /metrics` returns the Prometheus text exposition, `GET
+//! /metrics.json` the NDJSON snapshot. One background thread accepts
+//! connections serially — a scrape endpoint sees one poller every few
+//! seconds, not a traffic front — and every response carries
+//! `Connection: close` plus a `Content-Length`, so no keep-alive state is
+//! tracked. The handler never panics: malformed requests get `400`, a
+//! draining server answers `503`, and registry reads go through relaxed
+//! atomics that cannot tear.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Cap on the request head we are willing to buffer.
+const MAX_HEAD: u64 = 8 * 1024;
+/// Per-connection read/write timeout, so one stalled client cannot wedge
+/// the (single-threaded) listener.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics endpoint. Dropping it shuts the listener down
+/// cleanly: the accept loop is woken, the thread joined, the port
+/// released.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9898"`; port `0` picks a free port)
+    /// and start serving `registry` from a background thread. Returns the
+    /// bind error untouched if the address is unavailable, so callers can
+    /// surface "address already in use" directly.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let draining = Arc::clone(&draining);
+            std::thread::Builder::new()
+                .name("lomon-metrics".to_owned())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        // Errors on one connection (reset, timeout) must not
+                        // take the endpoint down.
+                        let _ = serve_one(stream, &registry, &draining);
+                    }
+                })?
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            draining,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address actually bound — resolves port `0` to the real port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Switch the endpoint into draining mode: subsequent scrapes get
+    /// `503 Service Unavailable` instead of a snapshot. Call this before
+    /// printing a final report so a scrape racing completion sees a clean
+    /// "gone" rather than a half-reset registry.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop is blocked in `incoming()`; poke it awake with a
+        // throwaway connection to our own port.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Read the request head (method + target are all we need), route, respond.
+fn serve_one(stream: TcpStream, registry: &Registry, draining: &AtomicBool) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_HEAD);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block so the client sees us consume its request
+    // before the response lands (best-effort; a missing blank line just
+    // means we respond early).
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let mut stream = stream;
+
+    if method.is_empty() || target.is_empty() {
+        return respond(
+            &mut stream,
+            400,
+            "Bad Request",
+            "text/plain",
+            "bad request\n",
+        );
+    }
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    if draining.load(Ordering::Acquire) {
+        return respond(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            "text/plain",
+            "metrics endpoint is draining\n",
+        );
+    }
+    match target {
+        "/metrics" => {
+            let body = registry.render_prometheus();
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/metrics.json" => {
+            let body = registry.render_ndjson();
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "application/x-ndjson; charset=utf-8",
+                &body,
+            )
+        }
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

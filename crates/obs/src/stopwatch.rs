@@ -1,0 +1,72 @@
+//! Coarse phase timing: a [`Stopwatch`] records elapsed nanoseconds into a
+//! [`Histogram`] when stopped (or dropped), so `compile`, `fuse`,
+//! per-file `check`, and per-episode SMC spans show up as latency
+//! distributions without threading timers through every call site.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metric::Histogram;
+
+/// A running span. Create one with [`Stopwatch::start`]; the elapsed time
+/// lands in the histogram on [`Stopwatch::stop`] or on drop, whichever
+/// comes first.
+#[derive(Debug)]
+pub struct Stopwatch {
+    histogram: Arc<Histogram>,
+    started: Instant,
+    armed: bool,
+}
+
+impl Stopwatch {
+    /// Start timing a span whose duration will be recorded (in
+    /// nanoseconds) into `histogram`.
+    pub fn start(histogram: Arc<Histogram>) -> Self {
+        Stopwatch {
+            histogram,
+            started: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stop the span now and record its duration, returning the elapsed
+    /// nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        self.armed = false;
+        let elapsed = elapsed_ns(self.started);
+        self.histogram.record(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for Stopwatch {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.record(elapsed_ns(self.started));
+        }
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_records_exactly_once() {
+        let h = Arc::new(Histogram::new());
+        let sw = Stopwatch::start(Arc::clone(&h));
+        sw.stop();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn drop_records_when_not_stopped() {
+        let h = Arc::new(Histogram::new());
+        drop(Stopwatch::start(Arc::clone(&h)));
+        assert_eq!(h.count(), 1);
+    }
+}

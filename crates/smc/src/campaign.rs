@@ -26,14 +26,17 @@
 //! measures the resulting speedup and gates it in CI.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{RngCore as _, SeedableRng};
 
-use lomon_engine::{Backend, CompileError, DispatchMode, Engine, Session};
+use lomon_engine::{Backend, CompileError, DispatchMode, DispatchStats, Engine, Session};
 use lomon_trace::{json_escape, TimedEvent, Vocabulary};
 
 use crate::estimate::{half_width, required_episodes};
+use crate::metrics::CampaignMetrics;
 use crate::model::EpisodeModel;
 use crate::sprt::{Sprt, SprtConfig, SprtDecision};
 
@@ -230,11 +233,18 @@ pub struct CampaignReport {
     pub episodes: u64,
     /// Per-property statistical verdicts, in compilation order.
     pub properties: Vec<PropertyEstimate>,
-    /// Interface events monitored across all consumed episodes.
+    /// Interface events monitored across all consumed episodes. Kept as a
+    /// top-level alias of `stats.events`.
     pub events: u64,
     /// Monitor steps the engine sessions performed (after indexed-dispatch
-    /// skipping).
+    /// skipping). Kept as a top-level alias of `stats.monitor_steps`.
     pub monitor_steps: u64,
+    /// Full dispatch accounting summed over every consumed episode — the
+    /// same canonical schema `check` and `watch` report. Partition
+    /// invariant, so still identical across `--jobs`.
+    pub stats: DispatchStats,
+    /// Stable label of the monitor backend the campaign ran on.
+    pub backend: &'static str,
 }
 
 impl CampaignReport {
@@ -343,19 +353,46 @@ impl CampaignReport {
             }
             out.push('}');
         }
+        // Property-episodes that ended violated — the `violations` slot of
+        // the canonical stats object.
+        let violations: u64 = self
+            .properties
+            .iter()
+            .map(|p| p.episodes - p.successes)
+            .sum();
         let _ = write!(
             out,
             "], \"seed\": {}, \"episodes\": {}, \"events\": {}, \
-             \"monitor_steps\": {}, \"all_decided\": {}, \"any_rejected\": {}}}",
+             \"monitor_steps\": {}, \"all_decided\": {}, \"any_rejected\": {}, \
+             \"stats\": {}}}",
             self.seed,
             self.episodes,
             self.events,
             self.monitor_steps,
             self.all_decided(),
             self.any_rejected(),
+            self.stats.render_json_object(self.backend, violations),
         );
         out
     }
+}
+
+/// A progress snapshot handed to the [`Campaign::run_observed`] observer
+/// after each scheduling batch is aggregated. Batch boundaries are
+/// jobs-independent, so for a fixed seed the observer sees the same
+/// sequence of snapshots no matter the worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignProgress<'a> {
+    /// Episodes consumed so far.
+    pub episodes: u64,
+    /// The campaign's episode budget (the cap, for SPRT campaigns).
+    pub planned: u64,
+    /// Per-property success counts so far, in compilation order.
+    pub successes: &'a [u64],
+    /// The Chernoff–Hoeffding half-width at the current sample size.
+    pub half_width: f64,
+    /// SPRT tests still undecided; `None` for estimation campaigns.
+    pub sprt_undecided: Option<usize>,
 }
 
 /// One worker's campaign-lifetime state: an engine session and a stream
@@ -374,6 +411,9 @@ struct EpisodeResult {
     satisfied: Vec<bool>,
     events: u64,
     monitor_steps: u64,
+    steps_skipped: u64,
+    shared_hits: u64,
+    retired: u64,
 }
 
 /// A compiled campaign: the model, the shared engine, and the config.
@@ -397,6 +437,10 @@ pub struct Campaign<'m, M: EpisodeModel + ?Sized> {
     #[allow(dead_code)] // resolved names are useful to callers via `vocabulary()`
     vocabulary: Vocabulary,
     config: CampaignConfig,
+    /// Live telemetry, if attached. Workers flush their sessions' dispatch
+    /// deltas into it; the aggregator updates the campaign gauges at batch
+    /// boundaries. Never consulted by the statistics themselves.
+    metrics: Option<Arc<CampaignMetrics>>,
 }
 
 /// The fixed scheduling quantum of SPRT campaigns: episodes are dispatched
@@ -439,7 +483,17 @@ impl<'m, M: EpisodeModel + ?Sized> Campaign<'m, M> {
             engine,
             vocabulary,
             config,
+            metrics: None,
         })
+    }
+
+    /// Attach live telemetry (from [`CampaignMetrics::register`]): worker
+    /// sessions flush dispatch deltas into the shared registry, episode
+    /// durations land in the histogram, and the estimate gauges update at
+    /// every batch boundary. Reports stay bit-identical with or without a
+    /// registry attached.
+    pub fn attach_metrics(&mut self, metrics: Arc<CampaignMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The compiled engine (e.g. to inspect alphabets).
@@ -454,6 +508,15 @@ impl<'m, M: EpisodeModel + ?Sized> Campaign<'m, M> {
 
     /// Run the campaign to completion and report.
     pub fn run(&self) -> CampaignReport {
+        self.run_observed(&mut |_| {})
+    }
+
+    /// [`Campaign::run`] with a progress observer: after each scheduling
+    /// batch is aggregated the observer receives a [`CampaignProgress`]
+    /// snapshot. Batches are the jobs-independent quanta ([`SPRT_BATCH`] /
+    /// [`ESTIMATE_BATCH`]), so the snapshot sequence — like the report —
+    /// is a pure function of `(model, seed, mode)`.
+    pub fn run_observed(&self, observer: &mut dyn FnMut(CampaignProgress<'_>)) -> CampaignReport {
         let jobs = effective_jobs(self.config.jobs);
         let master = StdRng::seed_from_u64(self.config.seed);
         let n_props = self.engine.len();
@@ -473,31 +536,57 @@ impl<'m, M: EpisodeModel + ?Sized> Campaign<'m, M> {
 
         let mut successes = vec![0u64; n_props];
         let mut consumed = 0u64;
-        let mut events = 0u64;
-        let mut monitor_steps = 0u64;
+        let mut stats = DispatchStats {
+            properties: n_props as u64,
+            ..DispatchStats::default()
+        };
+        {
+            let sharing = self.engine.sharing();
+            stats.total_cells = sharing.total_cells;
+            stats.unique_cells = sharing.unique_cells;
+        }
+
+        if let Some(m) = &self.metrics {
+            #[allow(clippy::cast_precision_loss)]
+            m.planned.set(total as f64);
+            let undecided = if sprts.is_some() { n_props } else { 0 };
+            #[allow(clippy::cast_precision_loss)]
+            m.sprt_undecided.set(undecided as f64);
+        }
 
         // One session + stream buffer per worker for the whole campaign:
         // `reset()` rewinds them between episodes, so the monitor clones
         // and event allocations happen `jobs` times, not per episode or
         // per batch.
         let mut workers: Vec<Worker<'_>> = (0..jobs)
-            .map(|_| Worker {
-                session: self
+            .map(|_| {
+                let mut session = self
                     .engine
-                    .session_with_backend(DispatchMode::Indexed, self.config.backend),
-                buffer: Vec::new(),
+                    .session_with_backend(DispatchMode::Indexed, self.config.backend);
+                if let Some(m) = &self.metrics {
+                    session.attach_metrics(Arc::clone(&m.session));
+                }
+                Worker {
+                    session,
+                    buffer: Vec::new(),
+                }
             })
             .collect();
 
         let mut next = 0u64;
-        'campaign: while next < total {
+        while next < total {
             let len = batch.min(total - next);
             let results = self.run_batch(&master, next, len, &mut workers);
             next += len;
+            let batch_start = consumed;
+            let mut decided_early = false;
             for result in &results {
                 consumed += 1;
-                events += result.events;
-                monitor_steps += result.monitor_steps;
+                stats.events += result.events;
+                stats.monitor_steps += result.monitor_steps;
+                stats.steps_skipped += result.steps_skipped;
+                stats.shared_hits += result.shared_hits;
+                stats.retired += result.retired;
                 for (id, &ok) in result.satisfied.iter().enumerate() {
                     if ok {
                         successes[id] += 1;
@@ -508,9 +597,40 @@ impl<'m, M: EpisodeModel + ?Sized> Campaign<'m, M> {
                 }
                 if let Some(sprts) = &sprts {
                     if sprts.iter().all(|s| s.decision().is_some()) {
-                        break 'campaign;
+                        decided_early = true;
+                        break;
                     }
                 }
+            }
+            let undecided = sprts
+                .as_ref()
+                .map(|sprts| sprts.iter().filter(|s| s.decision().is_none()).count());
+            let current_half_width = half_width(consumed, delta);
+            if let Some(m) = &self.metrics {
+                m.episodes.add(consumed - batch_start);
+                m.batches.inc();
+                #[allow(clippy::cast_precision_loss)]
+                m.sprt_undecided.set(undecided.unwrap_or(0) as f64);
+                for (id, &succ) in successes.iter().enumerate() {
+                    #[allow(clippy::cast_precision_loss)]
+                    let mean = if consumed == 0 {
+                        0.0
+                    } else {
+                        succ as f64 / consumed as f64
+                    };
+                    m.means[id].set(mean);
+                    m.half_widths[id].set(current_half_width);
+                }
+            }
+            observer(CampaignProgress {
+                episodes: consumed,
+                planned: total,
+                successes: &successes,
+                half_width: current_half_width,
+                sprt_undecided: undecided,
+            });
+            if decided_early {
+                break;
             }
         }
 
@@ -542,8 +662,10 @@ impl<'m, M: EpisodeModel + ?Sized> Campaign<'m, M> {
             seed: self.config.seed,
             episodes: consumed,
             properties,
-            events,
-            monitor_steps,
+            events: stats.events,
+            monitor_steps: stats.monitor_steps,
+            stats,
+            backend: self.config.backend.label(),
         }
     }
 
@@ -592,17 +714,28 @@ impl<'m, M: EpisodeModel + ?Sized> Campaign<'m, M> {
         buffer: &mut Vec<TimedEvent>,
     ) -> EpisodeResult {
         let seed = master.fork(episode).next_u64();
+        // Wall-clock is telemetry-only (never part of the report), so the
+        // Instant reads happen only with a registry attached.
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         buffer.clear();
         let end = self.model.episode(seed, buffer);
         session.reset();
         session.ingest_batch(buffer);
         session.close(end);
+        if let (Some(started), Some(m)) = (started, &self.metrics) {
+            m.episode_duration_ns
+                .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        let stats = *session.stats();
         EpisodeResult {
             satisfied: (0..self.engine.len())
                 .map(|id| session.verdict(id).is_ok())
                 .collect(),
-            events: session.stats().events,
-            monitor_steps: session.stats().monitor_steps,
+            events: stats.events,
+            monitor_steps: stats.monitor_steps,
+            steps_skipped: stats.steps_skipped,
+            shared_hits: stats.shared_hits,
+            retired: (self.engine.len() - session.active_len()) as u64,
         }
     }
 }

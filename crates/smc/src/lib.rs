@@ -48,13 +48,15 @@
 
 pub mod campaign;
 pub mod estimate;
+pub mod metrics;
 pub mod model;
 pub mod sprt;
 
 pub use campaign::{
-    effective_jobs, Campaign, CampaignConfig, CampaignError, CampaignMode, CampaignReport,
-    PropertyEstimate, SprtReport,
+    effective_jobs, Campaign, CampaignConfig, CampaignError, CampaignMode, CampaignProgress,
+    CampaignReport, PropertyEstimate, SprtReport,
 };
 pub use lomon_engine::Backend;
+pub use metrics::CampaignMetrics;
 pub use model::{EpisodeModel, GenModel, ScenarioModel};
 pub use sprt::{Sprt, SprtConfig, SprtDecision};

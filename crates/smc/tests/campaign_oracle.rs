@@ -264,3 +264,68 @@ fn gen_model_campaigns_run_and_are_deterministic() {
     // the estimate must land strictly inside (0, 1).
     assert!(p.mean > 0.0 && p.mean < 1.0, "mean {}", p.mean);
 }
+
+#[test]
+fn telemetry_and_observer_do_not_perturb_reports() {
+    let model = ScenarioModel::new(ScenarioConfig::nominal(1)).with_fault_probability(0.4);
+    let plain = Campaign::new(&model, CampaignConfig::estimate(33, 64).with_jobs(2))
+        .expect("compiles")
+        .run();
+
+    let registry = lomon_obs::Registry::new();
+    let mut observed =
+        Campaign::new(&model, CampaignConfig::estimate(33, 64).with_jobs(2)).expect("compiles");
+    let metrics = lomon_smc::CampaignMetrics::register(&registry, observed.engine().len());
+    observed.attach_metrics(std::sync::Arc::clone(&metrics));
+    let mut snapshots: Vec<(u64, u64)> = Vec::new();
+    let report = observed.run_observed(&mut |p| {
+        snapshots.push((p.episodes, p.successes.iter().sum()));
+    });
+
+    // The registry and observer are pure observation: bit-identical report.
+    assert_eq!(report, plain);
+    // Counters agree with the aggregate report.
+    assert_eq!(metrics.episodes.get(), report.episodes);
+    assert_eq!(metrics.session.events.get(), report.events);
+    assert_eq!(metrics.session.monitor_steps.get(), report.monitor_steps);
+    assert_eq!(metrics.session.streams.get(), report.episodes);
+    assert_eq!(metrics.episode_duration_ns.count(), report.episodes);
+    // The live estimate gauges ended on the report's numbers.
+    for (id, estimate) in report.properties.iter().enumerate() {
+        assert!((metrics.means[id].get() - estimate.mean).abs() < 1e-12);
+        assert!((metrics.half_widths[id].get() - estimate.half_width).abs() < 1e-12);
+    }
+    // The snapshot sequence itself is jobs-independent.
+    let mut snapshots_other: Vec<(u64, u64)> = Vec::new();
+    Campaign::new(&model, CampaignConfig::estimate(33, 64).with_jobs(1))
+        .expect("compiles")
+        .run_observed(&mut |p| {
+            snapshots_other.push((p.episodes, p.successes.iter().sum()));
+        });
+    assert_eq!(snapshots, snapshots_other);
+    assert_eq!(
+        snapshots.last(),
+        Some(&(64, report.properties.iter().map(|p| p.successes).sum()))
+    );
+}
+
+#[test]
+fn report_stats_carry_the_canonical_schema() {
+    let model = ScenarioModel::new(ScenarioConfig::nominal(1));
+    let report = Campaign::new(&model, CampaignConfig::estimate(5, 8))
+        .expect("compiles")
+        .run();
+    assert_eq!(report.backend, "fused");
+    assert_eq!(report.stats.events, report.events);
+    assert_eq!(report.stats.monitor_steps, report.monitor_steps);
+    assert!(report.stats.total_cells >= report.stats.unique_cells);
+    let json = report.render_json();
+    assert!(
+        json.contains("\"stats\": {\"backend\": \"fused\""),
+        "{json}"
+    );
+    assert!(json.contains("\"violations\": "), "{json}");
+    // The pre-schema top-level aliases survive.
+    assert!(json.contains("\"events\": "), "{json}");
+    assert!(json.contains("\"monitor_steps\": "), "{json}");
+}

@@ -17,10 +17,41 @@
 //! stopped (needed to detect deadlines that expired after the last event).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+
+use lomon_obs::{Counter, Registry};
 
 use crate::name::Direction;
 use crate::time::parse_sim_time;
 use crate::{Trace, Vocabulary};
+
+/// Telemetry counters for trace I/O, shared by whole-file parsing
+/// ([`read_trace_observed`]) and the CLI's streaming line loop (`lomon
+/// watch` counts through the same families).
+#[derive(Debug)]
+pub struct IoMetrics {
+    /// `lomon_io_lines_total`: text lines consumed (including comments and
+    /// blanks).
+    pub lines: Arc<Counter>,
+    /// `lomon_io_bytes_total`: bytes of trace text consumed.
+    pub bytes: Arc<Counter>,
+    /// `lomon_io_parse_errors_total`: lines rejected by the parser.
+    pub parse_errors: Arc<Counter>,
+}
+
+impl IoMetrics {
+    /// Register (or fetch) the trace I/O metric families in `registry`.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(IoMetrics {
+            lines: registry.counter("lomon_io_lines_total", "Trace text lines consumed"),
+            bytes: registry.counter("lomon_io_bytes_total", "Trace text bytes consumed"),
+            parse_errors: registry.counter(
+                "lomon_io_parse_errors_total",
+                "Trace lines rejected by the parser",
+            ),
+        })
+    }
+}
 
 /// Error produced by [`read_trace`], with the 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,47 +141,86 @@ pub fn parse_trace_line(raw: &str) -> Result<Option<TraceLine<'_>>, String> {
 /// Returns a [`TraceParseError`] with the offending line on malformed input,
 /// unknown directions, bad time literals, or non-monotone timestamps.
 pub fn read_trace(text: &str, voc: &mut Vocabulary) -> Result<Trace, TraceParseError> {
+    read_trace_observed(text, voc, None)
+}
+
+/// [`read_trace`] with optional telemetry: every consumed line and byte is
+/// counted, and a parse failure bumps the error counter before the
+/// [`TraceParseError`] is returned.
+///
+/// # Errors
+///
+/// Identical to [`read_trace`].
+pub fn read_trace_observed(
+    text: &str,
+    voc: &mut Vocabulary,
+    metrics: Option<&IoMetrics>,
+) -> Result<Trace, TraceParseError> {
     let mut trace = Trace::new();
     let mut last_time = None;
+    let mut lines = 0u64;
+    let mut result = Ok(());
     for (idx, raw) in text.lines().enumerate() {
+        lines += 1;
         let err = |message: String| TraceParseError {
             line: idx + 1,
             message,
         };
-        match parse_trace_line(raw).map_err(err)? {
-            None => {}
-            Some(TraceLine::End(time)) => {
-                if let Some(last) = last_time {
-                    if time < last {
-                        return Err(err(format!(
-                            "end time {time} precedes last event at {last}"
-                        )));
-                    }
-                }
-                trace.set_end_time(time);
-                // The end time advances the clock: a later event line may
-                // not jump back before it (`Trace::push` would panic).
-                last_time = Some(time);
-            }
-            Some(TraceLine::Event {
-                time,
-                direction,
-                name,
-            }) => {
-                if let Some(last) = last_time {
-                    if time < last {
-                        return Err(err(format!(
-                            "timestamp {time} precedes previous event at {last}"
-                        )));
-                    }
-                }
-                last_time = Some(time);
-                let name = voc.intern(name, direction);
-                trace.push(name, time);
-            }
+        if let Err(e) = read_one(raw, voc, &mut trace, &mut last_time, err) {
+            result = Err(e);
+            break;
         }
     }
-    Ok(trace)
+    if let Some(m) = metrics {
+        m.lines.add(lines);
+        m.bytes.add(text.len() as u64);
+        if result.is_err() {
+            m.parse_errors.inc();
+        }
+    }
+    result.map(|()| trace)
+}
+
+fn read_one(
+    raw: &str,
+    voc: &mut Vocabulary,
+    trace: &mut Trace,
+    last_time: &mut Option<crate::SimTime>,
+    err: impl Fn(String) -> TraceParseError,
+) -> Result<(), TraceParseError> {
+    match parse_trace_line(raw).map_err(&err)? {
+        None => {}
+        Some(TraceLine::End(time)) => {
+            if let Some(last) = *last_time {
+                if time < last {
+                    return Err(err(format!(
+                        "end time {time} precedes last event at {last}"
+                    )));
+                }
+            }
+            trace.set_end_time(time);
+            // The end time advances the clock: a later event line may
+            // not jump back before it (`Trace::push` would panic).
+            *last_time = Some(time);
+        }
+        Some(TraceLine::Event {
+            time,
+            direction,
+            name,
+        }) => {
+            if let Some(last) = *last_time {
+                if time < last {
+                    return Err(err(format!(
+                        "timestamp {time} precedes previous event at {last}"
+                    )));
+                }
+            }
+            *last_time = Some(time);
+            let name = voc.intern(name, direction);
+            trace.push(name, time);
+        }
+    }
+    Ok(())
 }
 
 /// Render a trace in the text format accepted by [`read_trace`].
@@ -280,6 +350,27 @@ mod tests {
         assert!(parse_trace_line("end 5us junk")
             .unwrap_err()
             .contains("trailing"));
+    }
+
+    #[test]
+    fn observed_read_counts_lines_bytes_and_errors() {
+        let registry = lomon_obs::Registry::new();
+        let metrics = IoMetrics::register(&registry);
+        let mut voc = Vocabulary::new();
+        let text = "# comment\n10ns in a\nend 20ns\n";
+        read_trace_observed(text, &mut voc, Some(&metrics)).expect("parses");
+        assert_eq!(metrics.lines.get(), 3);
+        assert_eq!(metrics.bytes.get(), text.len() as u64);
+        assert_eq!(metrics.parse_errors.get(), 0);
+
+        let bad = "10ns sideways a\n";
+        read_trace_observed(bad, &mut voc, Some(&metrics)).unwrap_err();
+        assert_eq!(metrics.lines.get(), 4);
+        assert_eq!(metrics.parse_errors.get(), 1);
+
+        // The unobserved entry point is byte-for-byte the same parser.
+        let err = read_trace(bad, &mut voc).unwrap_err();
+        assert!(err.message.contains("unknown direction"));
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod trace;
 pub mod vcd;
 
 pub use event::TimedEvent;
-pub use io::{parse_trace_line, read_trace, write_trace, TraceLine, TraceParseError};
+pub use io::{
+    parse_trace_line, read_trace, read_trace_observed, write_trace, IoMetrics, TraceLine,
+    TraceParseError,
+};
 pub use json::json_escape;
 pub use lexer::{LexedEvent, LexedToken, RunLengthLexer};
 pub use name::{Direction, Name, NameSet, Vocabulary};

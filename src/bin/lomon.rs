@@ -40,19 +40,22 @@
 
 use std::io::BufRead as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use lomon::core::analysis::{prune_dead, AnalysisOptions, Diagnostic, Severity};
 use lomon::core::parse::parse_property;
-use lomon::core::verdict::Monitor as _;
-use lomon::engine::{error_diagnostics, Backend, DispatchMode, Engine, Session};
+use lomon::core::verdict::{Monitor as _, Verdict};
+use lomon::engine::{error_diagnostics, Backend, DispatchMode, Engine, Session, SessionMetrics};
 use lomon::gen::{generate, GeneratorConfig};
+use lomon::obs::{MetricsServer, Registry, Stopwatch};
 use lomon::smc::{
-    Campaign, CampaignConfig, CampaignMode, EpisodeModel, GenModel, ScenarioModel, SprtConfig,
+    Campaign, CampaignConfig, CampaignMetrics, CampaignMode, CampaignProgress, EpisodeModel,
+    GenModel, ScenarioModel, SprtConfig,
 };
 use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
 use lomon::trace::{
-    json_escape, read_trace, write_trace, write_vcd, Direction, Name, NameSet, SimTime, TimedEvent,
-    TraceLine, Vocabulary,
+    json_escape, read_trace, write_trace, write_vcd, Direction, IoMetrics, Name, NameSet, SimTime,
+    TimedEvent, TraceLine, Vocabulary,
 };
 
 fn main() -> ExitCode {
@@ -82,10 +85,11 @@ fn usage() -> ExitCode {
     eprintln!("  lomon check [--backend fused|compiled|interp] [--format text|json]");
     eprintln!("              <trace-file>... <property>...");
     eprintln!("  lomon watch [--format trace|ndjson] [--backend fused|compiled|interp]");
-    eprintln!("              <property>...");
+    eprintln!("              [--metrics ADDR] [--stats-every N] <property>...");
     eprintln!("  lomon smc   [--episodes N] [--jobs J] [--seed S] [--confidence C]");
     eprintln!("              [--epsilon E] [--sprt P0 P1] [--fault-prob Q]");
     eprintln!("              [--backend fused|compiled|interp] [--format text|json]");
+    eprintln!("              [--metrics ADDR] [--stats-every N] [--quiet]");
     eprintln!("              [--trace <file> [--mutation-prob Q]] [property...]");
     eprintln!("  lomon lint  [--format text|json] [--trace <file>] [--fix-prune]");
     eprintln!("              [--deny-warnings] <rulebook-file|property>...");
@@ -100,6 +104,13 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("--format json makes `check` and `smc` print one machine-readable");
     eprintln!("JSON report per trace file / campaign instead of the text report.");
+    eprintln!();
+    eprintln!("--metrics ADDR serves live telemetry over HTTP while watch/smc run:");
+    eprintln!("GET /metrics is Prometheus text, GET /metrics.json is NDJSON (use");
+    eprintln!("port 0 for an ephemeral port; the bound address is announced on");
+    eprintln!("stderr). --stats-every N prints a {{\"type\": \"stats\", ...}} heartbeat");
+    eprintln!("every N events (watch) or episodes (smc). smc prints a progress");
+    eprintln!("line per scheduling batch to stderr; --quiet suppresses it.");
     eprintln!();
     eprintln!("property example:");
     eprintln!("  'all{{set_imgAddr, set_glAddr, set_glSize}} << start once'");
@@ -357,6 +368,14 @@ fn watch(args: &[String]) -> ExitCode {
         Ok(backend) => backend,
         Err(code) => return code,
     };
+    let metrics_addr = match take_value_flag(&mut args, "--metrics") {
+        Ok(addr) => addr,
+        Err(code) => return code,
+    };
+    let stats_every = match take_stats_every(&mut args) {
+        Ok(every) => every,
+        Err(code) => return code,
+    };
     let mut format = StreamFormat::Trace;
     let mut properties: Vec<String> = Vec::new();
     let mut iter = args.iter();
@@ -393,16 +412,45 @@ fn watch(args: &[String]) -> ExitCode {
         return usage();
     }
 
+    // Live telemetry: every family is registered (and the listener bound)
+    // before anything runs, so a scrape racing startup sees the complete
+    // family set at zero rather than a partial registry.
+    let mut telemetry = None;
+    let mut server = None;
+    if let Some(addr) = &metrics_addr {
+        let registry = Arc::new(Registry::new());
+        let session_metrics = SessionMetrics::register(&registry);
+        let io_metrics = IoMetrics::register(&registry);
+        let compile_ns = registry.histogram(
+            "lomon_compile_ns",
+            "Wall-clock nanoseconds spent compiling the rulebook",
+        );
+        match bind_metrics(addr, &registry) {
+            Ok(bound) => server = Some(bound),
+            Err(code) => return code,
+        }
+        telemetry = Some((session_metrics, io_metrics, compile_ns));
+    }
+
     let mut voc = Vocabulary::new();
+    let compile_span = telemetry
+        .as_ref()
+        .map(|(_, _, compile_ns)| Stopwatch::start(Arc::clone(compile_ns)));
     let engine = match compile_all(&properties, &mut voc, deny_warnings) {
         Ok(engine) => engine,
         Err(code) => return code,
     };
+    drop(compile_span);
     let mut session = engine.session_with_backend(DispatchMode::Indexed, backend);
+    if let Some((session_metrics, _, _)) = &telemetry {
+        session.attach_metrics(Arc::clone(session_metrics));
+    }
 
     let stdin = std::io::stdin();
     let mut last_time = SimTime::ZERO;
     let mut finalized = Vec::new();
+    let mut violations = 0u64;
+    let mut next_heartbeat = stats_every.unwrap_or(u64::MAX);
     for (idx, line) in stdin.lock().lines().enumerate() {
         let line_no = idx + 1;
         let line = match line {
@@ -412,6 +460,10 @@ fn watch(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Some((_, io_metrics, _)) = &telemetry {
+            io_metrics.lines.inc();
+            io_metrics.bytes.add(line.len() as u64 + 1); // + the newline
+        }
         let parsed = match format {
             StreamFormat::Trace => parse_stream_trace_line(&line),
             StreamFormat::Ndjson => parse_ndjson_line(&line),
@@ -433,7 +485,7 @@ fn watch(args: &[String]) -> ExitCode {
                 last_time = time;
                 let name = voc.intern(&name, direction);
                 session.ingest(TimedEvent::new(name, time));
-                report_finalized(&mut session, &voc, format, &mut finalized);
+                violations += report_finalized(&mut session, &voc, format, &mut finalized);
             }
             Ok(Some(StreamLine::End(time))) => {
                 // Like `read_trace`: `end` advances the observation clock
@@ -448,11 +500,21 @@ fn watch(args: &[String]) -> ExitCode {
                 }
                 last_time = time;
                 session.advance_time(time);
-                report_finalized(&mut session, &voc, format, &mut finalized);
+                violations += report_finalized(&mut session, &voc, format, &mut finalized);
             }
             Err(message) => {
+                if let Some((_, io_metrics, _)) = &telemetry {
+                    io_metrics.parse_errors.inc();
+                }
                 eprintln!("error: stream line {line_no}: {message}");
                 return ExitCode::FAILURE;
+            }
+        }
+        if let Some(every) = stats_every {
+            let events = session.stats().events;
+            if events >= next_heartbeat {
+                emit_watch_heartbeat(&session, backend, violations, format);
+                next_heartbeat = (events / every + 1) * every;
             }
         }
         if session.is_settled() {
@@ -462,6 +524,12 @@ fn watch(args: &[String]) -> ExitCode {
 
     let report = session.finish(last_time);
     report_finalized(&mut session, &voc, format, &mut finalized);
+    // Stop serving scrapes before the final report: a scrape racing the
+    // shutdown gets a clean 503, never a half-written snapshot.
+    if let Some(server) = &server {
+        server.drain();
+    }
+    let violations = report.violations().count() as u64;
     match format {
         StreamFormat::Trace => eprint!("{}", report.render(&voc)),
         StreamFormat::Ndjson => {
@@ -476,17 +544,22 @@ fn watch(args: &[String]) -> ExitCode {
                     p.verdict,
                 );
             }
+            // The top-level fields predate the unified schema and stay as
+            // aliases; `stats` is the canonical object every CLI surface
+            // shares (see `DispatchStats::render_json_object`).
             println!(
                 "{{\"summary\": true, \"backend\": \"{}\", \"events\": {}, \
                  \"monitor_steps\": {}, \"steps_skipped\": {}, \
-                 \"unique_cells\": {}, \"shared_hits\": {}, \"violations\": {}}}",
+                 \"unique_cells\": {}, \"shared_hits\": {}, \"violations\": {}, \
+                 \"stats\": {}}}",
                 backend.label(),
                 report.stats.events,
                 report.stats.monitor_steps,
                 report.stats.steps_skipped,
                 report.stats.unique_cells,
                 report.stats.shared_hits,
-                report.violations().count(),
+                violations,
+                report.stats.render_json_object(backend.label(), violations),
             );
         }
     }
@@ -497,20 +570,24 @@ fn watch(args: &[String]) -> ExitCode {
     }
 }
 
-/// Print the verdicts that finalized since the last call, as they happen.
-/// `finalized` is a caller-owned scratch buffer: this runs once per stream
-/// event, so the ids are drained into reused capacity instead of a fresh
-/// allocation per call ([`Session::drain_newly_final_into`]).
+/// Print the verdicts that finalized since the last call, as they happen,
+/// returning how many of them were violations (the running count feeds
+/// the `--stats-every` heartbeats). `finalized` is a caller-owned scratch
+/// buffer: this runs once per stream event, so the ids are drained into
+/// reused capacity instead of a fresh allocation per call
+/// ([`Session::drain_newly_final_into`]).
 fn report_finalized(
     session: &mut Session<'_>,
     voc: &Vocabulary,
     format: StreamFormat,
     finalized: &mut Vec<u32>,
-) {
+) -> u64 {
     session.drain_newly_final_into(finalized);
+    let mut violated = 0u64;
     for &id in finalized.iter() {
         let id = id as usize;
         let verdict = session.verdict(id);
+        violated += u64::from(verdict == Verdict::Violated);
         let text = session.engine().property_display(id);
         match format {
             StreamFormat::Trace => {
@@ -531,6 +608,33 @@ fn report_finalized(
                 );
             }
         }
+    }
+    violated
+}
+
+/// Emit one `{"type": "stats", …}` heartbeat over the canonical stats
+/// schema. In NDJSON mode it interleaves with the verdict stream on
+/// stdout; trace mode keeps stdout human-readable and uses stderr. The
+/// payload is a pure function of the events ingested so far, so two runs
+/// over the same stream heartbeat identically.
+fn emit_watch_heartbeat(
+    session: &Session<'_>,
+    backend: Backend,
+    violations: u64,
+    format: StreamFormat,
+) {
+    // Mirror `Session::finish`: the mid-stream snapshot carries the
+    // rulebook size and how many properties already retired.
+    let mut stats = *session.stats();
+    stats.properties = session.engine().len() as u64;
+    stats.retired = (session.engine().len() - session.active_len()) as u64;
+    let line = format!(
+        "{{\"type\": \"stats\", {}",
+        &stats.render_json_object(backend.label(), violations)[1..]
+    );
+    match format {
+        StreamFormat::Trace => eprintln!("{line}"),
+        StreamFormat::Ndjson => println!("{line}"),
     }
 }
 
@@ -667,6 +771,38 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, E
     })
 }
 
+/// Extract `--stats-every <N>` — the heartbeat period in events (`watch`)
+/// or episodes (`smc`) — rejecting zero.
+fn take_stats_every(args: &mut Vec<String>) -> Result<Option<u64>, ExitCode> {
+    match take_value_flag(args, "--stats-every")? {
+        None => Ok(None),
+        Some(raw) => match parse_flag_value::<u64>("--stats-every", &raw)? {
+            0 => {
+                eprintln!("error: `--stats-every` must be positive");
+                Err(usage())
+            }
+            every => Ok(Some(every)),
+        },
+    }
+}
+
+/// Bind the `--metrics` HTTP listener and announce the resolved address on
+/// stderr (with `:0` the kernel picks the port, and the announcement is
+/// how callers learn it). A bind failure — typically the port is already
+/// taken — is a usage-class error: exit code 2, nothing has run yet.
+fn bind_metrics(addr: &str, registry: &Arc<Registry>) -> Result<MetricsServer, ExitCode> {
+    match MetricsServer::bind(addr, Arc::clone(registry)) {
+        Ok(server) => {
+            eprintln!("metrics: serving http://{}/metrics", server.local_addr());
+            Ok(server)
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind metrics listener on {addr}: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 /// Pre-flight the rulebook analysis for `smc`, whose campaign compiles the
 /// properties itself: print the warnings, honouring `--deny-warnings`.
 /// Compile *errors* are left for the campaign to report with full context.
@@ -705,6 +841,20 @@ fn smc(args: &[String]) -> ExitCode {
     let format = match take_report_format_flag(&mut args) {
         Ok(format) => format,
         Err(code) => return code,
+    };
+    let quiet = take_bool_flag(&mut args, "--quiet");
+    let metrics_addr = match take_value_flag(&mut args, "--metrics") {
+        Ok(addr) => addr,
+        Err(code) => return code,
+    };
+    let stats_every = match take_stats_every(&mut args) {
+        Ok(every) => every,
+        Err(code) => return code,
+    };
+    let telemetry = SmcTelemetry {
+        metrics_addr,
+        stats_every,
+        quiet,
     };
     let args = &args[..];
     let mut episodes: Option<u64> = None;
@@ -843,7 +993,7 @@ fn smc(args: &[String]) -> ExitCode {
                     lomon::smc::effective_jobs(jobs)
                 );
             }
-            run_smc(&model, &config, format)
+            run_smc(&model, &config, format, &telemetry)
         }
         Some(path) => {
             if properties.is_empty() {
@@ -874,17 +1024,100 @@ fn smc(args: &[String]) -> ExitCode {
                     lomon::smc::effective_jobs(jobs)
                 );
             }
-            run_smc(&model, &config, format)
+            run_smc(&model, &config, format, &telemetry)
         }
     }
+}
+
+/// Observability options of `lomon smc`, parsed up front and threaded to
+/// the generic campaign runner.
+struct SmcTelemetry {
+    /// `--metrics`: serve live Prometheus/NDJSON telemetry on this address.
+    metrics_addr: Option<String>,
+    /// `--stats-every`: heartbeat period in episodes.
+    stats_every: Option<u64>,
+    /// `--quiet`: suppress the per-batch progress line.
+    quiet: bool,
+}
+
+/// One stderr progress line per scheduling batch: episodes done, the
+/// current per-property estimates with the shared Chernoff–Hoeffding
+/// half-width, and the SPRT state when testing. Batch boundaries are
+/// jobs-independent, so the sequence is identical for every `--jobs`.
+fn render_smc_progress(progress: &CampaignProgress<'_>) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!("smc: {}/{} episodes", progress.episodes, progress.planned);
+    if progress.episodes > 0 {
+        for (id, &successes) in progress.successes.iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            let mean = successes as f64 / progress.episodes as f64;
+            let sep = if id == 0 { ", est" } else { "," };
+            let _ = write!(line, "{sep} P{id}={mean:.4}");
+        }
+        let _ = write!(line, " \u{b1}{:.4}", progress.half_width);
+    }
+    if let Some(undecided) = progress.sprt_undecided {
+        let _ = write!(line, ", sprt: {undecided} undecided");
+    }
+    line
+}
+
+/// One `{"type": "stats", …}` heartbeat for `smc --stats-every`, emitted
+/// on stderr so stdout stays a pipeable report. Success counts are exact
+/// integers at a jobs-independent batch boundary, so for a fixed seed the
+/// heartbeat sequence is identical for every worker count.
+fn render_smc_heartbeat(progress: &CampaignProgress<'_>) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "{{\"type\": \"stats\", \"episodes\": {}, \"planned\": {}, \"successes\": [",
+        progress.episodes, progress.planned,
+    );
+    for (id, &successes) in progress.successes.iter().enumerate() {
+        let _ = write!(line, "{}{successes}", if id == 0 { "" } else { ", " });
+    }
+    let _ = write!(line, "], \"half_width\": {}", progress.half_width);
+    match progress.sprt_undecided {
+        Some(undecided) => {
+            let _ = write!(line, ", \"sprt_undecided\": {undecided}}}");
+        }
+        None => line.push_str(", \"sprt_undecided\": null}"),
+    }
+    line
 }
 
 /// Compile, run and render one campaign; the exit code is 1 when an SPRT
 /// accepted `H1` (the satisfaction probability is below the threshold).
 /// The JSON format prints only the report object — no preamble and no
 /// wall clock — so stdout is deterministic across `--jobs` and pipeable.
-fn run_smc<M: EpisodeModel>(model: &M, config: &CampaignConfig, format: ReportFormat) -> ExitCode {
-    let campaign = match Campaign::new(model, *config) {
+/// Telemetry (`--metrics`, `--stats-every`, progress lines) rides the
+/// jobs-independent batch boundaries and never perturbs the report.
+fn run_smc<M: EpisodeModel>(
+    model: &M,
+    config: &CampaignConfig,
+    format: ReportFormat,
+    telemetry: &SmcTelemetry,
+) -> ExitCode {
+    // Register the families and bind the listener before compiling, so a
+    // scrape racing campaign startup sees a complete (all-zero) registry
+    // and a dead port fails fast with exit 2.
+    let mut server = None;
+    let mut observed = None;
+    if let Some(addr) = &telemetry.metrics_addr {
+        let registry = Arc::new(Registry::new());
+        let compile_ns = registry.histogram(
+            "lomon_compile_ns",
+            "Wall-clock nanoseconds spent compiling the rulebook",
+        );
+        match bind_metrics(addr, &registry) {
+            Ok(bound) => server = Some(bound),
+            Err(code) => return code,
+        }
+        observed = Some((registry, compile_ns));
+    }
+    let compile_span = observed
+        .as_ref()
+        .map(|(_, compile_ns)| Stopwatch::start(Arc::clone(compile_ns)));
+    let mut campaign = match Campaign::new(model, *config) {
         Ok(campaign) => campaign,
         Err(lomon::smc::CampaignError::Compile(errors)) => {
             let voc = model.vocabulary();
@@ -898,9 +1131,32 @@ fn run_smc<M: EpisodeModel>(model: &M, config: &CampaignConfig, format: ReportFo
             return ExitCode::FAILURE;
         }
     };
+    drop(compile_span);
+    if let Some((registry, _)) = &observed {
+        campaign.attach_metrics(CampaignMetrics::register(registry, campaign.engine().len()));
+    }
+
     let started = std::time::Instant::now();
-    let report = campaign.run();
+    let quiet = telemetry.quiet;
+    let stats_every = telemetry.stats_every;
+    let mut next_heartbeat = stats_every.unwrap_or(u64::MAX);
+    let report = campaign.run_observed(&mut |progress| {
+        if !quiet {
+            eprintln!("{}", render_smc_progress(&progress));
+        }
+        if let Some(every) = stats_every {
+            if progress.episodes >= next_heartbeat {
+                eprintln!("{}", render_smc_heartbeat(&progress));
+                next_heartbeat = (progress.episodes / every + 1) * every;
+            }
+        }
+    });
     let elapsed = started.elapsed();
+    // Stop serving scrapes before the final report: a scrape racing
+    // campaign completion gets a clean 503, never a torn snapshot.
+    if let Some(server) = &server {
+        server.drain();
+    }
     match format {
         ReportFormat::Text => {
             print!("{}", report.render());

@@ -15,6 +15,7 @@
 //! | [`psl`] | `lomon-psl` | §5 translation to PSL, ViaPSL baseline |
 //! | [`sync`] | `lomon-sync` | §6 Lustre-style synchronous validation |
 //! | [`gen`] | `lomon-gen` | §8 stimuli generation (future work) |
+//! | [`obs`] | `lomon-obs` | zero-overhead telemetry: metrics registry, Prometheus/NDJSON exposition, `/metrics` listener, phase stopwatches |
 //! | [`kernel`] | `lomon-kernel` | SystemC-like simulation kernel |
 //! | [`tlm`] | `lomon-tlm` | §2/Fig. 1 virtual face-recognition platform |
 //! | [`smc`] | `lomon-smc` | statistical model checking: parallel campaigns, Chernoff–Hoeffding estimation, SPRT |
@@ -57,6 +58,7 @@ pub use lomon_core as core;
 pub use lomon_engine as engine;
 pub use lomon_gen as gen;
 pub use lomon_kernel as kernel;
+pub use lomon_obs as obs;
 pub use lomon_psl as psl;
 pub use lomon_smc as smc;
 pub use lomon_sync as sync;
