@@ -1,15 +1,17 @@
 //! Telemetry overhead gate: the zero-overhead claim, measured.
 //!
-//! Replays the four `hot_loop` workloads through the fused backend twice —
-//! once detached, once with a live [`Registry`] and an attached
-//! [`SessionMetrics`] sink — interleaved rep by rep, and compares the
+//! Replays the four `hot_loop` workloads through the fused backend three
+//! times — detached, with a live [`Registry`] and an attached
+//! [`SessionMetrics`] sink, and in explain mode (a bounded flight
+//! recorder armed per monitor) — interleaved rep by rep, and compares the
 //! best-of-[`REPS`] ns/event. The instrumentation flushes watermark deltas
 //! at batch boundaries only, so the hot loop itself is untouched; the
 //! `--check` CI gate holds the instrumented/plain ratio at
-//! [`OVERHEAD_GATE`] and additionally requires
+//! [`OVERHEAD_GATE`], the explain/plain ratio at [`EXPLAIN_GATE`], and
+//! additionally requires
 //!
-//! * verdict *and* per-property ops identity between the two sessions
-//!   (telemetry observes, never perturbs), and
+//! * verdict *and* per-property ops identity across all three sessions
+//!   (telemetry and witness capture observe, never perturb), and
 //! * exact counter accounting: after `REPS` replays the registry's
 //!   `lomon_events_total` equals `REPS × events` and
 //!   `lomon_streams_total` equals `REPS` — the deltas neither drop nor
@@ -31,10 +33,21 @@ use lomon_trace::{SimTime, TimedEvent};
 /// counter on the hot path.
 const OVERHEAD_GATE: f64 = 1.10;
 
+/// The `--check` gate for explain mode: fused ns/event with a flight
+/// recorder armed at most this multiple of the detached session's. Witness
+/// capture does real per-step work (a ring append per contributing step),
+/// so its budget is looser than the batch-boundary telemetry's — but it
+/// must stay cheap enough to arm on any suspicious run.
+const EXPLAIN_GATE: f64 = 1.15;
+
+/// Flight-recorder capacity armed on the explain-mode session, matching
+/// the CLI's `--explain`.
+const EXPLAIN_CAPACITY: usize = 64;
+
 /// Timed repetitions per workload; the minimum is reported. Interleaved
 /// between the plain and instrumented sessions so load drift on a shared
 /// machine cannot skew the ratio.
-const REPS: usize = 9;
+const REPS: usize = 15;
 
 struct Workload {
     name: &'static str,
@@ -98,10 +111,13 @@ fn main() -> ExitCode {
         },
     ];
 
-    println!("telemetry overhead — fused backend, detached vs live registry (best of {REPS})");
     println!(
-        "{:>12} {:>9} {:>12} {:>14} {:>8}",
-        "workload", "events", "plain ns/ev", "metrics ns/ev", "ratio"
+        "telemetry overhead — fused backend, detached vs live registry vs explain \
+         (best of {REPS})"
+    );
+    println!(
+        "{:>12} {:>9} {:>12} {:>14} {:>8} {:>14} {:>8}",
+        "workload", "events", "plain ns/ev", "metrics ns/ev", "ratio", "explain ns/ev", "ratio"
     );
 
     let mut ok = true;
@@ -116,27 +132,37 @@ fn main() -> ExitCode {
             .engine
             .session_with_backend(DispatchMode::Indexed, Backend::Fused);
         instrumented.attach_metrics(Arc::clone(&metrics));
+        let mut explained = w
+            .engine
+            .session_with_backend(DispatchMode::Indexed, Backend::Fused);
+        explained.enable_explain(EXPLAIN_CAPACITY);
 
-        let mut best = [u128::MAX; 2];
+        let mut best = [u128::MAX; 3];
         for _ in 0..REPS {
             best[0] = best[0].min(replay(&mut plain, &w.events, end));
             best[1] = best[1].min(replay(&mut instrumented, &w.events, end));
+            best[2] = best[2].min(replay(&mut explained, &w.events, end));
         }
 
-        // Telemetry observes, never perturbs: every verdict and every
-        // per-property ops counter must be identical.
+        // Telemetry and witness capture observe, never perturb: every
+        // verdict and every per-property ops counter must be identical
+        // across all three sessions.
         for id in 0..w.engine.len() {
             let same = plain.verdict(id) == instrumented.verdict(id)
-                && plain.ops(id) == instrumented.ops(id);
+                && plain.ops(id) == instrumented.ops(id)
+                && plain.verdict(id) == explained.verdict(id)
+                && plain.ops(id) == explained.ops(id);
             if !same {
                 println!(
                     "FAIL: {}: property {id} diverges under instrumentation \
-                     ({:?}/{} vs {:?}/{})",
+                     ({:?}/{} vs {:?}/{} metrics vs {:?}/{} explain)",
                     w.name,
                     plain.verdict(id),
                     plain.ops(id),
                     instrumented.verdict(id),
                     instrumented.ops(id),
+                    explained.verdict(id),
+                    explained.ops(id),
                 );
                 ok = false;
             }
@@ -163,19 +189,30 @@ fn main() -> ExitCode {
 
         #[allow(clippy::cast_precision_loss)]
         let per_event = |ns: u128| ns as f64 / w.events.len() as f64;
-        let (plain_ns, instr_ns) = (per_event(best[0]), per_event(best[1]));
+        let (plain_ns, instr_ns, explain_ns) =
+            (per_event(best[0]), per_event(best[1]), per_event(best[2]));
         let ratio = instr_ns / plain_ns.max(f64::MIN_POSITIVE);
+        let explain_ratio = explain_ns / plain_ns.max(f64::MIN_POSITIVE);
         println!(
-            "{:>12} {:>9} {:>12.1} {:>14.1} {:>7.3}x",
+            "{:>12} {:>9} {:>12.1} {:>14.1} {:>7.3}x {:>14.1} {:>7.3}x",
             w.name,
             w.events.len(),
             plain_ns,
             instr_ns,
             ratio,
+            explain_ns,
+            explain_ratio,
         );
         if check_mode && ratio > OVERHEAD_GATE {
             println!(
                 "FAIL: {}: instrumented {ratio:.3}x over the {OVERHEAD_GATE}x gate",
+                w.name
+            );
+            ok = false;
+        }
+        if check_mode && explain_ratio > EXPLAIN_GATE {
+            println!(
+                "FAIL: {}: explain mode {explain_ratio:.3}x over the {EXPLAIN_GATE}x gate",
                 w.name
             );
             ok = false;
@@ -188,8 +225,9 @@ fn main() -> ExitCode {
     }
     if ok {
         println!(
-            "OK: live registry within {OVERHEAD_GATE}x of detached on all workloads; \
-             verdicts, ops and counters exact"
+            "OK: live registry within {OVERHEAD_GATE}x and explain mode within \
+             {EXPLAIN_GATE}x of detached on all workloads; verdicts, ops and \
+             counters exact"
         );
         ExitCode::SUCCESS
     } else {

@@ -11,6 +11,7 @@ use lomon_trace::{NameSet, SimTime, TimedEvent};
 use crate::ast::Antecedent;
 use crate::compose::{LooseOrderingRecognizer, OrderingStep};
 use crate::verdict::{Monitor, Verdict, Violation};
+use crate::witness::{FlightRecorder, Witness};
 
 /// The direct (Drct) monitor for an antecedent requirement.
 ///
@@ -49,6 +50,13 @@ pub struct AntecedentMonitor {
     diagnostics: bool,
     last_expected: NameSet,
     ops: u64,
+    /// Explain mode: the bounded ring of contributing steps (see
+    /// [`crate::witness`]); `None` keeps observation untouched.
+    recorder: Option<Box<FlightRecorder>>,
+    /// Attributing mode: record full cell/transition attribution instead
+    /// of the live raw `(time, event)` chain. Only set on the fresh clones
+    /// [`Monitor::witness`] replays a chain through.
+    attribute: bool,
 }
 
 impl AntecedentMonitor {
@@ -71,6 +79,8 @@ impl AntecedentMonitor {
             diagnostics: true,
             last_expected: NameSet::new(),
             ops: 0,
+            recorder: None,
+            attribute: false,
         };
         monitor.snapshot_expected();
         monitor
@@ -108,6 +118,42 @@ impl AntecedentMonitor {
     }
 }
 
+/// Witness support shared by the two interp monitors: snapshot the active
+/// fragment's `(state, count)` pairs before a recognizer step, and diff
+/// after it to attribute the event to the first changed cell (the same
+/// rule the compiled backend applies over its arena).
+pub(crate) fn witness_snapshot(
+    recorder: &mut Option<Box<FlightRecorder>>,
+    recognizer: &LooseOrderingRecognizer,
+) -> Option<(usize, u32)> {
+    let rec = recorder.as_deref_mut()?;
+    let active = recognizer.active_index();
+    let frags = recognizer.fragments();
+    let base: usize = frags[..active].iter().map(|f| f.ranges().len()).sum();
+    let scratch = rec.begin_scratch();
+    for r in frags[active].ranges() {
+        scratch.push((r.state().code(), r.count()));
+    }
+    Some((active, base as u32))
+}
+
+/// Record the post-step diff against a [`witness_snapshot`].
+pub(crate) fn witness_record(
+    recorder: &mut Option<Box<FlightRecorder>>,
+    recognizer: &LooseOrderingRecognizer,
+    event: TimedEvent,
+    snap: (usize, u32),
+) {
+    let (active, base) = snap;
+    if let Some(rec) = recorder.as_deref_mut() {
+        let post = recognizer.fragments()[active]
+            .ranges()
+            .iter()
+            .map(|r| (r.state().code(), r.count()));
+        rec.record_diff(event, base, post);
+    }
+}
+
 impl Monitor for AntecedentMonitor {
     fn observe(&mut self, event: TimedEvent) -> Verdict {
         if self.verdict.is_final() {
@@ -117,7 +163,18 @@ impl Monitor for AntecedentMonitor {
         if !self.alphabet.contains(event.name) {
             return self.verdict;
         }
-        match self.recognizer.step(event.name) {
+        let snap = if self.attribute {
+            witness_snapshot(&mut self.recorder, &self.recognizer)
+        } else {
+            None
+        };
+        let step = self.recognizer.step(event.name);
+        if let Some(snap) = snap {
+            witness_record(&mut self.recorder, &self.recognizer, event, snap);
+        } else if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record_event(event);
+        }
+        match step {
             OrderingStep::Progress | OrderingStep::Handover { .. } => {
                 self.verdict = Verdict::PresumablySatisfied;
                 self.snapshot_expected();
@@ -151,6 +208,7 @@ impl Monitor for AntecedentMonitor {
                         self.property.antecedent.fragments.len(),
                         range + 1,
                     ),
+                    obligation: None,
                 });
             }
         }
@@ -191,6 +249,9 @@ impl Monitor for AntecedentMonitor {
         self.verdict = Verdict::PresumablySatisfied;
         self.violation = None;
         self.episodes = 0;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.clear();
+        }
         self.snapshot_expected();
     }
 
@@ -201,6 +262,25 @@ impl Monitor for AntecedentMonitor {
     fn state_bits(&self) -> u64 {
         // Recognizers + verdict (2 bits) + episode handling flag.
         self.recognizer.state_bits() + 2 + 1
+    }
+
+    fn set_explain(&mut self, capacity: usize) {
+        self.recorder = if capacity == 0 {
+            None
+        } else {
+            Some(Box::new(FlightRecorder::new(capacity)))
+        };
+    }
+
+    fn witness(&self) -> Option<Witness> {
+        let raw = self.recorder.as_deref().map(FlightRecorder::snapshot)?;
+        if self.attribute {
+            return Some(raw);
+        }
+        Some(crate::witness::reattribute(self, raw, |m, capacity| {
+            m.attribute = true;
+            m.set_explain(capacity);
+        }))
     }
 }
 

@@ -37,8 +37,9 @@ use crate::ast::{FragmentOp, Property};
 use crate::compose::OrderingStep;
 use crate::context::{cyclic_contexts, linear_contexts, NameClass};
 use crate::recognizer::{counter_bits, RangeOutput};
-use crate::verdict::{Monitor, Verdict, Violation, ViolationKind};
+use crate::verdict::{Monitor, Obligation, Verdict, Violation, ViolationKind};
 use crate::wf::{self, WfError};
+use crate::witness::{FlightRecorder, Witness, WitnessStep};
 
 /// Lookup sentinel for names outside the alphabet.
 const NO_ROW: u32 = u32::MAX;
@@ -552,6 +553,15 @@ struct MonState {
     episode_start: Option<SimTime>,
     /// Earliest completion of `Q`, once reached (timed only).
     response_done_at: Option<SimTime>,
+    /// Explain mode: the bounded ring of contributing steps behind the
+    /// verdict. `None` (the default) keeps the hot path untouched; boxed
+    /// so the detached case costs one pointer of state.
+    recorder: Option<Box<FlightRecorder>>,
+    /// Attributing mode: record full cell/transition attribution instead
+    /// of the live raw `(time, event)` chain. Only set on the fresh clones
+    /// [`CompiledMonitor::witness`] replays a chain through — live explain
+    /// sessions keep it off so the hot path stays a single ring store.
+    attribute: bool,
 }
 
 /// The flat-table monitor: a [`CompiledProgram`] plus its per-stream state.
@@ -624,6 +634,8 @@ impl CompiledMonitor {
             last_consumed: None,
             episode_start: None,
             response_done_at: None,
+            recorder: None,
+            attribute: false,
         };
         st.start(&program);
         CompiledMonitor { program, st }
@@ -787,6 +799,7 @@ impl Monitor for CompiledMonitor {
                     if end_time > deadline {
                         st.miss_deadline(
                             program,
+                            premise_len as usize,
                             bound,
                             ViolationKind::DeadlineExpiredAtEnd,
                             deadline,
@@ -847,6 +860,9 @@ impl Monitor for CompiledMonitor {
         st.last_consumed = None;
         st.episode_start = None;
         st.response_done_at = None;
+        if let Some(rec) = st.recorder.as_deref_mut() {
+            rec.clear();
+        }
     }
 
     fn ops(&self) -> u64 {
@@ -855,6 +871,25 @@ impl Monitor for CompiledMonitor {
 
     fn state_bits(&self) -> u64 {
         self.program.state_bits
+    }
+
+    fn set_explain(&mut self, capacity: usize) {
+        self.st.recorder = if capacity == 0 {
+            None
+        } else {
+            Some(Box::new(FlightRecorder::new(capacity)))
+        };
+    }
+
+    fn witness(&self) -> Option<Witness> {
+        let raw = self.st.recorder.as_deref().map(FlightRecorder::snapshot)?;
+        if self.st.attribute {
+            return Some(raw);
+        }
+        Some(crate::witness::reattribute(self, raw, |m, capacity| {
+            m.st.attribute = true;
+            m.set_explain(capacity);
+        }))
     }
 }
 
@@ -1046,15 +1081,19 @@ impl MonState {
         &mut self,
         p: &CompiledProgram,
         base: usize,
-        name: Name,
+        event: TimedEvent,
         ops: &mut u64,
     ) -> OrderingStep {
         debug_assert!(self.started, "step before start");
+        let name = event.name;
         let from = self.active;
         let (lo, hi) = (self.active_lo, self.active_hi);
         let op = self.active_op;
         let actions = &p.actions[base + lo..base + hi];
-        let diagnostics = self.diagnostics;
+        // Attributing diffs against the same pre-event snapshot the
+        // diagnostics use, so attribute mode forces it on; live explain
+        // mode records `(time, event)` only and needs no snapshot.
+        let diagnostics = self.diagnostics || self.attribute;
         if diagnostics {
             self.prev_active = from;
         }
@@ -1082,7 +1121,7 @@ impl MonState {
                 }
             }
         }
-        if let Some((kind, range)) = error {
+        let step = if let Some((kind, range)) = error {
             OrderingStep::Error {
                 kind,
                 fragment: from,
@@ -1101,7 +1140,64 @@ impl MonState {
             }
         } else {
             OrderingStep::Progress
+        };
+        if self.recorder.is_some() {
+            self.record_step(event, lo, hi);
         }
+        step
+    }
+
+    /// Record the step just taken. Live explain mode appends the bare
+    /// `(time, event)` pair — one ring store, attribution comes later
+    /// (see [`CompiledMonitor::witness`]). Kept out of line so the
+    /// explain-off hot loop carries only the `recorder.is_some()` test.
+    /// Touches no `ops` accounting.
+    #[inline(never)]
+    fn record_step(&mut self, event: TimedEvent, lo: usize, hi: usize) {
+        if self.attribute {
+            self.record_attributed(event, lo, hi);
+        } else if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record_event(event);
+        }
+    }
+
+    /// Attribute-mode recording — only the fresh clones
+    /// [`CompiledMonitor::witness`] replays a raw chain through run it,
+    /// never a live session. Pushes the step's attribution: the first cell
+    /// (arena order, within the fragment that was active at entry) whose
+    /// `(state, counter)` pair differs from the pre-event snapshot — for a
+    /// single-fragment cyclic handover that diff sees the restarted
+    /// window, which is exactly what the interpreter's post-step diff
+    /// observes — or the window's first cell with an identity transition
+    /// when nothing moved.
+    #[cold]
+    fn record_attributed(&mut self, event: TimedEvent, lo: usize, hi: usize) {
+        let (cell, from, to) = self.witness_rediff(lo, hi);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(WitnessStep {
+                time: event.time,
+                event: event.name,
+                cell,
+                from,
+                to,
+            });
+        }
+    }
+
+    /// The witness attribution of the step just taken: diff the pre-event
+    /// snapshot against the *current* window states.
+    fn witness_rediff(&self, lo: usize, hi: usize) -> (u32, u8, u8) {
+        for (k, (pre, post)) in self.prev_cells[..hi - lo]
+            .iter()
+            .zip(&self.cells[lo..hi])
+            .enumerate()
+        {
+            if pre != post {
+                return ((lo + k) as u32, pre.state, post.state);
+            }
+        }
+        let state = self.prev_cells[0].state;
+        (lo as u32, state, state)
     }
 
     /// Whether fragment `f` (with the given cell states) could terminate
@@ -1175,6 +1271,30 @@ impl MonState {
         }
     }
 
+    /// Witness hook for an in-alphabet event that found the deadline
+    /// already expired *before* stepping any cell. Live explain mode
+    /// records the bare `(time, event)` pair; attribute mode attributes it
+    /// to the active fragment's first cell with an unchanged transition.
+    fn record_stall(&mut self, event: TimedEvent) {
+        if !self.attribute {
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.record_event(event);
+            }
+            return;
+        }
+        let cell = self.active_lo;
+        let state = self.cells[cell].state;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(WitnessStep {
+                time: event.time,
+                event: event.name,
+                cell: cell as u32,
+                from: state,
+                to: state,
+            });
+        }
+    }
+
     /// The expected set the interpreter would have snapshot *before* the
     /// current event, derived lazily from the pre-event snapshot.
     fn expected_before(&self, p: &CompiledProgram, from: ExpectedFrom) -> NameSet {
@@ -1217,7 +1337,7 @@ impl MonState {
         base: usize,
     ) -> Verdict {
         let mut ops = 1u64; // alphabet projection test
-        let step = self.step_ordering(p, base, event.name, &mut ops);
+        let step = self.step_ordering(p, base, event, &mut ops);
         self.ops += ops;
         match step {
             OrderingStep::Progress | OrderingStep::Handover { .. } => {
@@ -1251,6 +1371,7 @@ impl MonState {
                         p.n_frags(),
                         range + 1,
                     ),
+                    obligation: None,
                 }));
             }
         }
@@ -1305,10 +1426,47 @@ impl MonState {
         None
     }
 
+    /// The deadline cell whose obligation was still open when the budget
+    /// expired: once inside `Q`, the first cell (arena order) of the
+    /// active fragment that has not reached its range minimum; when the
+    /// active fragment is already completable, the next fragment's first
+    /// cell (the chain still has to hand over); when `P` was complete but
+    /// `Q` had not begun, the first cell of `Q`'s first fragment. The
+    /// interpreter applies the same selection over its recognizer tree.
+    fn pick_obligation(&self, p: &CompiledProgram, premise_len: usize) -> Obligation {
+        let spec_at = |i: usize| {
+            let s = p.cells[i];
+            Obligation {
+                name: s.name,
+                min: s.min,
+                max: s.max,
+            }
+        };
+        if self.active >= premise_len {
+            let (lo, hi) = p.frag_range(self.active);
+            if !self.can_complete(p, self.active) {
+                for (i, cell) in self.cells[lo..hi].iter().enumerate() {
+                    let spec = p.cells[lo + i];
+                    let satisfied =
+                        cell.state == S_DONE || (cell.state == S_COUNTING && cell.cpt >= spec.min);
+                    if !satisfied {
+                        return spec_at(lo + i);
+                    }
+                }
+            } else if self.active + 1 < p.n_frags() {
+                return spec_at(p.frag_range(self.active + 1).0);
+            }
+            spec_at(lo)
+        } else {
+            spec_at(p.frag_range(premise_len).0)
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn miss_deadline(
         &mut self,
         p: &CompiledProgram,
+        premise_len: usize,
         bound: SimTime,
         kind: ViolationKind,
         deadline: SimTime,
@@ -1329,6 +1487,7 @@ impl MonState {
                 deadline.saturating_sub(bound),
                 bound,
             ),
+            obligation: Some(self.pick_obligation(p, premise_len)),
         }));
     }
 
@@ -1366,8 +1525,10 @@ impl MonState {
         self.ops += 1; // deadline compare
         if let Some(deadline) = self.hard_deadline(p, premise_len, bound) {
             if event.time > deadline {
+                self.record_stall(event);
                 self.miss_deadline(
                     p,
+                    premise_len,
                     bound,
                     ViolationKind::DeadlineMiss,
                     deadline,
@@ -1379,7 +1540,7 @@ impl MonState {
             }
         }
         let mut ops = 0u64;
-        let step = self.step_ordering(p, base, event.name, &mut ops);
+        let step = self.step_ordering(p, base, event, &mut ops);
         self.ops += ops;
         match step {
             OrderingStep::Progress => {
@@ -1426,6 +1587,7 @@ impl MonState {
                         },
                         range + 1,
                     ),
+                    obligation: None,
                 }));
                 return self.verdict;
             }
@@ -1445,6 +1607,7 @@ impl MonState {
                 let deadline = start.checked_add(bound).unwrap_or(SimTime::MAX);
                 self.miss_deadline(
                     p,
+                    premise_len,
                     bound,
                     ViolationKind::DeadlineMiss,
                     deadline,
@@ -1479,6 +1642,7 @@ impl MonState {
             if now > deadline {
                 self.miss_deadline(
                     p,
+                    premise_len,
                     bound,
                     ViolationKind::DeadlineMiss,
                     deadline,

@@ -30,6 +30,9 @@
 //!   interpreter but with an allocation-free integer hot path;
 //! * [`verdict`] — four-valued verdicts, violation diagnostics and the
 //!   object-safe [`verdict::Monitor`] trait;
+//! * [`witness`] — verdict provenance: the bounded flight recorder of
+//!   contributing steps and the replayable [`witness::Witness`] chain
+//!   behind every violation in explain mode;
 //! * [`semantics`] — an independent reference semantics (pattern →
 //!   finite automaton) used as the ground-truth oracle in tests;
 //! * [`complexity`] — the Drct cost model of Section 7;
@@ -79,6 +82,7 @@ pub mod semantics;
 pub mod timed;
 pub mod verdict;
 pub mod wf;
+pub mod witness;
 
 pub use analysis::{AnalysisOptions, DiagCode, Diagnostic, Severity};
 pub use antecedent::AntecedentMonitor;
@@ -87,5 +91,6 @@ pub use compiled::{compile_monitor, CompiledMonitor, CompiledProgram, PruneStats
 pub use fused::{FusedProgram, Sharing};
 pub use monitor::{build_monitor, PropertyMonitor};
 pub use timed::TimedImplicationMonitor;
-pub use verdict::{run_to_end, Monitor, Verdict, Violation, ViolationKind};
+pub use verdict::{run_to_end, Monitor, Obligation, Verdict, Violation, ViolationKind};
 pub use wf::WfError;
+pub use witness::{replay_witness, FlightRecorder, Witness, WitnessStep};

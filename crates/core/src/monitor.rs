@@ -8,6 +8,7 @@ use crate::ast::Property;
 use crate::timed::TimedImplicationMonitor;
 use crate::verdict::{Monitor, Verdict, Violation};
 use crate::wf::{self, WfError};
+use crate::witness::Witness;
 
 /// A monitor for either root pattern, built by [`build_monitor`].
 ///
@@ -189,6 +190,20 @@ impl Monitor for PropertyMonitor {
         match self {
             PropertyMonitor::Antecedent(m) => m.state_bits(),
             PropertyMonitor::Timed(m) => m.state_bits(),
+        }
+    }
+
+    fn set_explain(&mut self, capacity: usize) {
+        match self {
+            PropertyMonitor::Antecedent(m) => m.set_explain(capacity),
+            PropertyMonitor::Timed(m) => m.set_explain(capacity),
+        }
+    }
+
+    fn witness(&self) -> Option<Witness> {
+        match self {
+            PropertyMonitor::Antecedent(m) => m.witness(),
+            PropertyMonitor::Timed(m) => m.witness(),
         }
     }
 }

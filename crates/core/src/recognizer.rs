@@ -54,6 +54,20 @@ impl RangeState {
             RangeState::Error => "s5",
         }
     }
+
+    /// The dense state code `0..=5` (`s0` … `s5`), identical to the
+    /// compiled backend's cell encoding — witness steps use it so
+    /// transitions compare across backends.
+    pub fn code(self) -> u8 {
+        match self {
+            RangeState::Idle => 0,
+            RangeState::Waiting => 1,
+            RangeState::WaitingOther => 2,
+            RangeState::Counting => 3,
+            RangeState::Done => 4,
+            RangeState::Error => 5,
+        }
+    }
 }
 
 /// Output of one synchronous step of a recognizer.

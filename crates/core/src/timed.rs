@@ -25,9 +25,12 @@
 
 use lomon_trace::{NameSet, SimTime, TimedEvent};
 
+use crate::antecedent::{witness_record, witness_snapshot};
 use crate::ast::TimedImplication;
 use crate::compose::{LooseOrderingRecognizer, OrderingStep};
-use crate::verdict::{Monitor, Verdict, Violation, ViolationKind};
+use crate::recognizer::RangeState;
+use crate::verdict::{Monitor, Obligation, Verdict, Violation, ViolationKind};
+use crate::witness::{FlightRecorder, Witness, WitnessStep};
 
 /// The direct (Drct) monitor for a timed implication constraint.
 ///
@@ -75,6 +78,13 @@ pub struct TimedImplicationMonitor {
     diagnostics: bool,
     last_expected: NameSet,
     ops: u64,
+    /// Explain mode: the bounded ring of contributing steps (see
+    /// [`crate::witness`]); `None` keeps observation untouched.
+    recorder: Option<Box<FlightRecorder>>,
+    /// Attributing mode: record full cell/transition attribution instead
+    /// of the live raw `(time, event)` chain. Only set on the fresh clones
+    /// [`Monitor::witness`] replays a chain through.
+    attribute: bool,
 }
 
 impl TimedImplicationMonitor {
@@ -103,6 +113,8 @@ impl TimedImplicationMonitor {
             diagnostics: true,
             last_expected: NameSet::new(),
             ops: 0,
+            recorder: None,
+            attribute: false,
         };
         monitor.snapshot_expected();
         monitor
@@ -181,6 +193,66 @@ impl TimedImplicationMonitor {
         None
     }
 
+    /// The deadline cell whose obligation was still open when the budget
+    /// expired — the same selection rule as the compiled backend's
+    /// `pick_obligation`: once inside `Q`, the first range of the active
+    /// fragment below its minimum; when the active fragment is already
+    /// completable, the next fragment's first range; while still in `P`,
+    /// the first range of `Q`'s first fragment.
+    fn pick_obligation(&self) -> Obligation {
+        let ob = |r: &crate::recognizer::RangeRecognizer| Obligation {
+            name: r.range().name,
+            min: r.range().min,
+            max: r.range().max,
+        };
+        let frags = self.recognizer.fragments();
+        let active = self.recognizer.active_index();
+        if active >= self.premise_len {
+            let frag = &frags[active];
+            if !frag.can_complete() {
+                for r in frag.ranges() {
+                    let satisfied = matches!(r.state(), RangeState::Done)
+                        || (matches!(r.state(), RangeState::Counting)
+                            && r.count() >= r.range().min);
+                    if !satisfied {
+                        return ob(r);
+                    }
+                }
+            } else if active + 1 < frags.len() {
+                return ob(&frags[active + 1].ranges()[0]);
+            }
+            ob(&frag.ranges()[0])
+        } else {
+            ob(&frags[self.premise_len].ranges()[0])
+        }
+    }
+
+    /// Witness hook for an in-alphabet event that found the deadline
+    /// already expired before stepping the recognizer (see the compiled
+    /// backend's `record_stall`). Live explain mode records the bare
+    /// `(time, event)` pair; attribute mode attributes the stall.
+    fn record_stall(&mut self, event: TimedEvent) {
+        if !self.attribute {
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.record_event(event);
+            }
+            return;
+        }
+        let active = self.recognizer.active_index();
+        let frags = self.recognizer.fragments();
+        let base: usize = frags[..active].iter().map(|f| f.ranges().len()).sum();
+        let state = frags[active].ranges()[0].state().code();
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(WitnessStep {
+                time: event.time,
+                event: event.name,
+                cell: base as u32,
+                from: state,
+                to: state,
+            });
+        }
+    }
+
     fn miss_deadline(
         &mut self,
         kind: ViolationKind,
@@ -201,6 +273,7 @@ impl TimedImplicationMonitor {
                 deadline.saturating_sub(self.property.bound),
                 self.property.bound,
             ),
+            obligation: Some(self.pick_obligation()),
         });
     }
 
@@ -228,6 +301,9 @@ impl Monitor for TimedImplicationMonitor {
         self.ops += 1; // deadline compare
         if let Some(deadline) = self.hard_deadline() {
             if event.time > deadline {
+                if self.recorder.is_some() {
+                    self.record_stall(event);
+                }
                 self.miss_deadline(
                     ViolationKind::DeadlineMiss,
                     deadline,
@@ -237,7 +313,18 @@ impl Monitor for TimedImplicationMonitor {
                 return self.verdict;
             }
         }
-        match self.recognizer.step(event.name) {
+        let snap = if self.attribute {
+            witness_snapshot(&mut self.recorder, &self.recognizer)
+        } else {
+            None
+        };
+        let step = self.recognizer.step(event.name);
+        if let Some(snap) = snap {
+            witness_record(&mut self.recorder, &self.recognizer, event, snap);
+        } else if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record_event(event);
+        }
+        match step {
             OrderingStep::Progress => {
                 self.last_consumed = Some(event.time);
             }
@@ -283,6 +370,7 @@ impl Monitor for TimedImplicationMonitor {
                         },
                         range + 1,
                     ),
+                    obligation: None,
                 });
                 return self.verdict;
             }
@@ -385,6 +473,9 @@ impl Monitor for TimedImplicationMonitor {
         self.response_done_at = None;
         self.episodes = 0;
         self.responses_in_time = 0;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.clear();
+        }
         self.snapshot_expected();
     }
 
@@ -396,6 +487,25 @@ impl Monitor for TimedImplicationMonitor {
         // Recognizers + the paper's two sc_time variables (start, stop) +
         // the movable premise end + verdict and episode flags.
         self.recognizer.state_bits() + 3 * 64 + 2 + 3
+    }
+
+    fn set_explain(&mut self, capacity: usize) {
+        self.recorder = if capacity == 0 {
+            None
+        } else {
+            Some(Box::new(FlightRecorder::new(capacity)))
+        };
+    }
+
+    fn witness(&self) -> Option<Witness> {
+        let raw = self.recorder.as_deref().map(FlightRecorder::snapshot)?;
+        if self.attribute {
+            return Some(raw);
+        }
+        Some(crate::witness::reattribute(self, raw, |m, capacity| {
+            m.attribute = true;
+            m.set_explain(capacity);
+        }))
     }
 }
 

@@ -1,6 +1,7 @@
 //! Verdicts, violation diagnostics and the monitor interface.
 
-use lomon_trace::{NameSet, SimTime, TimedEvent, Vocabulary};
+use crate::witness::Witness;
+use lomon_trace::{Name, NameSet, SimTime, TimedEvent, Vocabulary};
 
 /// The four-valued verdict of a monitor over the trace observed so far.
 ///
@@ -99,6 +100,26 @@ impl ViolationKind {
     }
 }
 
+/// The range spec `n[u,v]` of the deadline cell whose obligation was
+/// still open when a deadline violation fired — names *what* the monitor
+/// was waiting for, not just *when* it gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Obligation {
+    /// The awaited interface name.
+    pub name: Name,
+    /// The range's minimum occurrence count.
+    pub min: u32,
+    /// The range's maximum occurrence count.
+    pub max: u32,
+}
+
+impl Obligation {
+    /// Render as `` `name`[u,v] ``, resolving the name against `voc`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        format!("`{}`[{},{}]", voc.resolve(self.name), self.min, self.max)
+    }
+}
+
 /// A violation report: what happened, when, and what would have been
 /// acceptable instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +135,9 @@ pub struct Violation {
     pub expected: NameSet,
     /// Free-form context (which fragment/range, counter values, deadline).
     pub detail: String,
+    /// For deadline violations, the originating deadline cell's spec —
+    /// the obligation that was still open (or that completed too late).
+    pub obligation: Option<Obligation>,
 }
 
 impl Violation {
@@ -123,13 +147,18 @@ impl Violation {
             Some(ev) => format!("`{}` at {}", voc.resolve(ev.name), ev.time),
             None => format!("end of observation at {}", self.time),
         };
-        format!(
+        let mut out = format!(
             "{}: {} — {}; expected one of {}",
             what,
             self.kind.describe(),
             self.detail,
             voc.display_set(&self.expected)
-        )
+        );
+        if let Some(ob) = self.obligation {
+            out.push_str("; open obligation ");
+            out.push_str(&ob.display(voc));
+        }
+        out
     }
 }
 
@@ -183,6 +212,18 @@ pub trait Monitor {
 
     /// Instrumentation: bits of mutable monitor state.
     fn state_bits(&self) -> u64;
+
+    /// Attach a flight recorder of at most `capacity` contributing steps
+    /// (explain mode); `capacity == 0` detaches it. Off by default, and a
+    /// no-op for monitors without witness support.
+    fn set_explain(&mut self, capacity: usize) {
+        let _ = capacity;
+    }
+
+    /// The recorded witness chain, if explain mode is attached.
+    fn witness(&self) -> Option<Witness> {
+        None
+    }
 }
 
 /// Convenience: run a monitor over a whole trace (projection included) and
@@ -231,6 +272,7 @@ mod tests {
             time: SimTime::from_ns(7),
             expected: [exp].into_iter().collect(),
             detail: "fragment 1 of P incomplete".into(),
+            obligation: None,
         };
         let text = v.display(&voc);
         assert!(text.contains("`start` at 7ns"));
@@ -247,8 +289,31 @@ mod tests {
             time: SimTime::from_us(3),
             expected: NameSet::new(),
             detail: "deadline was 2us".into(),
+            obligation: None,
         };
         let text = v.display(&voc);
         assert!(text.contains("end of observation at 3us"));
+        assert!(!text.contains("open obligation"));
+    }
+
+    #[test]
+    fn violation_display_with_obligation() {
+        let mut voc = Vocabulary::new();
+        let irq = voc.output("irq");
+        let v = Violation {
+            kind: ViolationKind::DeadlineMiss,
+            event: None,
+            time: SimTime::from_us(3),
+            expected: NameSet::new(),
+            detail: "deadline was 2us".into(),
+            obligation: Some(Obligation {
+                name: irq,
+                min: 1,
+                max: 1,
+            }),
+        };
+        let text = v.display(&voc);
+        assert!(text.contains("end of observation at 3us"));
+        assert!(text.ends_with("; open obligation `irq`[1,1]"));
     }
 }

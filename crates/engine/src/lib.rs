@@ -78,6 +78,18 @@
 //! tracked at the repository root; [`DispatchStats`] exposes how much the
 //! fusion shared (`unique_cells` vs `total_cells`, `shared_hits`).
 //!
+//! ## Explainability & profiling
+//!
+//! [`Session::enable_explain`] puts a session's monitors into explain
+//! mode: each unit keeps a bounded flight recorder of contributing steps
+//! ([`lomon_core::witness`]), so every violation in a report carries a
+//! [`lomon_core::witness::Witness`] chain that replays to the identical
+//! violation. Detached (the default) it costs nothing, like
+//! [`Session::attach_metrics`]. For *where the time goes*,
+//! [`profile_trace`] replays a recorded trace through the fused program
+//! with per-group wall-clock attribution, optionally exporting through a
+//! [`lomon_obs::Registry`] — the CLI's `lomon profile` is a shell over it.
+//!
 //! ## Sessions
 //!
 //! One compiled [`Engine`] serves any number of independent [`Session`]s —
@@ -124,10 +136,12 @@
 
 pub mod compile;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod session;
 
 pub use compile::{error_diagnostics, CompileError, Engine};
 pub use metrics::SessionMetrics;
+pub use profile::{profile_trace, GroupProfile, ProfileReport};
 pub use report::{DispatchStats, EngineReport, PropertyReport};
 pub use session::{Backend, DispatchMode, Session};

@@ -1,0 +1,321 @@
+//! Hot-property profiler: replay a recorded trace through the fused
+//! rulebook program and attribute the monitoring work — steps and
+//! wall-clock nanoseconds — to each unique recognizer group.
+//!
+//! The fused backend already collapses structurally identical properties
+//! into shared groups; this module answers the follow-up question *"which
+//! group is my rulebook spending its time in?"*. [`profile_trace`] drives
+//! a purpose-built replay loop that mirrors a [`Session`](crate::Session)
+//! step for step (same indexed dispatch, same deadline sweep, same
+//! retirement — so the per-group step counts equal the session's dispatch
+//! statistics) while timing every monitor call with a monotonic clock.
+//!
+//! Attribution can additionally flow through the observability stack: pass
+//! a [`Registry`] and each group's totals land in the
+//! `lomon_group_steps_total{group=…}` counter and
+//! `lomon_group_step_ns{group=…}` histogram families, ready for the
+//! Prometheus/NDJSON renderings every other lomon metric uses.
+
+use std::time::Instant;
+
+use lomon_core::verdict::{Monitor, Verdict};
+use lomon_obs::Registry;
+use lomon_trace::{json_escape, SimTime, TimedEvent};
+
+use std::fmt::Write as _;
+
+use crate::compile::Engine;
+
+/// The profile of one unique recognizer group over a replayed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupProfile {
+    /// Group id in the fused program (first-appearance order).
+    pub group: usize,
+    /// Monitor steps the group performed (observes plus deadline sweeps —
+    /// the same accounting as
+    /// [`DispatchStats::monitor_steps`](crate::DispatchStats)).
+    pub steps: u64,
+    /// Wall-clock nanoseconds spent inside the group's monitor calls.
+    pub ns: u64,
+    /// Member property ids served by the group, ascending.
+    pub members: Vec<u32>,
+}
+
+/// Everything [`profile_trace`] measured: per-group profiles ranked
+/// hottest first, plus the replay totals.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Per-group profiles, sorted by steps descending (ties broken by
+    /// ascending group id, so the ranking is deterministic even when the
+    /// nanosecond readings are not).
+    pub groups: Vec<GroupProfile>,
+    /// Events replayed.
+    pub events: u64,
+    /// Properties whose final verdict was violated.
+    pub violations: u64,
+    /// Wall-clock nanoseconds summed over every monitor call.
+    pub total_ns: u64,
+}
+
+/// Replay `events` through a fresh fused instantiation of `engine`,
+/// timing every monitor call, then finish at `end_time`. When `registry`
+/// is given, per-group totals are also exported through the
+/// `lomon_group_steps_total` / `lomon_group_step_ns` metric families.
+///
+/// The replay mirrors an indexed-dispatch fused session exactly (deadline
+/// sweep first, then the event's subscribed groups, retirement on final
+/// verdicts), so the step counts are the session's dispatch statistics
+/// broken down by group; only the timing instrumentation is extra.
+pub fn profile_trace(
+    engine: &Engine,
+    events: &[TimedEvent],
+    end_time: SimTime,
+    registry: Option<&Registry>,
+) -> ProfileReport {
+    let fused = engine.fused();
+    let mut monitors = fused.instantiate();
+    let n = monitors.len();
+    let mut active = vec![true; n];
+    let mut deadlines: Vec<Option<SimTime>> = vec![None; n];
+    let mut steps = vec![0u64; n];
+    let mut ns = vec![0u64; n];
+    let timed_flags = fused.timed_flags();
+    let mut seen = 0u64;
+
+    for &event in events {
+        if active.iter().all(|a| !a) {
+            seen += 1;
+            continue;
+        }
+        seen += 1;
+        let (units, bases) = fused.subscribers(event.name);
+        // Deadline sweep, excluding the event's own subscribers (their
+        // observe re-checks the deadline) — same order as the session's.
+        for &g in fused.timed_groups() {
+            let g = g as usize;
+            if !active[g] || units.contains(&(g as u32)) {
+                continue;
+            }
+            if deadlines[g].is_some_and(|d| event.time > d) {
+                let started = Instant::now();
+                let verdict = monitors[g].advance_time(event.time);
+                ns[g] += elapsed_ns(started);
+                steps[g] += 1;
+                if verdict.is_final() {
+                    active[g] = false;
+                    deadlines[g] = None;
+                } else {
+                    deadlines[g] = monitors[g].deadline();
+                }
+            }
+        }
+        for (&g, &base) in units.iter().zip(bases) {
+            let g = g as usize;
+            if !active[g] {
+                continue;
+            }
+            let started = Instant::now();
+            let verdict = monitors[g].observe_routed(event, base);
+            ns[g] += elapsed_ns(started);
+            steps[g] += 1;
+            if verdict.is_final() {
+                active[g] = false;
+                deadlines[g] = None;
+            } else if timed_flags[g] {
+                deadlines[g] = monitors[g].deadline();
+            }
+        }
+    }
+    // Close every live group at end of observation; `finish` is not a
+    // dispatch step (sessions do not count it either), but its time is.
+    for (g, monitor) in monitors.iter_mut().enumerate() {
+        if active[g] {
+            let started = Instant::now();
+            monitor.finish(end_time);
+            ns[g] += elapsed_ns(started);
+        }
+    }
+
+    let violations = (0..engine.len())
+        .filter(|&id| monitors[fused.group_of(id)].verdict() == Verdict::Violated)
+        .count() as u64;
+
+    if let Some(registry) = registry {
+        for g in 0..n {
+            let label = vec![("group", format!("g{g}"))];
+            registry
+                .counter_with(
+                    "lomon_group_steps_total",
+                    "Monitor steps per fused recognizer group",
+                    label.clone(),
+                )
+                .add(steps[g]);
+            registry
+                .histogram_with(
+                    "lomon_group_step_ns",
+                    "Wall-clock nanoseconds per fused group over a profiled trace",
+                    label,
+                )
+                .record(ns[g]);
+        }
+    }
+
+    let mut groups: Vec<GroupProfile> = (0..n)
+        .map(|g| GroupProfile {
+            group: g,
+            steps: steps[g],
+            ns: ns[g],
+            members: fused.members(g).to_vec(),
+        })
+        .collect();
+    groups.sort_by(|a, b| b.steps.cmp(&a.steps).then(a.group.cmp(&b.group)));
+    ProfileReport {
+        groups,
+        events: seen,
+        violations,
+        total_ns: ns.iter().sum(),
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl ProfileReport {
+    /// Multi-line human rendering: the replay totals, then the `top`
+    /// hottest groups with their member properties.
+    pub fn render_text(&self, engine: &Engine, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profiled {} events over {} groups ({} properties, {} violations)",
+            self.events,
+            self.groups.len(),
+            engine.len(),
+            self.violations,
+        );
+        for p in self.groups.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "  group {}: {} steps, {} ns, {} member(s)",
+                p.group,
+                p.steps,
+                p.ns,
+                p.members.len(),
+            );
+            for &id in &p.members {
+                let _ = writeln!(out, "    - {}", engine.property_display(id as usize));
+            }
+        }
+        out
+    }
+
+    /// One-line JSON rendering with the same `top`-group ranking.
+    pub fn render_json(&self, engine: &Engine, top: usize) -> String {
+        let mut out = format!(
+            "{{\"events\": {}, \"group_count\": {}, \"violations\": {}, \"groups\": [",
+            self.events,
+            self.groups.len(),
+            self.violations,
+        );
+        for (k, p) in self.groups.iter().take(top).enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"group\": {}, \"steps\": {}, \"ns\": {}, \"members\": [",
+                p.group, p.steps, p.ns,
+            );
+            for (j, &id) in p.members.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\"",
+                    json_escape(engine.property_display(id as usize))
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lomon_trace::Vocabulary;
+
+    fn events(voc: &Vocabulary, seq: &[(&str, u64)]) -> Vec<TimedEvent> {
+        seq.iter()
+            .map(|&(n, ns)| TimedEvent::new(voc.lookup(n).unwrap(), SimTime::from_ns(ns)))
+            .collect()
+    }
+
+    #[test]
+    fn profile_step_counts_match_session_stats() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(
+            &[
+                "all{a, b} << start repeated",
+                "all{a, b} << start repeated",
+                "go => out:done within 50 ns",
+            ],
+            &mut voc,
+        )
+        .expect("compiles");
+        let trace = events(
+            &voc,
+            &[("a", 10), ("b", 20), ("start", 30), ("go", 40), ("a", 200)],
+        );
+        let profile = profile_trace(&engine, &trace, SimTime::from_ns(300), None);
+        let mut session = engine.session();
+        session.ingest_batch(&trace);
+        session.close(SimTime::from_ns(300));
+        let profiled: u64 = profile.groups.iter().map(|g| g.steps).sum();
+        assert_eq!(profiled, session.stats().monitor_steps);
+        assert_eq!(profile.events, session.stats().events);
+        // The shared group (2 members) did the most steps and ranks first.
+        assert_eq!(profile.groups[0].members.len(), 2);
+        assert_eq!(profile.violations, 1); // the missed 50ns deadline
+    }
+
+    #[test]
+    fn profile_exports_group_metrics() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(&["all{a, b} << start once"], &mut voc).expect("compiles");
+        let trace = events(&voc, &[("a", 10), ("b", 20), ("start", 30)]);
+        let registry = Registry::new();
+        profile_trace(&engine, &trace, SimTime::from_ns(40), Some(&registry));
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("lomon_group_steps_total{group=\"g0\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("lomon_group_step_ns"), "{text}");
+    }
+
+    #[test]
+    fn render_text_lists_members_and_json_parses_shape() {
+        let mut voc = Vocabulary::new();
+        let engine = Engine::compile(
+            &["all{a, b} << start once", "all{a, b} << start once"],
+            &mut voc,
+        )
+        .expect("compiles");
+        let trace = events(&voc, &[("a", 10)]);
+        let profile = profile_trace(&engine, &trace, SimTime::from_ns(20), None);
+        let text = profile.render_text(&engine, 5);
+        assert!(text.contains("group 0: 1 steps"), "{text}");
+        assert!(text.contains("- all{a, b} << start once"), "{text}");
+        let json = profile.render_json(&engine, 5);
+        assert!(json.starts_with("{\"events\": 1"), "{json}");
+        assert!(
+            json.contains("\"members\": [\"all{a, b} << start once\""),
+            "{json}"
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //! statistics that make the index's win measurable.
 
 use lomon_core::verdict::{Verdict, Violation};
+use lomon_core::witness::Witness;
 use lomon_trace::{json_escape, Vocabulary};
 
 use std::fmt::Write as _;
@@ -105,6 +106,13 @@ pub struct PropertyReport {
     pub verdict: Verdict,
     /// Diagnostics, when the verdict is [`Verdict::Violated`].
     pub violation: Option<Violation>,
+    /// The recorded witness chain behind the violation — present only when
+    /// the session was in explain mode
+    /// ([`Session::enable_explain`](crate::Session::enable_explain)) *and*
+    /// the verdict is [`Verdict::Violated`]. Detached sessions always
+    /// report `None`, keeping their renderings byte-identical to a session
+    /// without explain support.
+    pub witness: Option<Witness>,
 }
 
 /// Everything a session knows at (or before) end of observation.
@@ -141,6 +149,34 @@ impl EngineReport {
             if let Some(violation) = &p.violation {
                 let _ = writeln!(out, "      {}", violation.display(voc));
             }
+            if let Some(witness) = &p.witness {
+                if !witness.steps.is_empty() || witness.dropped > 0 {
+                    let _ = writeln!(
+                        out,
+                        "      because ({} contributing steps):",
+                        witness.steps.len()
+                    );
+                    if witness.dropped > 0 {
+                        let _ = writeln!(
+                            out,
+                            "        ... {} earlier steps dropped by the flight recorder",
+                            witness.dropped
+                        );
+                    }
+                    for s in &witness.steps {
+                        let (from, to) = s.transition();
+                        let _ = writeln!(
+                            out,
+                            "        `{}` at {} -- cell {}: {} -> {}",
+                            voc.resolve(s.event),
+                            s.time,
+                            s.cell,
+                            from,
+                            to,
+                        );
+                    }
+                }
+            }
         }
         let _ = writeln!(out, "  dispatch: {}", self.stats.render());
         out
@@ -168,6 +204,29 @@ impl EngineReport {
                     ", \"diagnostic\": \"{}\"",
                     json_escape(&violation.display(voc))
                 );
+            }
+            if let Some(witness) = &p.witness {
+                out.push_str(", \"witness\": [");
+                for (j, s) in witness.steps.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let (from, to) = s.transition();
+                    let _ = write!(
+                        out,
+                        "{{\"time_ps\": {}, \"event\": \"{}\", \"cell\": {}, \
+                         \"from\": \"{}\", \"to\": \"{}\"}}",
+                        s.time.as_ps(),
+                        json_escape(voc.resolve(s.event)),
+                        s.cell,
+                        from,
+                        to,
+                    );
+                }
+                out.push(']');
+                if witness.dropped > 0 {
+                    let _ = write!(out, ", \"witness_dropped\": {}", witness.dropped);
+                }
             }
             out.push('}');
         }

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use lomon_core::compiled::CompiledMonitor;
 use lomon_core::monitor::PropertyMonitor;
 use lomon_core::verdict::{Monitor, Verdict, Violation};
+use lomon_core::witness::Witness;
 use lomon_trace::{SimTime, TimedEvent};
 
 use crate::compile::Engine;
@@ -230,6 +231,42 @@ impl<'e> Session<'e> {
         self.core.metrics = Some(MetricsSink::new(metrics));
     }
 
+    /// Put every monitor of this session into *explain mode*: each unit
+    /// keeps a [`FlightRecorder`](lomon_core::witness::FlightRecorder) ring
+    /// of at most `capacity` contributing steps, so violations can be
+    /// explained with a [`Witness`] chain ([`Session::witness`], and the
+    /// `witness` field of [`PropertyReport`]). `capacity == 0` detaches the
+    /// recorders again. Like [`Session::attach_metrics`], the detached
+    /// default costs nothing: reports and NDJSON output are byte-identical
+    /// to a session that never heard of explain mode.
+    pub fn enable_explain(&mut self, capacity: usize) {
+        match &mut self.arena {
+            MonitorArena::Interp(ms) => {
+                for m in ms.iter_mut() {
+                    m.set_explain(capacity);
+                }
+            }
+            MonitorArena::Compiled(ms) | MonitorArena::Fused(ms) => {
+                for m in ms.iter_mut() {
+                    m.set_explain(capacity);
+                }
+            }
+        }
+    }
+
+    /// The witness chain recorded for property `id`, if the session is in
+    /// explain mode and the property's monitor has recorded any steps.
+    /// Under the fused backend this is the shared group's chain —
+    /// structurally identical properties advance through identical steps,
+    /// so the chain explains every member alike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn witness(&self, id: usize) -> Option<Witness> {
+        self.arena.property_monitor(self.core.engine, id).witness()
+    }
+
     /// The engine this session was opened from.
     pub fn engine(&self) -> &'e Engine {
         self.core.engine
@@ -332,14 +369,23 @@ impl<'e> Session<'e> {
         let properties = (0..self.core.engine.len())
             .map(|id| {
                 let m = self.arena.property_monitor(self.core.engine, id);
+                let verdict = m.verdict();
                 PropertyReport {
                     index: id,
                     // An `Arc` bump, not a copy of the property text —
                     // reports in a tight reuse loop must not allocate per
                     // property.
                     property: Arc::clone(&self.core.engine.properties[id].display),
-                    verdict: m.verdict(),
+                    verdict,
                     violation: m.violation().cloned(),
+                    // `witness()` is `None` unless explain mode is on, so
+                    // detached sessions still build reports allocation-free
+                    // (modulo the vectors they always built).
+                    witness: if verdict == Verdict::Violated {
+                        m.witness()
+                    } else {
+                        None
+                    },
                 }
             })
             .collect();

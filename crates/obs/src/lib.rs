@@ -4,8 +4,10 @@
 //! named atomic [`Counter`]s, [`Gauge`]s, and log-bucketed
 //! [`Histogram`]s, rendered as Prometheus text ([`Registry::render_prometheus`])
 //! or NDJSON snapshots ([`Registry::render_ndjson`]), served over a
-//! minimal background-thread HTTP listener ([`MetricsServer`]), and timed
-//! with a [`Stopwatch`] span API.
+//! minimal background-thread HTTP listener ([`MetricsServer`]), timed
+//! with a [`Stopwatch`] span API, and — for offline timeline analysis —
+//! traced with a [`Tracer`] that renders its spans as Chrome trace-event
+//! JSON (`chrome://tracing` / Perfetto).
 //!
 //! The design constraint, following NISTT's non-intrusive-observation
 //! principle, is that instrumentation must not perturb the system under
@@ -21,8 +23,10 @@ mod metric;
 mod registry;
 mod server;
 mod stopwatch;
+mod tracer;
 
 pub use metric::{bucket_index, bucket_upper, Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{Label, Registry};
 pub use server::MetricsServer;
 pub use stopwatch::Stopwatch;
+pub use tracer::{SpanGuard, Tracer};

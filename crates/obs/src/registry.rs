@@ -307,8 +307,9 @@ fn prom_escape(value: &str) -> String {
 }
 
 /// Minimal JSON string escaping (the obs crate is dependency-free by
-/// design, so it cannot borrow lomon-trace's writer).
-fn json_escape(value: &str) -> String {
+/// design, so it cannot borrow lomon-trace's writer). Shared with the
+/// tracer's Chrome trace-event writer.
+pub(crate) fn json_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {

@@ -189,6 +189,7 @@ impl PslMonitor {
                 family.label(),
                 token.run
             ),
+            obligation: None,
         });
     }
 

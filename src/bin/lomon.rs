@@ -12,6 +12,8 @@
 //! lomon smc   [options] [property...]         statistical model-checking campaign
 //! lomon lint  [options] <rulebook|property>...
 //!                                             static analysis of a rulebook
+//! lomon profile <rulebook|property>... <trace-file>
+//!                                             rank the hottest fused groups
 //! lomon vcd   <trace-file>                    print the trace as VCD
 //! lomon gen   <property> [seed [episodes]]    print a generated satisfying trace
 //! lomon demo                                  record + check a platform run
@@ -45,9 +47,12 @@ use std::sync::Arc;
 use lomon::core::analysis::{prune_dead, AnalysisOptions, Diagnostic, Severity};
 use lomon::core::parse::parse_property;
 use lomon::core::verdict::{Monitor as _, Verdict};
-use lomon::engine::{error_diagnostics, Backend, DispatchMode, Engine, Session, SessionMetrics};
+use lomon::core::witness::Witness;
+use lomon::engine::{
+    error_diagnostics, profile_trace, Backend, DispatchMode, Engine, Session, SessionMetrics,
+};
 use lomon::gen::{generate, GeneratorConfig};
-use lomon::obs::{MetricsServer, Registry, Stopwatch};
+use lomon::obs::{MetricsServer, Registry, Stopwatch, Tracer};
 use lomon::smc::{
     Campaign, CampaignConfig, CampaignMetrics, CampaignMode, CampaignProgress, EpisodeModel,
     GenModel, ScenarioModel, SprtConfig,
@@ -65,10 +70,11 @@ fn main() -> ExitCode {
         Some("watch") if args.len() >= 2 => watch(&args[1..]),
         Some("smc") => smc(&args[1..]),
         Some("lint") if args.len() >= 2 => lint(&args[1..]),
+        Some("profile") if args.len() >= 3 => profile(&args[1..]),
         Some("vcd") if args.len() == 2 => vcd(&args[1]),
         Some("gen") if args.len() >= 2 && args.len() <= 4 => gen(&args[1], &args[2..]),
         Some("demo") if args.len() == 1 => demo(),
-        Some(command @ ("check" | "watch" | "lint" | "vcd" | "gen" | "demo")) => {
+        Some(command @ ("check" | "watch" | "lint" | "profile" | "vcd" | "gen" | "demo")) => {
             eprintln!("error: wrong arguments for `lomon {command}`");
             usage()
         }
@@ -83,9 +89,10 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!("usage:");
     eprintln!("  lomon check [--backend fused|compiled|interp] [--format text|json]");
+    eprintln!("              [--explain] [--metrics ADDR] [--stats-every N]");
     eprintln!("              <trace-file>... <property>...");
     eprintln!("  lomon watch [--format trace|ndjson] [--backend fused|compiled|interp]");
-    eprintln!("              [--metrics ADDR] [--stats-every N] <property>...");
+    eprintln!("              [--explain] [--metrics ADDR] [--stats-every N] <property>...");
     eprintln!("  lomon smc   [--episodes N] [--jobs J] [--seed S] [--confidence C]");
     eprintln!("              [--epsilon E] [--sprt P0 P1] [--fault-prob Q]");
     eprintln!("              [--backend fused|compiled|interp] [--format text|json]");
@@ -93,6 +100,8 @@ fn usage() -> ExitCode {
     eprintln!("              [--trace <file> [--mutation-prob Q]] [property...]");
     eprintln!("  lomon lint  [--format text|json] [--trace <file>] [--fix-prune]");
     eprintln!("              [--deny-warnings] <rulebook-file|property>...");
+    eprintln!("  lomon profile [--format text|json] [--top K] [--trace-out FILE]");
+    eprintln!("              <rulebook-file|property>... <trace-file>");
     eprintln!("  lomon vcd   <trace-file>");
     eprintln!("  lomon gen   <property> [seed [episodes]]");
     eprintln!("  lomon demo");
@@ -105,8 +114,17 @@ fn usage() -> ExitCode {
     eprintln!("--format json makes `check` and `smc` print one machine-readable");
     eprintln!("JSON report per trace file / campaign instead of the text report.");
     eprintln!();
-    eprintln!("--metrics ADDR serves live telemetry over HTTP while watch/smc run:");
-    eprintln!("GET /metrics is Prometheus text, GET /metrics.json is NDJSON (use");
+    eprintln!("--explain arms a bounded flight recorder per monitor: violations are");
+    eprintln!("reported with their witness chain — the contributing events, each");
+    eprintln!("with the recognizer cell it advanced. Off by default (zero cost).");
+    eprintln!();
+    eprintln!("profile replays a recorded trace through the fused rulebook program");
+    eprintln!("and ranks the unique recognizer groups by monitor steps and wall-");
+    eprintln!("clock time; --trace-out writes a Chrome trace-event JSON file for");
+    eprintln!("chrome://tracing or Perfetto.");
+    eprintln!();
+    eprintln!("--metrics ADDR serves live telemetry over HTTP while check/watch/smc");
+    eprintln!("run: GET /metrics is Prometheus text, GET /metrics.json is NDJSON (use");
     eprintln!("port 0 for an ephemeral port; the bound address is announced on");
     eprintln!("stderr). --stats-every N prints a {{\"type\": \"stats\", ...}} heartbeat");
     eprintln!("every N events (watch) or episodes (smc). smc prints a progress");
@@ -252,15 +270,30 @@ fn take_report_format_flag(args: &mut Vec<String>) -> Result<ReportFormat, ExitC
     }
 }
 
+/// Flight-recorder capacity armed by `--explain`: enough for every
+/// realistic violation chain, bounded so a pathological stream cannot
+/// grow memory per monitor — and small enough (1 KiB of ring per
+/// monitor) that an armed rulebook stays cache-resident.
+const EXPLAIN_CAPACITY: usize = 64;
+
 fn check(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
     let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
+    let explain = take_bool_flag(&mut args, "--explain");
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
         Err(code) => return code,
     };
     let format = match take_report_format_flag(&mut args) {
         Ok(format) => format,
+        Err(code) => return code,
+    };
+    let metrics_addr = match take_value_flag(&mut args, "--metrics") {
+        Ok(addr) => addr,
+        Err(code) => return code,
+    };
+    let stats_every = match take_stats_every(&mut args) {
+        Ok(every) => every,
         Err(code) => return code,
     };
     let args = &args[..];
@@ -298,16 +331,69 @@ fn check(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Live telemetry, exactly as `watch`: the complete family set is
+    // registered and the listener bound before anything runs.
+    let mut telemetry = None;
+    let mut server = None;
+    if let Some(addr) = &metrics_addr {
+        let registry = Arc::new(Registry::new());
+        let session_metrics = SessionMetrics::register(&registry);
+        let compile_ns = registry.histogram(
+            "lomon_compile_ns",
+            "Wall-clock nanoseconds spent compiling the rulebook",
+        );
+        match bind_metrics(addr, &registry) {
+            Ok(bound) => server = Some(bound),
+            Err(code) => return code,
+        }
+        telemetry = Some((session_metrics, compile_ns));
+    }
+    let compile_span = telemetry
+        .as_ref()
+        .map(|(_, compile_ns)| Stopwatch::start(Arc::clone(compile_ns)));
     let engine = match compile_all(properties, &mut voc, deny_warnings) {
         Ok(engine) => engine,
         Err(code) => return code,
     };
+    drop(compile_span);
     let mut session = engine.session_with_backend(DispatchMode::Indexed, backend);
-    let mut all_ok = true;
-    for (path, trace) in paths.iter().zip(&traces) {
+    if explain {
+        session.enable_explain(EXPLAIN_CAPACITY);
+    }
+    if let Some((session_metrics, _)) = &telemetry {
+        session.attach_metrics(Arc::clone(session_metrics));
+    }
+    let mut reports = Vec::with_capacity(paths.len());
+    let mut finalized = Vec::new();
+    for trace in &traces {
         session.reset();
-        session.ingest_batch(trace.events());
-        let report = session.finish(trace.end_time());
+        match stats_every {
+            None => session.ingest_batch(trace.events()),
+            Some(every) => {
+                // Heartbeats need batch boundaries: ingest in
+                // `--stats-every`-sized chunks and emit one stats line
+                // (stderr, like the text-mode watch heartbeat) per chunk.
+                let mut violations = 0u64;
+                for chunk in trace.events().chunks(every as usize) {
+                    session.ingest_batch(chunk);
+                    session.drain_newly_final_into(&mut finalized);
+                    violations += finalized
+                        .iter()
+                        .filter(|&&id| session.verdict(id as usize) == Verdict::Violated)
+                        .count() as u64;
+                    emit_check_heartbeat(&session, backend, violations);
+                }
+            }
+        }
+        reports.push(session.finish(trace.end_time()));
+    }
+    // Stop serving scrapes before the reports, as watch/smc do: a scrape
+    // racing the shutdown gets a clean 503, never a torn snapshot.
+    if let Some(server) = &server {
+        server.drain();
+    }
+    let mut all_ok = true;
+    for ((path, trace), report) in paths.iter().zip(&traces).zip(&reports) {
         match format {
             ReportFormat::Text => {
                 println!(
@@ -364,6 +450,7 @@ enum StreamLine {
 fn watch(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
     let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
+    let explain = take_bool_flag(&mut args, "--explain");
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
         Err(code) => return code,
@@ -442,6 +529,9 @@ fn watch(args: &[String]) -> ExitCode {
     };
     drop(compile_span);
     let mut session = engine.session_with_backend(DispatchMode::Indexed, backend);
+    if explain {
+        session.enable_explain(EXPLAIN_CAPACITY);
+    }
     if let Some((session_metrics, _, _)) = &telemetry {
         session.attach_metrics(Arc::clone(session_metrics));
     }
@@ -589,11 +679,23 @@ fn report_finalized(
         let verdict = session.verdict(id);
         violated += u64::from(verdict == Verdict::Violated);
         let text = session.engine().property_display(id);
+        // Present only in explain mode and only on violations: streamed
+        // witnesses match the final report's.
+        let witness = if verdict == Verdict::Violated {
+            session
+                .witness(id)
+                .filter(|w| !w.steps.is_empty() || w.dropped > 0)
+        } else {
+            None
+        };
         match format {
             StreamFormat::Trace => {
                 println!("[{verdict}] {text}");
                 if let Some(violation) = session.violation(id) {
                     println!("    {}", violation.display(voc));
+                }
+                if let Some(witness) = &witness {
+                    print!("{}", witness_text(witness, voc, "    "));
                 }
             }
             StreamFormat::Ndjson => {
@@ -601,8 +703,13 @@ fn report_finalized(
                     .violation(id)
                     .map(|v| format!(", \"diagnostic\": \"{}\"", json_escape(&v.display(voc))))
                     .unwrap_or_default();
+                let witness = witness
+                    .as_ref()
+                    .map(|w| witness_json_fields(w, voc))
+                    .unwrap_or_default();
                 println!(
-                    "{{\"property\": \"{}\", \"index\": {id}, \"verdict\": \"{}\"{diagnostic}}}",
+                    "{{\"property\": \"{}\", \"index\": {id}, \"verdict\": \"{}\"\
+                     {diagnostic}{witness}}}",
                     json_escape(text),
                     verdict,
                 );
@@ -636,6 +743,77 @@ fn emit_watch_heartbeat(
         StreamFormat::Trace => eprintln!("{line}"),
         StreamFormat::Ndjson => println!("{line}"),
     }
+}
+
+/// One `{"type": "stats", …}` heartbeat for `check --stats-every`, always
+/// on stderr so stdout stays the per-file report stream.
+fn emit_check_heartbeat(session: &Session<'_>, backend: Backend, violations: u64) {
+    let mut stats = *session.stats();
+    stats.properties = session.engine().len() as u64;
+    stats.retired = (session.engine().len() - session.active_len()) as u64;
+    eprintln!(
+        "{{\"type\": \"stats\", {}",
+        &stats.render_json_object(backend.label(), violations)[1..]
+    );
+}
+
+/// Human rendering of a witness chain, one step per line under `indent`.
+fn witness_text(witness: &Witness, voc: &Vocabulary, indent: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{indent}because ({} contributing steps):",
+        witness.steps.len()
+    );
+    if witness.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "{indent}  ... {} earlier steps dropped by the flight recorder",
+            witness.dropped
+        );
+    }
+    for s in &witness.steps {
+        let (from, to) = s.transition();
+        let _ = writeln!(
+            out,
+            "{indent}  `{}` at {} -- cell {}: {} -> {}",
+            voc.resolve(s.event),
+            s.time,
+            s.cell,
+            from,
+            to,
+        );
+    }
+    out
+}
+
+/// The witness fields of a streamed NDJSON verdict object (leading comma
+/// included), matching the `check --format json` report schema.
+fn witness_json_fields(witness: &Witness, voc: &Vocabulary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(", \"witness\": [");
+    for (j, s) in witness.steps.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        let (from, to) = s.transition();
+        let _ = write!(
+            out,
+            "{{\"time_ps\": {}, \"event\": \"{}\", \"cell\": {}, \
+             \"from\": \"{}\", \"to\": \"{}\"}}",
+            s.time.as_ps(),
+            json_escape(voc.resolve(s.event)),
+            s.cell,
+            from,
+            to,
+        );
+    }
+    out.push(']');
+    if witness.dropped > 0 {
+        let _ = write!(out, ", \"witness_dropped\": {}", witness.dropped);
+    }
+    out
 }
 
 /// Parse one line of the trace text format, delegating the grammar to
@@ -1354,6 +1532,120 @@ fn emit_diagnostics(diagnostics: &[Diagnostic], properties: &[String], format: R
             }
         }
     }
+}
+
+/// `lomon profile` — replay a recorded trace through the fused rulebook
+/// program and rank the unique recognizer groups by monitoring work
+/// ([`lomon::engine::profile_trace`]). `--top K` bounds the ranking
+/// (default 10), `--format json` emits one machine-readable object, and
+/// `--trace-out FILE` writes the phase timeline as Chrome trace-event
+/// JSON for `chrome://tracing` / Perfetto.
+///
+/// Exit code: 0 when the profile ran (violations are *reported*, not
+/// failed on — this is a profiler, `lomon check` owns the verdict
+/// contract), 1 on unreadable inputs or compile errors, 2 on usage errors.
+fn profile(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
+    let format = match take_report_format_flag(&mut args) {
+        Ok(format) => format,
+        Err(code) => return code,
+    };
+    let top = match take_value_flag(&mut args, "--top") {
+        Ok(None) => 10usize,
+        Ok(Some(raw)) => match parse_flag_value::<usize>("--top", &raw) {
+            Ok(0) => {
+                eprintln!("error: `--top` must be positive");
+                return usage();
+            }
+            Ok(top) => top,
+            Err(code) => return code,
+        },
+        Err(code) => return code,
+    };
+    let trace_out = match take_value_flag(&mut args, "--trace-out") {
+        Ok(path) => path,
+        Err(code) => return code,
+    };
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("error: unknown flag `{flag}`");
+        return usage();
+    }
+    // The last positional is the trace file; everything before it is the
+    // rulebook (files with one property per line, or inline properties).
+    let Some((trace_path, rulebook)) = args.split_last() else {
+        eprintln!("error: `lomon profile` needs a rulebook and a trace file");
+        return usage();
+    };
+    if rulebook.is_empty() {
+        eprintln!("error: `lomon profile` needs at least one property before the trace file");
+        return usage();
+    }
+    let mut properties: Vec<String> = Vec::new();
+    for arg in rulebook {
+        if std::path::Path::new(arg).is_file() {
+            let text = match std::fs::read_to_string(arg) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: cannot read {arg}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            properties.extend(
+                text.lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .map(str::to_owned),
+            );
+        } else {
+            properties.push(arg.clone());
+        }
+    }
+    if properties.is_empty() {
+        eprintln!("error: the rulebook is empty");
+        return ExitCode::FAILURE;
+    }
+
+    // Every phase below runs under a tracer span; with `--trace-out` the
+    // resulting timeline is written as Chrome trace-event JSON.
+    let tracer = Tracer::new();
+    let mut voc = Vocabulary::new();
+    let span = tracer.span("load-trace", "phase");
+    let trace = match load(trace_path, &mut voc) {
+        Ok(trace) => trace,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    span.finish();
+    let span = tracer.span("compile", "phase");
+    let engine = match compile_all(&properties, &mut voc, deny_warnings) {
+        Ok(engine) => engine,
+        Err(code) => return code,
+    };
+    span.finish();
+    let span = tracer.span("replay", "phase");
+    let report = profile_trace(&engine, trace.events(), trace.end_time(), None);
+    span.finish();
+
+    let span = tracer.span("report", "phase");
+    match format {
+        ReportFormat::Text => print!("{}", report.render_text(&engine, top)),
+        ReportFormat::Json => println!("{}", report.render_json(&engine, top)),
+    }
+    span.finish();
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, tracer.render_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace: wrote {} span(s) to {path} (chrome://tracing or Perfetto)",
+            tracer.len()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn vcd(path: &str) -> ExitCode {

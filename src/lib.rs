@@ -10,12 +10,12 @@
 //! | Module | Crate | Paper |
 //! |---|---|---|
 //! | [`trace`] | `lomon-trace` | §2 interfaces, names, simulated time |
-//! | [`core`] | `lomon-core` | §3–§5 patterns, Fig. 5 recognizers, Drct monitors, compiled flat-table backend, fused rulebook programs, static analysis (`core::analysis`: L003–L009 lints, dead-table pruning) |
+//! | [`core`] | `lomon-core` | §3–§5 patterns, Fig. 5 recognizers, Drct monitors, compiled flat-table backend, fused rulebook programs, static analysis (`core::analysis`: L003–L009 lints, dead-table pruning), witness capture + flight recorder (`core::witness`) |
 //! | [`engine`] | `lomon-engine` | streaming multi-property engine, event-indexed dispatch, fused/compiled/interpreted backends, compile-time analysis integration |
 //! | [`psl`] | `lomon-psl` | §5 translation to PSL, ViaPSL baseline |
 //! | [`sync`] | `lomon-sync` | §6 Lustre-style synchronous validation |
 //! | [`gen`] | `lomon-gen` | §8 stimuli generation (future work) |
-//! | [`obs`] | `lomon-obs` | zero-overhead telemetry: metrics registry, Prometheus/NDJSON exposition, `/metrics` listener, phase stopwatches |
+//! | [`obs`] | `lomon-obs` | zero-overhead telemetry: metrics registry, Prometheus/NDJSON exposition, `/metrics` listener, phase stopwatches, Chrome trace-event spans (`obs::Tracer`) |
 //! | [`kernel`] | `lomon-kernel` | SystemC-like simulation kernel |
 //! | [`tlm`] | `lomon-tlm` | §2/Fig. 1 virtual face-recognition platform |
 //! | [`smc`] | `lomon-smc` | statistical model checking: parallel campaigns, Chernoff–Hoeffding estimation, SPRT |
