@@ -144,4 +144,4 @@ pub use compile::{error_diagnostics, CompileError, Engine};
 pub use metrics::SessionMetrics;
 pub use profile::{profile_trace, GroupProfile, ProfileReport};
 pub use report::{DispatchStats, EngineReport, PropertyReport};
-pub use session::{Backend, DispatchMode, Session};
+pub use session::{Backend, DispatchMode, Session, SessionState};

@@ -9,6 +9,17 @@
 //! per-property surface ([`Session::verdict`], [`Session::violation`],
 //! [`Session::ops`], reports, [`Session::take_newly_final`]) fans group
 //! results back out through the fused program's member table.
+//!
+//! ## Parking and recycling
+//!
+//! A `Session<'e>` borrows its engine, which pins it to one stack frame.
+//! Long-running daemons (`lomon serve`) instead keep a *pool* of
+//! [`SessionState`]s: [`Session::into_state`] detaches a session's
+//! allocations from the engine borrow, and [`Engine::resume`] re-attaches
+//! them — rejecting states parked under a *different* engine, whose
+//! monitors would otherwise keep stepping the old program. Park → resume →
+//! [`Session::reset`] is the zero-alloc recycling hot path: no monitor
+//! arena, queue or statistics block is ever reallocated.
 
 use std::sync::Arc;
 
@@ -144,17 +155,19 @@ impl MonitorArena {
 /// as they happen.
 #[derive(Debug, Clone)]
 pub struct Session<'e> {
+    engine: &'e Engine,
     arena: MonitorArena,
-    core: Core<'e>,
+    core: Core,
 }
 
-/// Everything of a session except the monitors themselves — split out so
-/// the dispatch methods can borrow the arena and the bookkeeping state
-/// independently and stay generic over the backend's monitor type. All
-/// arrays are *unit*-granular (property or fused group, per the backend).
+/// Everything of a session except the monitors and the engine borrow —
+/// split out so the dispatch methods can borrow the arena and the
+/// bookkeeping state independently, stay generic over the backend's
+/// monitor type, and so a parked [`SessionState`] owns no engine
+/// reference. All arrays are *unit*-granular (property or fused group,
+/// per the backend).
 #[derive(Debug, Clone)]
-struct Core<'e> {
-    engine: &'e Engine,
+struct Core {
     mode: DispatchMode,
     backend: Backend,
     active: Vec<bool>,
@@ -175,6 +188,36 @@ struct Core<'e> {
     /// Telemetry sink, if a registry is attached. The hot loops never see
     /// it: deltas are flushed at batch boundaries only.
     metrics: Option<MetricsSink>,
+}
+
+/// A parked session: the monitor arenas and dispatch bookkeeping of a
+/// [`Session`], detached from the engine borrow so they can rest in a
+/// pool, cross a thread, or outlive the stack frame that served a stream.
+/// Obtained from [`Session::into_state`]; revived with [`Engine::resume`],
+/// which refuses states parked under a different engine (their monitors
+/// still point at that engine's compiled programs).
+///
+/// All allocations are retained: park → resume → [`Session::reset`] is
+/// the zero-alloc session-recycling path a daemon's stream pool runs on.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    arena: MonitorArena,
+    core: Core,
+    /// Identity of the engine this state was parked under (the address of
+    /// its fused program, shared by engine clones).
+    token: usize,
+}
+
+impl SessionState {
+    /// The execution backend the parked monitors were built for.
+    pub fn backend(&self) -> Backend {
+        self.core.backend
+    }
+
+    /// The dispatch mode the parked session ran with.
+    pub fn mode(&self) -> DispatchMode {
+        self.core.mode
+    }
 }
 
 impl<'e> Session<'e> {
@@ -202,9 +245,9 @@ impl<'e> Session<'e> {
         };
         let units = arena.len();
         Session {
+            engine,
             arena,
             core: Core {
-                engine,
                 mode,
                 backend,
                 active: vec![true; units],
@@ -218,6 +261,19 @@ impl<'e> Session<'e> {
                 finished: false,
                 metrics: None,
             },
+        }
+    }
+
+    /// Detach this session from its engine borrow, keeping every
+    /// allocation (monitor arenas, queues, statistics, attached metrics
+    /// sink) and the exact mid-stream state. The counterpart of
+    /// [`Engine::resume`]; together they let a daemon pool recycled
+    /// sessions across stream lifetimes.
+    pub fn into_state(self) -> SessionState {
+        SessionState {
+            arena: self.arena,
+            core: self.core,
+            token: self.engine.identity(),
         }
     }
 
@@ -264,12 +320,12 @@ impl<'e> Session<'e> {
     ///
     /// Panics if `id` is out of range.
     pub fn witness(&self, id: usize) -> Option<Witness> {
-        self.arena.property_monitor(self.core.engine, id).witness()
+        self.arena.property_monitor(self.engine, id).witness()
     }
 
     /// The engine this session was opened from.
     pub fn engine(&self) -> &'e Engine {
-        self.core.engine
+        self.engine
     }
 
     /// The dispatch mode this session runs with.
@@ -286,11 +342,11 @@ impl<'e> Session<'e> {
     #[inline]
     pub fn ingest(&mut self, event: TimedEvent) {
         match &mut self.arena {
-            MonitorArena::Interp(ms) => self.core.ingest_in(ms, event),
-            MonitorArena::Compiled(ms) => self.core.ingest_in(ms, event),
-            MonitorArena::Fused(ms) => self.core.ingest_in(ms, event),
+            MonitorArena::Interp(ms) => self.core.ingest_in(self.engine, ms, event),
+            MonitorArena::Compiled(ms) => self.core.ingest_in(self.engine, ms, event),
+            MonitorArena::Fused(ms) => self.core.ingest_in(self.engine, ms, event),
         }
-        self.core.flush_metrics();
+        self.core.flush_metrics(self.engine);
     }
 
     /// Feed a batch of events (the bulk path: one call per recorded trace
@@ -298,36 +354,36 @@ impl<'e> Session<'e> {
     pub fn ingest_batch(&mut self, events: &[TimedEvent]) {
         match (&mut self.arena, self.core.mode) {
             (MonitorArena::Interp(ms), DispatchMode::Indexed) => {
-                self.core.ingest_batch_indexed(ms, events);
+                self.core.ingest_batch_indexed(self.engine, ms, events);
             }
             (MonitorArena::Compiled(ms), DispatchMode::Indexed) => {
-                self.core.ingest_batch_indexed(ms, events);
+                self.core.ingest_batch_indexed(self.engine, ms, events);
             }
             (MonitorArena::Fused(ms), DispatchMode::Indexed) => {
-                self.core.ingest_batch_indexed(ms, events);
+                self.core.ingest_batch_indexed(self.engine, ms, events);
             }
             (MonitorArena::Interp(ms), DispatchMode::Broadcast) => {
-                self.core.ingest_batch_in(ms, events);
+                self.core.ingest_batch_in(self.engine, ms, events);
             }
             (MonitorArena::Compiled(ms), DispatchMode::Broadcast) => {
-                self.core.ingest_batch_in(ms, events);
+                self.core.ingest_batch_in(self.engine, ms, events);
             }
             (MonitorArena::Fused(ms), DispatchMode::Broadcast) => {
-                self.core.ingest_batch_in(ms, events);
+                self.core.ingest_batch_in(self.engine, ms, events);
             }
         }
-        self.core.flush_metrics();
+        self.core.flush_metrics(self.engine);
     }
 
     /// Notify the session that simulated time has advanced to `now` with no
     /// new event — lets timed monitors detect expired deadlines online.
     pub fn advance_time(&mut self, now: SimTime) {
         match &mut self.arena {
-            MonitorArena::Interp(ms) => self.core.advance_time_in(ms, now),
-            MonitorArena::Compiled(ms) => self.core.advance_time_in(ms, now),
-            MonitorArena::Fused(ms) => self.core.advance_time_in(ms, now),
+            MonitorArena::Interp(ms) => self.core.advance_time_in(self.engine, ms, now),
+            MonitorArena::Compiled(ms) => self.core.advance_time_in(self.engine, ms, now),
+            MonitorArena::Fused(ms) => self.core.advance_time_in(self.engine, ms, now),
         }
-        self.core.flush_metrics();
+        self.core.flush_metrics(self.engine);
     }
 
     /// Declare end of observation and return the report. All still-live
@@ -345,17 +401,17 @@ impl<'e> Session<'e> {
     pub fn close(&mut self, end_time: SimTime) {
         let was_finished = self.core.finished;
         match &mut self.arena {
-            MonitorArena::Interp(ms) => self.core.close_in(ms, end_time),
-            MonitorArena::Compiled(ms) => self.core.close_in(ms, end_time),
-            MonitorArena::Fused(ms) => self.core.close_in(ms, end_time),
+            MonitorArena::Interp(ms) => self.core.close_in(self.engine, ms, end_time),
+            MonitorArena::Compiled(ms) => self.core.close_in(self.engine, ms, end_time),
+            MonitorArena::Fused(ms) => self.core.close_in(self.engine, ms, end_time),
         }
-        self.core.flush_metrics();
+        self.core.flush_metrics(self.engine);
         // Verdicts are counted exactly once per stream, at the
         // not-finished → finished transition (`close` is idempotent).
         if !was_finished && self.core.finished {
             if let Some(sink) = &self.core.metrics {
-                for id in 0..self.core.engine.len() {
-                    let verdict = self.arena.property_monitor(self.core.engine, id).verdict();
+                for id in 0..self.engine.len() {
+                    let verdict = self.arena.property_monitor(self.engine, id).verdict();
                     sink.metrics.verdict_counter(verdict).inc();
                 }
                 sink.metrics.streams.inc();
@@ -366,16 +422,16 @@ impl<'e> Session<'e> {
     /// Snapshot the current per-property verdicts and dispatch statistics
     /// without ending the stream.
     pub fn report(&self) -> EngineReport {
-        let properties = (0..self.core.engine.len())
+        let properties = (0..self.engine.len())
             .map(|id| {
-                let m = self.arena.property_monitor(self.core.engine, id);
+                let m = self.arena.property_monitor(self.engine, id);
                 let verdict = m.verdict();
                 PropertyReport {
                     index: id,
                     // An `Arc` bump, not a copy of the property text —
                     // reports in a tight reuse loop must not allocate per
                     // property.
-                    property: Arc::clone(&self.core.engine.properties[id].display),
+                    property: Arc::clone(&self.engine.properties[id].display),
                     verdict,
                     violation: m.violation().cloned(),
                     // `witness()` is `None` unless explain mode is on, so
@@ -390,8 +446,8 @@ impl<'e> Session<'e> {
             })
             .collect();
         let mut stats = self.core.stats;
-        stats.properties = self.core.engine.len() as u64;
-        stats.retired = (self.core.engine.len() - self.core.active_props) as u64;
+        stats.properties = self.engine.len() as u64;
+        stats.retired = (self.engine.len() - self.core.active_props) as u64;
         EngineReport {
             properties,
             stats,
@@ -404,7 +460,7 @@ impl<'e> Session<'e> {
     pub fn reset(&mut self) {
         // Credit whatever the last batch left unflushed before the
         // statistics restart from zero; the watermarks restart with them.
-        self.core.flush_metrics();
+        self.core.flush_metrics(self.engine);
         match &mut self.arena {
             MonitorArena::Interp(ms) => {
                 for m in ms.iter_mut() {
@@ -424,11 +480,11 @@ impl<'e> Session<'e> {
             core.deadlines[id] = None;
         }
         core.active_units = units;
-        core.active_props = core.engine.len();
+        core.active_props = self.engine.len();
         core.next_deadline = None;
         core.deadline_dirty = false;
         core.newly_final.clear();
-        core.stats = base_stats(core.engine);
+        core.stats = base_stats(self.engine);
         core.finished = false;
         if let Some(sink) = &mut core.metrics {
             sink.flushed = Default::default();
@@ -460,7 +516,7 @@ impl<'e> Session<'e> {
     ///
     /// Panics if `id` is out of range.
     pub fn verdict(&self, id: usize) -> Verdict {
-        self.arena.property_monitor(self.core.engine, id).verdict()
+        self.arena.property_monitor(self.engine, id).verdict()
     }
 
     /// Violation report of property `id`, if it is violated.
@@ -472,7 +528,7 @@ impl<'e> Session<'e> {
         match &self.arena {
             MonitorArena::Interp(ms) => ms[id].violation(),
             MonitorArena::Compiled(ms) => ms[id].violation(),
-            MonitorArena::Fused(ms) => ms[self.core.engine.fused.group_of(id)].violation(),
+            MonitorArena::Fused(ms) => ms[self.engine.fused.group_of(id)].violation(),
         }
     }
 
@@ -487,7 +543,7 @@ impl<'e> Session<'e> {
     ///
     /// Panics if `id` is out of range.
     pub fn ops(&self, id: usize) -> u64 {
-        self.arena.property_monitor(self.core.engine, id).ops()
+        self.arena.property_monitor(self.engine, id).ops()
     }
 
     /// Number of properties still live (not retired).
@@ -519,16 +575,52 @@ fn base_stats(engine: &Engine) -> DispatchStats {
     }
 }
 
-impl<'e> Core<'e> {
+impl Engine {
+    /// Re-attach a parked [`SessionState`] to this engine, reviving it as
+    /// a [`Session`] in exactly the state it was parked in (mid-stream
+    /// included). The zero-alloc counterpart of opening a fresh session —
+    /// the recycling hook daemon stream pools are built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the state untouched if it was parked under a *different*
+    /// engine (its monitors still reference that engine's compiled
+    /// programs, so resuming here would silently run the wrong rulebook).
+    /// Engine *clones* share identity with their original. Callers fall
+    /// back to building a fresh session and dropping the stale state.
+    // The Err variant carries the whole state back *by design*: the caller
+    // keeps its allocations for reuse (or drops them); boxing would force
+    // an allocation onto the zero-alloc happy path of `into_state`.
+    #[allow(clippy::result_large_err)]
+    pub fn resume(&self, state: SessionState) -> Result<Session<'_>, SessionState> {
+        if state.token != self.identity() {
+            return Err(state);
+        }
+        Ok(Session {
+            engine: self,
+            arena: state.arena,
+            core: state.core,
+        })
+    }
+
+    /// The identity token [`SessionState`]s are stamped with: the address
+    /// of the shared fused program, which engine clones share and distinct
+    /// compilations never do.
+    pub(crate) fn identity(&self) -> usize {
+        Arc::as_ptr(&self.fused) as usize
+    }
+}
+
+impl Core {
     /// Flush the statistics accumulated since the last flush into the
     /// attached metrics sink, if any. Called at batch boundaries only —
     /// the common detached case is one branch on a `None`.
-    fn flush_metrics(&mut self) {
+    fn flush_metrics(&mut self, engine: &Engine) {
         let Some(sink) = &mut self.metrics else {
             return;
         };
         let stats = &self.stats;
-        let retired = (self.engine.len() - self.active_props) as u64;
+        let retired = (engine.len() - self.active_props) as u64;
         let m = &sink.metrics;
         let f = &mut sink.flushed;
         m.events.add(stats.events - f.events);
@@ -548,9 +640,9 @@ impl<'e> Core<'e> {
     /// How many properties one step of `unit` serves: the group's member
     /// count under the fused backend, 1 otherwise.
     #[inline]
-    fn served_by(&self, unit: usize) -> u64 {
+    fn served_by(&self, engine: &Engine, unit: usize) -> u64 {
         match self.backend {
-            Backend::Fused => self.engine.fused.members(unit).len() as u64,
+            Backend::Fused => engine.fused.members(unit).len() as u64,
             _ => 1,
         }
     }
@@ -560,39 +652,44 @@ impl<'e> Core<'e> {
     /// unit's precomputed action-table row offset for the name, in
     /// parallel.
     #[inline]
-    fn routes(&self, name: lomon_trace::Name) -> (&'e [u32], &'e [u32]) {
+    fn routes<'e>(&self, engine: &'e Engine, name: lomon_trace::Name) -> (&'e [u32], &'e [u32]) {
         match self.backend {
-            Backend::Fused => self.engine.fused.subscribers(name),
-            _ => self.engine.prop_subscribers(name),
+            Backend::Fused => engine.fused.subscribers(name),
+            _ => engine.prop_subscribers(name),
         }
     }
 
     /// The timed unit ids at this backend's granularity.
     #[inline]
-    fn timed_units(&self) -> &'e [u32] {
+    fn timed_units<'e>(&self, engine: &'e Engine) -> &'e [u32] {
         match self.backend {
-            Backend::Fused => self.engine.fused.timed_groups(),
-            _ => &self.engine.timed_ids,
+            Backend::Fused => engine.fused.timed_groups(),
+            _ => &engine.timed_ids,
         }
     }
 
     /// The dense unit → is-timed flags at this backend's granularity.
     #[inline]
-    fn timed_flags(&self) -> &'e [bool] {
+    fn timed_flags<'e>(&self, engine: &'e Engine) -> &'e [bool] {
         match self.backend {
-            Backend::Fused => self.engine.fused.timed_flags(),
-            _ => &self.engine.timed_flags,
+            Backend::Fused => engine.fused.timed_flags(),
+            _ => &engine.timed_flags,
         }
     }
 
     #[inline]
-    fn ingest_in<M: RoutedMonitor>(&mut self, monitors: &mut [M], event: TimedEvent) {
+    fn ingest_in<M: RoutedMonitor>(
+        &mut self,
+        engine: &Engine,
+        monitors: &mut [M],
+        event: TimedEvent,
+    ) {
         self.stats.events += 1;
         match self.mode {
             DispatchMode::Broadcast => {
                 for id in 0..monitors.len() {
                     if self.active[id] {
-                        self.step_observe_plain(monitors, id, event);
+                        self.step_observe_plain(engine, monitors, id, event);
                     }
                 }
             }
@@ -601,10 +698,10 @@ impl<'e> Core<'e> {
                 // below share a single bound.
                 assert!(
                     self.active.len() == monitors.len()
-                        && self.timed_flags().len() == monitors.len()
+                        && self.timed_flags(engine).len() == monitors.len()
                         && self.deadlines.len() == monitors.len()
                 );
-                let (units, bases) = self.routes(event.name);
+                let (units, bases) = self.routes(engine, event.name);
                 let live_before = self.active_props as u64;
                 let mut served = 0u64;
                 // Timed units can flip to Violated on *any* event whose
@@ -613,13 +710,13 @@ impl<'e> Core<'e> {
                 // deadline anyway). The guard keeps the common no-deadline
                 // case to two flag loads.
                 if self.deadline_dirty || self.next_deadline.is_some() {
-                    served += self.sweep_deadlines(monitors, event.time, units);
+                    served += self.sweep_deadlines(engine, monitors, event.time, units);
                 }
                 for (&u, &base) in units.iter().zip(bases) {
                     let u = u as usize;
                     if self.active[u] {
-                        self.step_observe(monitors, u, event, base);
-                        served += self.served_by(u);
+                        self.step_observe(engine, monitors, u, event, base);
+                        served += self.served_by(engine, u);
                     }
                 }
                 self.stats.steps_skipped += live_before.saturating_sub(served);
@@ -627,7 +724,12 @@ impl<'e> Core<'e> {
         }
     }
 
-    fn ingest_batch_in<M: RoutedMonitor>(&mut self, monitors: &mut [M], events: &[TimedEvent]) {
+    fn ingest_batch_in<M: RoutedMonitor>(
+        &mut self,
+        engine: &Engine,
+        monitors: &mut [M],
+        events: &[TimedEvent],
+    ) {
         for (k, &event) in events.iter().enumerate() {
             // Every monitor is quiescent once all verdicts are final; the
             // remaining events can only bump the event counter.
@@ -635,7 +737,7 @@ impl<'e> Core<'e> {
                 self.stats.events += (events.len() - k) as u64;
                 return;
             }
-            self.ingest_in(monitors, event);
+            self.ingest_in(engine, monitors, event);
         }
     }
 
@@ -647,28 +749,30 @@ impl<'e> Core<'e> {
     /// arithmetic) — worth ~10% on the disjoint hot loop.
     fn ingest_batch_indexed<M: RoutedMonitor>(
         &mut self,
+        engine: &Engine,
         monitors: &mut [M],
         events: &[TimedEvent],
     ) {
         match self.backend {
-            Backend::Fused => self.ingest_batch_indexed_in::<M, true>(monitors, events),
+            Backend::Fused => self.ingest_batch_indexed_in::<M, true>(engine, monitors, events),
             Backend::Compiled | Backend::Interp => {
-                self.ingest_batch_indexed_in::<M, false>(monitors, events);
+                self.ingest_batch_indexed_in::<M, false>(engine, monitors, events);
             }
         }
     }
 
     fn ingest_batch_indexed_in<M: RoutedMonitor, const FUSED: bool>(
         &mut self,
+        engine: &Engine,
         monitors: &mut [M],
         events: &[TimedEvent],
     ) {
         assert!(
             self.active.len() == monitors.len()
-                && self.timed_flags().len() == monitors.len()
+                && self.timed_flags(engine).len() == monitors.len()
                 && self.deadlines.len() == monitors.len()
         );
-        let timed_flags = self.timed_flags();
+        let timed_flags = self.timed_flags(engine);
         let mut seen = 0u64;
         let mut steps = 0u64;
         let mut skipped = 0u64;
@@ -681,13 +785,13 @@ impl<'e> Core<'e> {
             seen += 1;
             let mut served = 0u64;
             let live_before = self.active_props as u64;
-            let (units, bases) = self.routes(event.name);
+            let (units, bases) = self.routes(engine, event.name);
             if self.deadline_dirty || self.next_deadline.is_some() {
                 // The sweep updates `self.stats` through the slow path;
                 // fold its counters into the locals afterwards.
                 let before_steps = self.stats.monitor_steps;
                 let before_shared = self.stats.shared_hits;
-                served += self.sweep_deadlines(monitors, event.time, units);
+                served += self.sweep_deadlines(engine, monitors, event.time, units);
                 steps += self.stats.monitor_steps - before_steps;
                 shared += self.stats.shared_hits - before_shared;
                 self.stats.monitor_steps = before_steps;
@@ -698,7 +802,7 @@ impl<'e> Core<'e> {
                 if self.active[u] {
                     let verdict = monitors[u].observe_routed(event, base);
                     let fan_out = if FUSED {
-                        self.engine.fused.members(u).len() as u64
+                        engine.fused.members(u).len() as u64
                     } else {
                         1
                     };
@@ -706,7 +810,7 @@ impl<'e> Core<'e> {
                     served += fan_out;
                     shared += fan_out - 1;
                     if verdict.is_final() {
-                        self.retire(u);
+                        self.retire(engine, u);
                     } else if timed_flags[u] {
                         self.deadlines[u] = monitors[u].deadline();
                         self.deadline_dirty = true;
@@ -721,22 +825,22 @@ impl<'e> Core<'e> {
         self.stats.shared_hits += shared;
     }
 
-    fn advance_time_in<M: Monitor>(&mut self, monitors: &mut [M], now: SimTime) {
+    fn advance_time_in<M: Monitor>(&mut self, engine: &Engine, monitors: &mut [M], now: SimTime) {
         match self.mode {
             DispatchMode::Broadcast => {
                 for id in 0..monitors.len() {
                     if self.active[id] {
-                        self.step_advance(monitors, id, now);
+                        self.step_advance(engine, monitors, id, now);
                     }
                 }
             }
             DispatchMode::Indexed => {
-                self.sweep_deadlines(monitors, now, &[]);
+                self.sweep_deadlines(engine, monitors, now, &[]);
             }
         }
     }
 
-    fn close_in<M: Monitor>(&mut self, monitors: &mut [M], end_time: SimTime) {
+    fn close_in<M: Monitor>(&mut self, engine: &Engine, monitors: &mut [M], end_time: SimTime) {
         if !self.finished {
             for (id, monitor) in monitors.iter_mut().enumerate() {
                 if !self.active[id] {
@@ -744,7 +848,7 @@ impl<'e> Core<'e> {
                 }
                 monitor.finish(end_time);
                 if monitor.verdict().is_final() {
-                    self.retire(id);
+                    self.retire(engine, id);
                 }
             }
             self.finished = true;
@@ -756,6 +860,7 @@ impl<'e> Core<'e> {
     #[inline]
     fn step_observe<M: RoutedMonitor>(
         &mut self,
+        engine: &Engine,
         monitors: &mut [M],
         id: usize,
         event: TimedEvent,
@@ -763,10 +868,10 @@ impl<'e> Core<'e> {
     ) {
         let verdict = monitors[id].observe_routed(event, base);
         self.stats.monitor_steps += 1;
-        self.stats.shared_hits += self.served_by(id) - 1;
+        self.stats.shared_hits += self.served_by(engine, id) - 1;
         if verdict.is_final() {
-            self.retire(id);
-        } else if self.timed_flags()[id] {
+            self.retire(engine, id);
+        } else if self.timed_flags(engine)[id] {
             self.deadlines[id] = monitors[id].deadline();
             self.deadline_dirty = true;
         }
@@ -774,26 +879,38 @@ impl<'e> Core<'e> {
 
     /// Step unit `id` with `event` without a routing hint (broadcast mode
     /// steps unsubscribed units too, so no row is available).
-    fn step_observe_plain<M: Monitor>(&mut self, monitors: &mut [M], id: usize, event: TimedEvent) {
+    fn step_observe_plain<M: Monitor>(
+        &mut self,
+        engine: &Engine,
+        monitors: &mut [M],
+        id: usize,
+        event: TimedEvent,
+    ) {
         let verdict = monitors[id].observe(event);
         self.stats.monitor_steps += 1;
-        self.stats.shared_hits += self.served_by(id) - 1;
+        self.stats.shared_hits += self.served_by(engine, id) - 1;
         if verdict.is_final() {
-            self.retire(id);
-        } else if self.timed_flags()[id] {
+            self.retire(engine, id);
+        } else if self.timed_flags(engine)[id] {
             self.deadlines[id] = monitors[id].deadline();
             self.deadline_dirty = true;
         }
     }
 
     /// Step unit `id` with a time notification.
-    fn step_advance<M: Monitor>(&mut self, monitors: &mut [M], id: usize, now: SimTime) {
+    fn step_advance<M: Monitor>(
+        &mut self,
+        engine: &Engine,
+        monitors: &mut [M],
+        id: usize,
+        now: SimTime,
+    ) {
         let verdict = monitors[id].advance_time(now);
         self.stats.monitor_steps += 1;
-        self.stats.shared_hits += self.served_by(id) - 1;
+        self.stats.shared_hits += self.served_by(engine, id) - 1;
         if verdict.is_final() {
-            self.retire(id);
-        } else if self.timed_flags()[id] {
+            self.retire(engine, id);
+        } else if self.timed_flags(engine)[id] {
             self.deadlines[id] = monitors[id].deadline();
             self.deadline_dirty = true;
         }
@@ -801,17 +918,17 @@ impl<'e> Core<'e> {
 
     /// Retire unit `id`, fanning its member properties out to the
     /// newly-final queue (a per-property unit fans out to itself).
-    fn retire(&mut self, id: usize) {
+    fn retire(&mut self, engine: &Engine, id: usize) {
         if self.active[id] {
             self.active[id] = false;
             self.active_units -= 1;
             self.deadlines[id] = None;
-            if self.timed_flags()[id] {
+            if self.timed_flags(engine)[id] {
                 self.deadline_dirty = true;
             }
             match self.backend {
                 Backend::Fused => {
-                    let members = self.engine.fused.members(id);
+                    let members = engine.fused.members(id);
                     self.active_props -= members.len();
                     self.newly_final.extend_from_slice(members);
                 }
@@ -830,18 +947,19 @@ impl<'e> Core<'e> {
     /// *properties* served.
     fn sweep_deadlines<M: Monitor>(
         &mut self,
+        engine: &Engine,
         monitors: &mut [M],
         now: SimTime,
         exclude_units: &[u32],
     ) -> u64 {
-        self.refresh_next_deadline();
+        self.refresh_next_deadline(engine);
         let Some(min) = self.next_deadline else {
             return 0;
         };
         if now <= min {
             return 0;
         }
-        let timed = self.timed_units();
+        let timed = self.timed_units(engine);
         let mut served = 0;
         for &unit in timed {
             let id = unit as usize;
@@ -849,21 +967,21 @@ impl<'e> Core<'e> {
                 continue;
             }
             if self.deadlines[id].is_some_and(|d| now > d) {
-                let fan_out = self.served_by(id);
-                self.step_advance(monitors, id, now);
+                let fan_out = self.served_by(engine, id);
+                self.step_advance(engine, monitors, id, now);
                 served += fan_out;
             }
         }
-        self.refresh_next_deadline();
+        self.refresh_next_deadline(engine);
         served
     }
 
-    fn refresh_next_deadline(&mut self) {
+    fn refresh_next_deadline(&mut self, engine: &Engine) {
         if !self.deadline_dirty {
             return;
         }
         self.next_deadline = self
-            .timed_units()
+            .timed_units(engine)
             .iter()
             .filter(|&&id| self.active[id as usize])
             .filter_map(|&id| self.deadlines[id as usize])
@@ -1147,5 +1265,74 @@ mod tests {
         session.drain_newly_final_into(&mut buffer);
         assert_eq!(buffer, vec![1]);
         assert!(session.is_settled());
+    }
+
+    #[test]
+    fn park_and_resume_preserves_mid_stream_state() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let mut session = engine.session();
+        session.ingest(event(&voc, "a", 10));
+        session.ingest(event(&voc, "go", 20)); // open 50ns deadline
+        let state = session.into_state();
+        assert_eq!(state.backend(), Backend::Fused);
+        assert_eq!(state.mode(), DispatchMode::Indexed);
+        // Resuming under the same engine continues the exact stream:
+        // the open deadline still fires, the antecedent still remembers `a`.
+        let mut resumed = engine.resume(state).expect("same engine");
+        assert_eq!(resumed.stats().events, 2);
+        resumed.ingest(event(&voc, "b", 30));
+        resumed.ingest(event(&voc, "start", 40));
+        assert_eq!(resumed.verdict(0), Verdict::Satisfied);
+        resumed.advance_time(SimTime::from_ns(200));
+        assert_eq!(resumed.verdict(1), Verdict::Violated);
+    }
+
+    #[test]
+    fn resume_rejects_states_from_another_engine() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let other = two_property_engine(&mut voc);
+        let state = engine.session().into_state();
+        // Same shape, different compilation: the monitors belong to
+        // `engine`'s programs, so `other` must refuse the state…
+        let state = other.resume(state).expect_err("foreign state rejected");
+        // …while an engine *clone* (shared fused program) accepts it, as
+        // does the original.
+        let clone = engine.clone();
+        let state = clone
+            .resume(state)
+            .expect("clone shares identity")
+            .into_state();
+        assert!(engine.resume(state).is_ok());
+    }
+
+    #[test]
+    fn recycled_state_equals_fresh_session() {
+        let mut voc = Vocabulary::new();
+        let engine = two_property_engine(&mut voc);
+        let events: Vec<TimedEvent> = [("a", 10), ("go", 20), ("b", 30), ("start", 40)]
+            .into_iter()
+            .map(|(n, t)| event(&voc, n, t))
+            .collect();
+        // Dirty a session with a first stream, park it, resume, reset —
+        // the recycled session must be observationally a fresh one.
+        let mut first = engine.session();
+        first.ingest_batch(&events);
+        first.close(SimTime::from_ns(100));
+        let state = first.into_state();
+        let mut recycled = engine.resume(state).expect("same engine");
+        recycled.reset();
+        let mut fresh = engine.session();
+        recycled.ingest_batch(&events);
+        fresh.ingest_batch(&events);
+        let (a, b) = (
+            recycled.finish(SimTime::from_ns(100)),
+            fresh.finish(SimTime::from_ns(100)),
+        );
+        assert_eq!(a.stats, b.stats);
+        for (x, y) in a.properties.iter().zip(&b.properties) {
+            assert_eq!(x.verdict, y.verdict);
+        }
     }
 }

@@ -1,0 +1,214 @@
+//! Session recycling under adversarial interleavings: the daemon reuse
+//! loop (`ingest* → close → reset`, with `into_state`/`resume` park points
+//! anywhere in between) must be observationally identical to opening a
+//! fresh session per stream. This is the property `lomon serve` leans on
+//! when it pools parked sessions across connections — a single leaked bit
+//! of monitor state would cross-contaminate unrelated streams.
+
+use proptest::prelude::*;
+
+use lomon_engine::Engine;
+use lomon_trace::{Name, SimTime, TimedEvent, Vocabulary};
+
+/// A fixed four-property rulebook mixing repeated/once antecedents with a
+/// timed deadline, so resets must rewind loose-ordering recognizers *and*
+/// pending deadlines.
+const TEXTS: [&str; 4] = [
+    "all{a, b, c} << s repeated",
+    "any{a, b} << t once",
+    "a << b repeated",
+    "go => out:done within 50 ns",
+];
+
+fn compile() -> (Engine, Vec<Name>) {
+    let mut voc = Vocabulary::new();
+    let engine = Engine::compile(&TEXTS, &mut voc).expect("fixed rulebook compiles");
+    let universe: Vec<Name> = voc.iter().collect();
+    (engine, universe)
+}
+
+/// One random stream: events as `(pick, gap_ns)` with accumulating time,
+/// plus a trailing gap before the `end` timestamp (so deadlines can expire
+/// at close time, not just mid-stream).
+fn materialize(
+    steps: &[(usize, u64)],
+    end_gap: u64,
+    universe: &[Name],
+) -> (Vec<TimedEvent>, SimTime) {
+    let mut events = Vec::with_capacity(steps.len());
+    let mut now = SimTime::ZERO;
+    for &(pick, gap_ns) in steps {
+        now = now
+            .checked_add(SimTime::from_ns(gap_ns))
+            .expect("small times");
+        events.push(TimedEvent::new(universe[pick % universe.len()], now));
+    }
+    let end = now
+        .checked_add(SimTime::from_ns(end_gap))
+        .expect("small times");
+    (events, end)
+}
+
+/// The oracle: a throwaway session over the same engine, one per stream.
+fn fresh_outcome(
+    engine: &Engine,
+    events: &[TimedEvent],
+    end: SimTime,
+) -> Vec<(
+    lomon_core::verdict::Verdict,
+    Option<lomon_core::verdict::ViolationKind>,
+)> {
+    let mut session = engine.session();
+    for &event in events {
+        session.ingest(event);
+    }
+    session.close(end);
+    (0..engine.len())
+        .map(|id| (session.verdict(id), session.violation(id).map(|v| v.kind)))
+        .collect()
+}
+
+type StreamSpec = (Vec<(usize, u64)>, usize, u64);
+
+fn stream_strategy() -> impl Strategy<Value = StreamSpec> {
+    (
+        prop::collection::vec((0usize..16, 0u64..=120), 0..=24),
+        0usize..32,
+        0u64..=200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// One session recycled across every stream — reset between streams,
+    /// parked and resumed at a random point inside each — always matches
+    /// a fresh session per stream.
+    #[test]
+    fn recycled_session_matches_fresh_sessions(
+        streams in prop::collection::vec(stream_strategy(), 1..=5),
+    ) {
+        let (engine, universe) = compile();
+        let mut reused = engine.session();
+        for (stream_no, (steps, park_raw, end_gap)) in streams.iter().enumerate() {
+            let (events, end) = materialize(steps, *end_gap, &universe);
+            let expected = fresh_outcome(&engine, &events, end);
+
+            // The vendored proptest has no index/shuffle adapters; derive
+            // the park point from a plain usize instead.
+            let park_at = park_raw % (events.len() + 1);
+            for &event in &events[..park_at] {
+                reused.ingest(event);
+            }
+            let state = reused.into_state();
+            reused = match engine.resume(state) {
+                Ok(session) => session,
+                Err(_) => panic!("state parked under this very engine resumes"),
+            };
+            for &event in &events[park_at..] {
+                reused.ingest(event);
+            }
+            reused.close(end);
+
+            for (id, (verdict, kind)) in expected.iter().enumerate() {
+                prop_assert_eq!(
+                    reused.verdict(id), *verdict,
+                    "stream {} property {}: recycled verdict diverged", stream_no, id
+                );
+                prop_assert_eq!(
+                    reused.violation(id).map(|v| v.kind), *kind,
+                    "stream {} property {}: recycled violation kind diverged", stream_no, id
+                );
+            }
+            reused.reset();
+        }
+    }
+
+    /// A pool of sessions parked mid-stream and revived in a different
+    /// order: each must pick up exactly its own stream, never a pool
+    /// neighbour's. This is the serve daemon's steady state — several
+    /// connections parked at once, resumed as their bytes arrive.
+    #[test]
+    fn parked_pool_resumes_out_of_order_without_cross_contamination(
+        streams in prop::collection::vec(stream_strategy(), 2..=4),
+        rotation in 0usize..4,
+    ) {
+        let (engine, universe) = compile();
+        let materialized: Vec<(Vec<TimedEvent>, SimTime, usize)> = streams
+            .iter()
+            .map(|(steps, park_raw, end_gap)| {
+                let (events, end) = materialize(steps, *end_gap, &universe);
+                let park_at = park_raw % (events.len() + 1);
+                (events, end, park_at)
+            })
+            .collect();
+
+        // Park every stream at its prefix boundary...
+        let mut parked = Vec::new();
+        for (stream_no, (events, _, park_at)) in materialized.iter().enumerate() {
+            let mut session = engine.session();
+            for &event in &events[..*park_at] {
+                session.ingest(event);
+            }
+            parked.push((stream_no, session.into_state()));
+        }
+        // ...then revive in a rotated order (no shuffle adapter in the
+        // vendored proptest; a rotation is order-changing enough).
+        let turn = rotation % parked.len();
+        parked.rotate_left(turn);
+
+        for (stream_no, state) in parked {
+            let (events, end, park_at) = &materialized[stream_no];
+            let expected = fresh_outcome(&engine, events, *end);
+            let mut session = match engine.resume(state) {
+                Ok(session) => session,
+                Err(_) => panic!("pooled state resumes on its engine"),
+            };
+            for &event in &events[*park_at..] {
+                session.ingest(event);
+            }
+            session.close(*end);
+            for (id, (verdict, kind)) in expected.iter().enumerate() {
+                prop_assert_eq!(
+                    session.verdict(id), *verdict,
+                    "pooled stream {} property {}: verdict diverged", stream_no, id
+                );
+                prop_assert_eq!(
+                    session.violation(id).map(|v| v.kind), *kind,
+                    "pooled stream {} property {}: violation kind diverged", stream_no, id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_rejects_a_foreign_engine_but_accepts_a_clone() {
+    let (engine, universe) = compile();
+    let (other, _) = compile();
+
+    let mut session = engine.session();
+    session.ingest(TimedEvent::new(universe[0], SimTime::from_ns(5)));
+    let state = session.into_state();
+
+    // A distinct compilation of the *same* texts is still a different
+    // engine: resuming there would run the wrong compiled programs.
+    let state = match other.resume(state) {
+        Ok(_) => panic!("foreign engine must refuse a parked state"),
+        Err(state) => state,
+    };
+
+    // A clone shares the fused program, hence the identity token.
+    let clone = engine.clone();
+    let mut revived = match clone.resume(state) {
+        Ok(session) => session,
+        Err(_) => panic!("clone shares identity with its original"),
+    };
+    revived.close(SimTime::from_ns(10));
+    let expected = fresh_outcome(
+        &engine,
+        &[TimedEvent::new(universe[0], SimTime::from_ns(5))],
+        SimTime::from_ns(10),
+    );
+    assert_eq!(revived.verdict(0), expected[0].0);
+}

@@ -20,8 +20,8 @@ use crate::registry::Registry;
 
 /// Cap on the request head we are willing to buffer.
 const MAX_HEAD: u64 = 8 * 1024;
-/// Per-connection read/write timeout, so one stalled client cannot wedge
-/// the (single-threaded) listener.
+/// Default per-connection read/write deadline, so one stalled or
+/// half-open client cannot wedge the (single-threaded) listener.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// A running metrics endpoint. Dropping it shuts the listener down
@@ -40,6 +40,18 @@ impl MetricsServer {
     /// bind error untouched if the address is unavailable, so callers can
     /// surface "address already in use" directly.
     pub fn bind(addr: &str, registry: Arc<Registry>) -> io::Result<Self> {
+        Self::bind_with_timeout(addr, registry, IO_TIMEOUT)
+    }
+
+    /// [`MetricsServer::bind`] with an explicit per-connection I/O
+    /// deadline. The listener handles connections serially, so the
+    /// deadline bounds how long a half-open or stalled client can starve
+    /// every other scraper; tests shrink it to keep suites fast.
+    pub fn bind_with_timeout(
+        addr: &str,
+        registry: Arc<Registry>,
+        io_timeout: Duration,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -57,7 +69,7 @@ impl MetricsServer {
                         let Ok(stream) = conn else { continue };
                         // Errors on one connection (reset, timeout) must not
                         // take the endpoint down.
-                        let _ = serve_one(stream, &registry, &draining);
+                        let _ = serve_one(stream, &registry, &draining, io_timeout);
                     }
                 })?
         };
@@ -100,9 +112,14 @@ impl Drop for MetricsServer {
 }
 
 /// Read the request head (method + target are all we need), route, respond.
-fn serve_one(stream: TcpStream, registry: &Registry, draining: &AtomicBool) -> io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+fn serve_one(
+    stream: TcpStream,
+    registry: &Registry,
+    draining: &AtomicBool,
+    io_timeout: Duration,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_HEAD);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;

@@ -153,6 +153,39 @@ fn drop_releases_the_port() {
 }
 
 #[test]
+fn half_open_connection_cannot_starve_other_scrapers() {
+    // Regression: the listener is single-threaded, so a client that
+    // connects and then goes silent (half-open socket, no request bytes)
+    // must be cut off by the read deadline — not hold the endpoint
+    // hostage. With a short deadline, a live scraper right behind the
+    // silent one still gets its snapshot promptly.
+    let registry = Arc::new(Registry::new());
+    registry
+        .counter("lomon_events_total", "Events ingested")
+        .add(7);
+    let server = MetricsServer::bind_with_timeout(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        Duration::from_millis(100),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Occupy the serial listener with a connection that never speaks.
+    let half_open = TcpStream::connect(addr).expect("connect half-open");
+    let start = std::time::Instant::now();
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("lomon_events_total 7\n"), "body: {body}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "scrape behind a half-open connection took {:?}",
+        start.elapsed()
+    );
+    drop(half_open);
+}
+
+#[test]
 fn malformed_request_gets_400_not_a_panic() {
     let registry = Arc::new(Registry::new());
     let server = MetricsServer::bind("127.0.0.1:0", registry).expect("bind");

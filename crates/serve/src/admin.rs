@@ -1,0 +1,167 @@
+//! The admin endpoint: health, rulebook hot-reload, drain shutdown.
+//!
+//! A deliberately tiny HTTP/1.1 surface in the style of the
+//! `lomon-obs` metrics listener: one background thread, serial
+//! connections, hard I/O timeouts, `Connection: close` on every response.
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `GET /health` | liveness + generation + stream counts |
+//! | `POST /reload` | body = rulebook text; compile aside, swap for new streams, `422` + diagnostics on failure (program untouched) |
+//! | `POST /shutdown` | begin drain-then-exit |
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::server::Shared;
+
+/// Cap on the request head.
+const MAX_HEAD: u64 = 8 * 1024;
+/// Cap on a reload body: a rulebook is text, not a dataset.
+const MAX_BODY: usize = 1024 * 1024;
+/// Per-connection read/write deadline — a stalled admin client cannot
+/// wedge the (single-threaded) endpoint.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Serve admin requests until the server stops.
+pub(crate) fn run(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // One bad connection must not take the endpoint down.
+        let _ = serve_one(stream, shared);
+        // /shutdown flips `stop` *after* its response is written; check
+        // again so the endpoint dies with the server, not one request late.
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut head = (&mut reader).take(MAX_HEAD);
+    let mut request_line = String::new();
+    head.read_line(&mut request_line)?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        match head.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {
+                let lower = line.to_ascii_lowercase();
+                if let Some(value) = lower.strip_prefix("content-length:") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let mut stream = stream;
+
+    if method.is_empty() || target.is_empty() {
+        return respond(
+            &mut stream,
+            400,
+            "Bad Request",
+            "{\"error\": \"bad request\"}\n",
+        );
+    }
+    match (method, target) {
+        ("GET", "/health") => {
+            let body = format!(
+                "{{\"status\": \"{}\", \"generation\": {}, \"active_streams\": {}, \
+                 \"pooled_sessions\": {}}}\n",
+                if shared.draining.load(Ordering::Acquire) {
+                    "draining"
+                } else {
+                    "ok"
+                },
+                shared.generation(),
+                shared.in_flight.load(Ordering::Acquire),
+                shared.pool.len(),
+            );
+            respond(&mut stream, 200, "OK", &body)
+        }
+        ("POST", "/reload") => {
+            if content_length > MAX_BODY {
+                return respond(
+                    &mut stream,
+                    413,
+                    "Payload Too Large",
+                    "{\"ok\": false, \"error\": \"rulebook too large\"}\n",
+                );
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let Ok(text) = String::from_utf8(body) else {
+                return respond(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "{\"ok\": false, \"error\": \"rulebook is not valid UTF-8\"}\n",
+                );
+            };
+            match shared.reload(&text) {
+                Ok(program) => {
+                    let body = format!(
+                        "{{\"ok\": true, \"generation\": {}, \"properties\": {}}}\n",
+                        program.generation,
+                        program.engine.len(),
+                    );
+                    respond(&mut stream, 200, "OK", &body)
+                }
+                Err(diagnostics) => {
+                    // Structured rollback report: the old program is still
+                    // serving; here is everything wrong with the new one.
+                    let rendered: Vec<String> =
+                        diagnostics.iter().map(|d| d.render_json()).collect();
+                    let body = format!(
+                        "{{\"ok\": false, \"generation\": {}, \"diagnostics\": [{}]}}\n",
+                        shared.generation(),
+                        rendered.join(", "),
+                    );
+                    respond(&mut stream, 422, "Unprocessable Entity", &body)
+                }
+            }
+        }
+        ("POST", "/shutdown") => {
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "{\"ok\": true, \"draining\": true}\n",
+            )?;
+            shared.request_shutdown();
+            Ok(())
+        }
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "{\"error\": \"not found\"}\n",
+        ),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

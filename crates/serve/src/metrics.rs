@@ -1,0 +1,114 @@
+//! The daemon's metric families, registered next to the engine's on the
+//! shared registry so the existing `/metrics` listener exposes both.
+//!
+//! Every failure-handling path in the server is observable: each of the
+//! four robustness mechanisms (fault isolation, shedding, lifecycle,
+//! chaos recovery) bumps its own counters, so a fleet operator can tell
+//! "clients send garbage" from "we are shedding load" from "reloads keep
+//! failing" without reading a single log line.
+
+use std::sync::Arc;
+
+use lomon_obs::{Counter, Gauge, Registry};
+
+/// Counters and gauges of the serving layer. All relaxed atomics —
+/// bumped on connection lifecycle edges, never in the per-event loop.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Connections accepted (including ones later shed or faulted).
+    pub connections: Arc<Counter>,
+    /// Streams that ran to a clean final report (an `end` frame or a
+    /// clean EOF).
+    pub streams: Arc<Counter>,
+    /// Events ingested across all streams (credited at stream close).
+    pub events: Arc<Counter>,
+    /// Streams currently in flight.
+    pub active_streams: Arc<Gauge>,
+    /// Unparsable frames (bad JSON, bad grammar) — each finalizes its
+    /// stream with an error frame.
+    pub parse_errors: Arc<Counter>,
+    /// Protocol violations: non-monotone timestamps, oversized frames,
+    /// invalid UTF-8.
+    pub protocol_errors: Arc<Counter>,
+    /// Connections that vanished mid-frame (torn final frame).
+    pub disconnects: Arc<Counter>,
+    /// Connections shed at accept time because the in-flight budget was
+    /// exhausted.
+    pub overloads: Arc<Counter>,
+    /// Streams reaped after sending nothing for the idle timeout.
+    pub idle_reaps: Arc<Counter>,
+    /// Connections abandoned because the client would not read our
+    /// verdicts within the write timeout (slow-loris readers).
+    pub slow_closes: Arc<Counter>,
+    /// Successful rulebook hot-reloads.
+    pub reloads: Arc<Counter>,
+    /// Rejected rulebook hot-reloads (compile or lint failure).
+    pub reload_failures: Arc<Counter>,
+    /// Connection handlers that panicked (always 0 in a healthy build —
+    /// the chaos suite asserts it stays 0 under every injected fault).
+    pub panics: Arc<Counter>,
+    /// In-flight streams finalized by a drain shutdown.
+    pub drained: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    /// Register every serve family on `registry`.
+    pub fn register(registry: &Registry) -> Arc<ServeMetrics> {
+        Arc::new(ServeMetrics {
+            connections: registry.counter(
+                "lomon_serve_connections_total",
+                "Connections accepted by the serve listener",
+            ),
+            streams: registry.counter(
+                "lomon_serve_streams_total",
+                "Streams finalized with a clean summary",
+            ),
+            events: registry.counter(
+                "lomon_serve_events_total",
+                "Events ingested across all serve streams",
+            ),
+            active_streams: registry
+                .gauge("lomon_serve_active_streams", "Streams currently in flight"),
+            parse_errors: registry.counter(
+                "lomon_serve_parse_errors_total",
+                "Frames rejected by the stream grammar",
+            ),
+            protocol_errors: registry.counter(
+                "lomon_serve_protocol_errors_total",
+                "Protocol violations (time travel, oversized frames, invalid UTF-8)",
+            ),
+            disconnects: registry.counter(
+                "lomon_serve_disconnects_total",
+                "Connections lost mid-frame",
+            ),
+            overloads: registry.counter(
+                "lomon_serve_overloads_total",
+                "Connections shed because the in-flight budget was exhausted",
+            ),
+            idle_reaps: registry.counter(
+                "lomon_serve_idle_reaps_total",
+                "Streams reaped by the idle timeout",
+            ),
+            slow_closes: registry.counter(
+                "lomon_serve_slow_closes_total",
+                "Connections abandoned on a write timeout (slow readers)",
+            ),
+            reloads: registry.counter(
+                "lomon_serve_reloads_total",
+                "Successful rulebook hot-reloads",
+            ),
+            reload_failures: registry.counter(
+                "lomon_serve_reload_failures_total",
+                "Rulebook hot-reloads rejected with diagnostics",
+            ),
+            panics: registry.counter(
+                "lomon_serve_panics_total",
+                "Connection handlers that panicked (contained per stream)",
+            ),
+            drained: registry.counter(
+                "lomon_serve_drained_streams_total",
+                "In-flight streams finalized by drain shutdown",
+            ),
+        })
+    }
+}

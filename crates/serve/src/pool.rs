@@ -1,0 +1,148 @@
+//! The sharded pool of recycled session states.
+//!
+//! Opening a session allocates monitor arenas, liveness arrays and queues;
+//! the zero-alloc [`reset`](lomon_engine::Session::reset) path makes all
+//! of that reusable across streams. The pool is where finished
+//! connections park their (reset) [`SessionState`]s and new connections
+//! pick them back up, sharded over several mutexes so a hundred
+//! concurrent handlers do not serialize on one free-list.
+//!
+//! States are keyed by program *generation*: a hot-reload strands the old
+//! generation's states, which are lazily discarded on the next acquire
+//! (and eagerly on [`SessionPool::purge`]). [`Engine::resume`]'s identity
+//! check makes even a mis-keyed state harmless — it would be rejected and
+//! replaced by a fresh session.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use lomon_engine::SessionState;
+
+/// How many independent free-lists the pool is split over.
+const SHARDS: usize = 8;
+
+/// A sharded free-list of parked sessions, keyed by program generation.
+#[derive(Debug)]
+pub(crate) struct SessionPool {
+    shards: Vec<Mutex<Vec<(u64, SessionState)>>>,
+    /// Round-robin cursor decorrelating which shard concurrent handlers
+    /// hit first.
+    cursor: AtomicUsize,
+    /// Per-shard cap: the pool as a whole never holds more states than
+    /// the server would run concurrently.
+    per_shard: usize,
+}
+
+impl SessionPool {
+    pub(crate) fn new(max_streams: usize) -> Self {
+        SessionPool {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            cursor: AtomicUsize::new(0),
+            per_shard: max_streams.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    /// Pop a parked state of `generation`, scanning every shard once.
+    /// Stale states (other generations) found along the way are dropped —
+    /// their engine is gone, nobody will ever resume them.
+    pub(crate) fn acquire(&self, generation: u64) -> Option<SessionState> {
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..SHARDS {
+            let shard = &self.shards[(start + k) % SHARDS];
+            let Ok(mut states) = shard.lock() else {
+                continue;
+            };
+            states.retain(|(gen, _)| *gen == generation);
+            if let Some((_, state)) = states.pop() {
+                return Some(state);
+            }
+        }
+        None
+    }
+
+    /// Park a (reset) state for reuse by the next stream of `generation`.
+    /// A full shard drops the state instead — the pool sheds rather than
+    /// grows.
+    pub(crate) fn release(&self, generation: u64, state: SessionState) {
+        let shard = &self.shards[self.cursor.fetch_add(1, Ordering::Relaxed) % SHARDS];
+        if let Ok(mut states) = shard.lock() {
+            if states.len() < self.per_shard {
+                states.push((generation, state));
+            }
+        }
+    }
+
+    /// Drop every parked state (after a reload: the old generation's
+    /// arenas are dead weight).
+    pub(crate) fn purge(&self) {
+        for shard in &self.shards {
+            if let Ok(mut states) = shard.lock() {
+                states.clear();
+            }
+        }
+    }
+
+    /// Total parked states, for tests and the health endpoint.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map(|v| v.len()).unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lomon_engine::Engine;
+    use lomon_trace::Vocabulary;
+
+    fn engine() -> Engine {
+        let mut voc = Vocabulary::new();
+        Engine::compile(&["all{a, b} << start once"], &mut voc).expect("compiles")
+    }
+
+    #[test]
+    fn acquire_returns_released_state_of_same_generation() {
+        let engine = engine();
+        let pool = SessionPool::new(4);
+        assert!(pool.acquire(1).is_none());
+        pool.release(1, engine.session().into_state());
+        let state = pool.acquire(1).expect("parked state comes back");
+        assert!(engine.resume(state).is_ok());
+        assert!(pool.acquire(1).is_none());
+    }
+
+    #[test]
+    fn stale_generations_are_discarded() {
+        let engine = engine();
+        let pool = SessionPool::new(4);
+        for _ in 0..3 {
+            pool.release(1, engine.session().into_state());
+        }
+        assert_eq!(pool.len(), 3);
+        assert!(pool.acquire(2).is_none());
+        assert_eq!(pool.len(), 0, "old-generation states were dropped");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let engine = engine();
+        let pool = SessionPool::new(2);
+        for _ in 0..100 {
+            pool.release(1, engine.session().into_state());
+        }
+        assert!(pool.len() <= SHARDS, "per-shard cap bounds the pool");
+    }
+
+    #[test]
+    fn purge_empties_every_shard() {
+        let engine = engine();
+        let pool = SessionPool::new(16);
+        for _ in 0..10 {
+            pool.release(1, engine.session().into_state());
+        }
+        pool.purge();
+        assert_eq!(pool.len(), 0);
+    }
+}

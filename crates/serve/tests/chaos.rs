@@ -1,0 +1,245 @@
+//! Chaos e2e: fault injection against a live server, with healthy
+//! streams running alongside.
+//!
+//! The acceptance bar of the serve tentpole: under injected torn frames,
+//! garbage bytes, slow-loris writers, abrupt disconnects and oversized
+//! lines, the server never panics, faulty streams finalize with error
+//! frames, and healthy streams' full byte output is **identical** to a
+//! fault-free run.
+
+mod common;
+
+use std::net::{Shutdown, SocketAddr};
+use std::thread;
+use std::time::Duration;
+
+use common::{test_config, Client, RULEBOOK};
+use lomon_serve::Server;
+
+/// How many healthy clients run in each round.
+const HEALTHY: usize = 9;
+
+fn chaos_config() -> lomon_serve::ServeConfig {
+    let mut config = test_config();
+    // Short enough that the slow-loris injector is reaped within the
+    // test, long enough that healthy clients (which never pause) are not.
+    config.idle_timeout = Duration::from_millis(400);
+    config
+}
+
+/// Deterministic per-client scripts, three behaviors round-robin:
+/// a clean double stream, an ordering violation, a satisfied deadline.
+fn healthy_script(i: usize) -> Vec<&'static str> {
+    match i % 3 {
+        0 => vec![
+            "{\"time\": \"10ns\", \"name\": \"set_imgAddr\"}",
+            "{\"time\": \"20ns\", \"name\": \"set_glAddr\"}",
+            "{\"time\": \"30ns\", \"name\": \"set_glSize\"}",
+            "{\"time\": \"40ns\", \"name\": \"start\"}",
+            "{\"end\": \"1us\"}",
+            // Second stream on the recycled session, same connection.
+            "{\"time\": \"10ns\", \"name\": \"set_glSize\"}",
+            "{\"time\": \"20ns\", \"name\": \"set_glAddr\"}",
+            "{\"time\": \"30ns\", \"name\": \"set_imgAddr\"}",
+            "{\"time\": \"40ns\", \"name\": \"start\"}",
+            "{\"end\": \"2us\"}",
+        ],
+        1 => vec![
+            "{\"time\": \"5ns\", \"name\": \"start\"}",
+            "{\"end\": \"1us\"}",
+        ],
+        _ => vec![
+            "{\"time\": \"10ns\", \"dir\": \"in\", \"name\": \"go\"}",
+            "{\"time\": \"30ns\", \"dir\": \"out\", \"name\": \"done\"}",
+            "{\"end\": \"1us\"}",
+        ],
+    }
+}
+
+/// Run one healthy client to completion and return its entire byte
+/// output (ready + verdicts + summaries), which must be deterministic.
+fn run_healthy(addr: SocketAddr, i: usize) -> String {
+    let mut client = Client::connect(addr);
+    for frame in healthy_script(i) {
+        client.send(frame);
+    }
+    client.finish()
+}
+
+fn spawn_healthy(addr: SocketAddr) -> Vec<thread::JoinHandle<String>> {
+    (0..HEALTHY)
+        .map(|i| thread::spawn(move || run_healthy(addr, i)))
+        .collect()
+}
+
+#[test]
+fn healthy_streams_are_unaffected_by_concurrent_faults() {
+    // Round 1: fault-free baseline.
+    let baseline_server = Server::start(chaos_config(), RULEBOOK).expect("baseline server");
+    let baseline: Vec<String> = spawn_healthy(baseline_server.local_addr())
+        .into_iter()
+        .map(|h| h.join().expect("healthy client"))
+        .collect();
+    assert_eq!(baseline_server.metrics().panics.get(), 0);
+    drop(baseline_server);
+    for (i, out) in baseline.iter().enumerate() {
+        assert!(
+            out.contains("\"type\": \"summary\""),
+            "baseline client {i} got no summary: {out}"
+        );
+    }
+
+    // Round 2: the same healthy clients, now sharing the server with
+    // every fault injector at once.
+    let server = Server::start(chaos_config(), RULEBOOK).expect("chaos server");
+    let addr = server.local_addr();
+    let healthy = spawn_healthy(addr);
+
+    let garbage = thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.read_line(); // ready
+        c.send_raw(b"\x01\x02 this is not json at all\n");
+        c.read_to_eof()
+    });
+    let torn = thread::spawn(move || {
+        // Half a frame, then vanish: a torn final frame.
+        let mut c = Client::connect(addr);
+        c.read_line(); // ready — guarantees the handler is up
+        c.send_raw(b"{\"time\": \"10ns\", \"na");
+        let _ = c.stream.shutdown(Shutdown::Both);
+    });
+    let oversized = thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.read_line(); // ready
+        let mut line = vec![b'x'; 80 * 1024];
+        line.push(b'\n');
+        c.send_raw(&line);
+        c.read_to_eof()
+    });
+    let time_travel = thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.read_line(); // ready
+        c.send("{\"time\": \"50ns\", \"name\": \"set_imgAddr\"}");
+        c.send("{\"time\": \"10ns\", \"name\": \"set_glAddr\"}");
+        c.read_to_eof()
+    });
+    let slow_loris = thread::spawn(move || {
+        // Two bytes, then silence: reaped by the idle timeout.
+        let mut c = Client::connect(addr);
+        c.read_line(); // ready
+        c.send_raw(b"{\"");
+        c.read_to_eof()
+    });
+
+    let outputs: Vec<String> = healthy
+        .into_iter()
+        .map(|h| h.join().expect("healthy client"))
+        .collect();
+    let garbage_out = garbage.join().expect("garbage injector");
+    torn.join().expect("torn injector");
+    let oversized_out = oversized.join().expect("oversized injector");
+    let time_travel_out = time_travel.join().expect("time-travel injector");
+    let slow_loris_out = slow_loris.join().expect("slow-loris injector");
+
+    // Healthy streams: byte-identical to the fault-free run.
+    for (i, (chaos, clean)) in outputs.iter().zip(&baseline).enumerate() {
+        assert_eq!(
+            chaos, clean,
+            "healthy client {i} diverged from the fault-free run"
+        );
+    }
+
+    // Faulty streams finalized with error frames naming the fault.
+    assert!(
+        garbage_out.contains("\"type\": \"error\""),
+        "got: {garbage_out}"
+    );
+    assert!(
+        oversized_out.contains("\"type\": \"error\""),
+        "got: {oversized_out}"
+    );
+    assert!(
+        oversized_out.contains("exceeds 65536 bytes"),
+        "got: {oversized_out}"
+    );
+    assert!(
+        time_travel_out.contains("\"type\": \"error\""),
+        "got: {time_travel_out}"
+    );
+    assert!(
+        time_travel_out.contains("precedes"),
+        "got: {time_travel_out}"
+    );
+    assert!(
+        slow_loris_out.contains("idle timeout"),
+        "got: {slow_loris_out}"
+    );
+
+    // Every isolation class was hit; nothing panicked.
+    let metrics = server.metrics();
+    assert_eq!(metrics.panics.get(), 0, "a handler panicked under chaos");
+    assert!(metrics.parse_errors.get() >= 1, "garbage not counted");
+    assert!(
+        metrics.protocol_errors.get() >= 2,
+        "oversized/time-travel not counted"
+    );
+    assert!(metrics.disconnects.get() >= 1, "torn frame not counted");
+    assert!(metrics.idle_reaps.get() >= 1, "slow loris not reaped");
+    // All 2 * HEALTHY healthy streams (variant 0 runs two per connection)
+    // finalized cleanly despite the chaos.
+    let healthy_streams: u64 = (0..HEALTHY).map(|i| if i % 3 == 0 { 2 } else { 1 }).sum();
+    assert_eq!(metrics.streams.get(), healthy_streams);
+}
+
+/// An abrupt disconnect between frames (not mid-frame) is a clean EOF:
+/// the stream finalizes with a summary, not an error.
+#[test]
+fn disconnect_between_frames_finalizes_cleanly() {
+    let server = Server::start(chaos_config(), RULEBOOK).expect("server");
+    let mut client = Client::connect(server.local_addr());
+    client.read_line(); // ready
+    client.send("{\"time\": \"10ns\", \"name\": \"start\"}");
+    client.read_line(); // pushed verdict: event fully processed
+    let out = client.finish();
+    assert!(out.contains("\"type\": \"summary\""), "got: {out}");
+    assert_eq!(server.metrics().streams.get(), 1);
+    assert_eq!(server.metrics().panics.get(), 0);
+}
+
+/// Faults on one connection never leak into a session that is later
+/// recycled: after a protocol fault, the next connection's stream starts
+/// from a pristine state.
+#[test]
+fn fault_does_not_poison_the_recycled_session() {
+    let server = Server::start(chaos_config(), RULEBOOK).expect("server");
+    let addr = server.local_addr();
+
+    // Dirty a session mid-episode, then fault the stream.
+    let mut faulty = Client::connect(addr);
+    faulty.read_line(); // ready
+    faulty.send("{\"time\": \"50ns\", \"name\": \"set_imgAddr\"}");
+    faulty.send("{\"time\": \"10ns\", \"name\": \"set_glAddr\"}"); // time travel
+    let out = faulty.read_to_eof();
+    assert!(out.contains("\"type\": \"error\""), "got: {out}");
+
+    // The recycled session must not remember the half-finished episode:
+    // a clean configuration on the next connection stays clean.
+    let mut fresh = Client::connect(addr);
+    fresh.read_line(); // ready
+    for frame in [
+        "{\"time\": \"10ns\", \"name\": \"set_imgAddr\"}",
+        "{\"time\": \"20ns\", \"name\": \"set_glAddr\"}",
+        "{\"time\": \"30ns\", \"name\": \"set_glSize\"}",
+        "{\"time\": \"40ns\", \"name\": \"start\"}",
+        "{\"end\": \"1us\"}",
+    ] {
+        fresh.send(frame);
+    }
+    let out = fresh.finish();
+    let summary = out
+        .lines()
+        .find(|l| l.contains("\"type\": \"summary\""))
+        .expect("summary");
+    assert!(summary.contains("\"ok\": true"), "got: {summary}");
+    assert_eq!(server.metrics().panics.get(), 0);
+}

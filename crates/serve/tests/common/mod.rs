@@ -1,0 +1,122 @@
+//! Shared helpers of the serve e2e suites: a line-frame test client and a
+//! minimal admin-HTTP caller.
+#![allow(dead_code)] // each suite uses its own subset
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use lomon_serve::{ServeConfig, Server};
+
+/// The standard two-property rulebook: the paper's IPU configuration
+/// pattern plus a timed request/response bound.
+pub const RULEBOOK: &str = "all{set_imgAddr, set_glAddr, set_glSize} << start repeated\n\
+                            go => out:done within 50 ns\n";
+
+/// A config with test-friendly timeouts (fast ticks, short-but-safe
+/// deadlines).
+pub fn test_config() -> ServeConfig {
+    ServeConfig {
+        read_tick: Duration::from_millis(5),
+        idle_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    }
+}
+
+pub fn start(rulebook: &str) -> Server {
+    Server::start(test_config(), rulebook).expect("server starts")
+}
+
+/// One NDJSON stream client.
+pub struct Client {
+    pub stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    /// Send one frame (newline appended).
+    pub fn send(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+    }
+
+    /// Send raw bytes, no framing.
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("send raw");
+    }
+
+    /// Read one frame (blocking up to the client read timeout).
+    pub fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read frame");
+        line
+    }
+
+    /// Half-close the write side and read everything until server EOF.
+    pub fn finish(mut self) -> String {
+        let _ = self.stream.shutdown(Shutdown::Write);
+        let mut rest = String::new();
+        let _ = self.reader.read_to_string(&mut rest);
+        rest
+    }
+
+    /// Read until server EOF without closing our write side first (for
+    /// streams the *server* terminates).
+    pub fn read_to_eof(mut self) -> String {
+        let mut rest = String::new();
+        let _ = self.reader.read_to_string(&mut rest);
+        rest
+    }
+}
+
+/// One admin-endpoint HTTP request. Returns (status, body).
+pub fn admin(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: lomon\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream
+        .try_clone()
+        .expect("clone")
+        .read_to_string(&mut response)
+        .expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Poll `cond` until it holds or `deadline` elapses; panics on timeout.
+pub fn wait_until(what: &str, deadline: Duration, cond: impl Fn() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}

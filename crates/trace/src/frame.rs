@@ -1,0 +1,233 @@
+//! Incremental newline-delimited frame decoding over partial reads.
+//!
+//! A TCP stream delivers bytes in arbitrary chunks: a frame (one
+//! newline-terminated line) can arrive torn across many reads, glued to
+//! its neighbours, or never completed at all. [`FrameDecoder`] is the
+//! reusable boundary between raw socket reads and line-oriented parsing:
+//! feed it whatever [`push`](FrameDecoder::push) chunks arrive and drain
+//! complete frames with [`next_frame`](FrameDecoder::next_frame).
+//!
+//! The decoder is deliberately defensive — it backs the `lomon serve`
+//! ingest path, where a single client must not be able to grow server
+//! memory without bound. Frames longer than the configured cap are not
+//! buffered: the pending bytes are discarded the moment they exceed the
+//! cap, an [`Frame::Oversized`] notice is surfaced exactly once, and the
+//! decoder silently resynchronizes at the next newline.
+
+/// One decoded frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// A complete line, without its `\n` terminator (a trailing `\r` is
+    /// also stripped, so CRLF clients decode identically).
+    Line(&'a [u8]),
+    /// A frame exceeded the decoder's cap. `seen` is how many bytes of it
+    /// had arrived when the cap tripped — a lower bound on the frame's
+    /// true length, whose remaining bytes are discarded unreported.
+    Oversized {
+        /// Bytes of the offending frame observed before it was dropped.
+        seen: usize,
+    },
+}
+
+/// An incremental line framer with a hard per-frame byte cap.
+///
+/// ```
+/// use lomon_trace::frame::{Frame, FrameDecoder};
+///
+/// let mut dec = FrameDecoder::new(1024);
+/// dec.push(b"{\"time\":\"1ns\",\"na"); // torn mid-frame
+/// assert_eq!(dec.next_frame(), None);
+/// dec.push(b"me\":\"x\"}\n{\"end\"");
+/// assert_eq!(
+///     dec.next_frame(),
+///     Some(Frame::Line(br#"{"time":"1ns","name":"x"}"#.as_slice()))
+/// );
+/// assert_eq!(dec.partial_len(), 6); // the torn tail is still pending
+/// ```
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix: bytes before `start` have been delivered.
+    start: usize,
+    /// Scan cursor: bytes before `scan` are known newline-free.
+    scan: usize,
+    max_frame: usize,
+    /// Mid-discard of an oversized frame: swallow bytes up to the next
+    /// newline without reporting them again.
+    skipping: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder that refuses to buffer more than `max_frame` bytes for
+    /// any single frame.
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            scan: 0,
+            max_frame,
+            skipping: false,
+        }
+    }
+
+    /// Append one chunk of raw bytes, as read off the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing: the buffer then
+        // stays bounded by the cap plus one read chunk, however long the
+        // connection lives.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame, if one is buffered. Returns `None` when
+    /// every buffered byte belongs to a still-incomplete frame — push more
+    /// and ask again.
+    pub fn next_frame(&mut self) -> Option<Frame<'_>> {
+        loop {
+            match self.buf[self.scan..].iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let nl = self.scan + pos;
+                    let line_start = self.start;
+                    self.start = nl + 1;
+                    self.scan = self.start;
+                    if self.skipping {
+                        // The tail of a frame already reported oversized.
+                        self.skipping = false;
+                        continue;
+                    }
+                    let mut line = &self.buf[line_start..nl];
+                    if line.last() == Some(&b'\r') {
+                        line = &line[..line.len() - 1];
+                    }
+                    if line.len() > self.max_frame {
+                        return Some(Frame::Oversized { seen: line.len() });
+                    }
+                    return Some(Frame::Line(line));
+                }
+                None => {
+                    self.scan = self.buf.len();
+                    let pending = self.buf.len() - self.start;
+                    if !self.skipping && pending > self.max_frame {
+                        // Stop buffering the runaway frame *now* — the
+                        // cap, not the client, bounds memory.
+                        self.start = self.buf.len();
+                        self.skipping = true;
+                        return Some(Frame::Oversized { seen: pending });
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Bytes buffered for a frame that has not (yet) completed. Nonzero
+    /// after end-of-stream means the peer disconnected mid-frame — a torn
+    /// final frame the caller should treat as a protocol fault.
+    pub fn partial_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain the decoder into owned lines (oversized frames as `Err`).
+    fn drain(dec: &mut FrameDecoder) -> Vec<Result<Vec<u8>, usize>> {
+        let mut out = Vec::new();
+        while let Some(frame) = dec.next_frame() {
+            out.push(match frame {
+                Frame::Line(l) => Ok(l.to_vec()),
+                Frame::Oversized { seen } => Err(seen),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn reassembles_frames_across_arbitrary_tears() {
+        let input = b"alpha\nbeta\r\ngamma\n";
+        // Every split point must decode identically.
+        for cut in 0..input.len() {
+            let mut dec = FrameDecoder::new(64);
+            dec.push(&input[..cut]);
+            let mut lines = drain(&mut dec);
+            dec.push(&input[cut..]);
+            lines.extend(drain(&mut dec));
+            assert_eq!(
+                lines,
+                vec![
+                    Ok(b"alpha".to_vec()),
+                    Ok(b"beta".to_vec()),
+                    Ok(b"gamma".to_vec())
+                ],
+                "cut at {cut}"
+            );
+            assert_eq!(dec.partial_len(), 0);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_matches_one_shot() {
+        let input = b"one\n\ntwo\n";
+        let mut dec = FrameDecoder::new(8);
+        let mut lines = Vec::new();
+        for &b in input.iter() {
+            dec.push(&[b]);
+            lines.extend(drain(&mut dec));
+        }
+        assert_eq!(
+            lines,
+            vec![Ok(b"one".to_vec()), Ok(b"".to_vec()), Ok(b"two".to_vec())]
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_dropped_reported_once_and_resyncs() {
+        let mut dec = FrameDecoder::new(4);
+        dec.push(b"toolong");
+        // Cap already exceeded mid-frame: reported before the newline even
+        // arrives, and the pending bytes are gone.
+        assert_eq!(dec.next_frame(), Some(Frame::Oversized { seen: 7 }));
+        assert_eq!(dec.partial_len(), 0);
+        dec.push(b"morejunk\nok\n");
+        // The tail of the oversized frame is swallowed silently; decoding
+        // resumes at the next frame.
+        assert_eq!(drain(&mut dec), vec![Ok(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn complete_frame_over_cap_reports_true_length() {
+        let mut dec = FrameDecoder::new(4);
+        dec.push(b"12345\nok\n");
+        assert_eq!(
+            drain(&mut dec),
+            vec![Err(5), Ok(b"ok".to_vec())],
+            "a frame that arrives whole reports its exact length"
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_visible_as_partial() {
+        let mut dec = FrameDecoder::new(64);
+        dec.push(b"done\nhalf");
+        assert_eq!(drain(&mut dec), vec![Ok(b"done".to_vec())]);
+        assert_eq!(dec.partial_len(), 4);
+    }
+
+    #[test]
+    fn long_lived_buffer_is_compacted() {
+        let mut dec = FrameDecoder::new(64);
+        for _ in 0..10_000 {
+            dec.push(b"0123456789abcdef\n");
+            assert!(dec.next_frame().is_some());
+            // The consumed prefix is reclaimed: the buffer never grows
+            // past a few frames even over an unbounded connection.
+            assert!(dec.buf.capacity() < 64 * 1024);
+        }
+    }
+}

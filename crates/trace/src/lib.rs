@@ -36,15 +36,18 @@
 //! ```
 
 pub mod event;
+pub mod frame;
 pub mod io;
 pub mod json;
 pub mod lexer;
 pub mod name;
+pub mod ndjson;
 pub mod time;
 pub mod trace;
 pub mod vcd;
 
 pub use event::TimedEvent;
+pub use frame::{Frame, FrameDecoder};
 pub use io::{
     parse_trace_line, read_trace, read_trace_observed, write_trace, IoMetrics, TraceLine,
     TraceParseError,
@@ -52,6 +55,7 @@ pub use io::{
 pub use json::json_escape;
 pub use lexer::{LexedEvent, LexedToken, RunLengthLexer};
 pub use name::{Direction, Name, NameSet, Vocabulary};
+pub use ndjson::{parse_stream_line, StreamFormat, StreamLine};
 pub use time::SimTime;
 pub use trace::Trace;
 pub use vcd::write_vcd;

@@ -1,0 +1,256 @@
+//! The streaming event-line grammar shared by `lomon watch` and
+//! `lomon serve`.
+//!
+//! Both stream surfaces accept the same two line formats —
+//!
+//! * the trace text format, `<time> <in|out> <name>` with an optional
+//!   `end <time>` marker (one source of truth with
+//!   [`read_trace`](crate::read_trace), via
+//!   [`parse_trace_line`](crate::parse_trace_line)); and
+//! * NDJSON: one flat JSON object per line,
+//!   `{"time": "10ns", "dir": "in", "name": "x"}` or `{"end": "500ns"}`
+//!
+//! — and parse them into the same [`StreamLine`]. Keeping the grammar
+//! here (rather than in the CLI binary) is what guarantees a frame that
+//! `watch` accepts is byte-for-byte a frame `serve` accepts.
+
+use crate::name::Direction;
+use crate::time::{parse_sim_time, SimTime};
+
+/// Input format of an event stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamFormat {
+    /// The trace text format: `<time> <in|out> <name>`, optional `end <t>`.
+    Trace,
+    /// One flat JSON object per line:
+    /// `{"time": "10ns", "dir": "in", "name": "x"}` or `{"end": "500ns"}`.
+    Ndjson,
+}
+
+/// One parsed stream line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StreamLine {
+    /// An interface event.
+    Event {
+        /// Timestamp of the occurrence.
+        time: SimTime,
+        /// Interface direction the name will be interned with.
+        direction: Direction,
+        /// The interface name, still raw text (interning needs a mutable
+        /// vocabulary the parser does not have).
+        name: String,
+    },
+    /// An `end`/`{"end": …}` marker: observation time advanced with no
+    /// event.
+    End(SimTime),
+}
+
+/// Parse one stream line in the given format. `Ok(None)` is a blank line
+/// or comment — skippable, not an error.
+///
+/// # Errors
+///
+/// A human-readable description of the first grammar fault on the line.
+pub fn parse_stream_line(format: StreamFormat, line: &str) -> Result<Option<StreamLine>, String> {
+    match format {
+        StreamFormat::Trace => parse_stream_trace_line(line),
+        StreamFormat::Ndjson => parse_ndjson_line(line),
+    }
+}
+
+/// Parse one line of the trace text format, delegating the grammar to
+/// [`parse_trace_line`](crate::parse_trace_line) (one source of truth
+/// with [`read_trace`](crate::read_trace)).
+///
+/// # Errors
+///
+/// See [`parse_stream_line`].
+pub fn parse_stream_trace_line(line: &str) -> Result<Option<StreamLine>, String> {
+    Ok(
+        crate::io::parse_trace_line(line)?.map(|parsed| match parsed {
+            crate::io::TraceLine::Event {
+                time,
+                direction,
+                name,
+            } => StreamLine::Event {
+                time,
+                direction,
+                name: name.to_owned(),
+            },
+            crate::io::TraceLine::End(time) => StreamLine::End(time),
+        }),
+    )
+}
+
+/// Parse one NDJSON stream line: a flat JSON object with string values,
+/// either `{"time": …, "dir": …, "name": …}` (`dir` optional, default
+/// `in`) or `{"end": …}`.
+///
+/// # Errors
+///
+/// See [`parse_stream_line`].
+pub fn parse_ndjson_line(line: &str) -> Result<Option<StreamLine>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let pairs = parse_flat_json(trimmed)?;
+    let field = |key: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    if let Some(end) = field("end") {
+        return Ok(Some(StreamLine::End(parse_sim_time(end)?)));
+    }
+    let time_text = field("time").ok_or("missing `time` field")?;
+    let time = parse_sim_time(time_text)?;
+    let direction = match field("dir") {
+        None | Some("in") => Direction::Input,
+        Some("out") => Direction::Output,
+        Some(other) => {
+            return Err(format!(
+                "unknown direction `{other}` (expected `in` or `out`)"
+            ))
+        }
+    };
+    let name = field("name").ok_or("missing `name` field")?.to_owned();
+    if name.is_empty() {
+        return Err("empty event name".into());
+    }
+    Ok(Some(StreamLine::Event {
+        time,
+        direction,
+        name,
+    }))
+}
+
+/// Minimal flat-JSON-object parser: `{"key": "value", …}` with string
+/// values only (`\"`, `\\`, `\n`, `\t` escapes). Enough for an event
+/// stream; a full JSON parser would be an external dependency.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax fault.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut chars = text.chars().peekable();
+    let mut pairs = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while chars.next_if(|c| c.is_whitespace()).is_some() {}
+    }
+    fn string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+        skip_ws(chars);
+        if chars.next() != Some('"') {
+            return Err("expected `\"`".into());
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(format!("unsupported escape `\\{other:?}`")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected `{`".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            let key = string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key `{key}`"));
+            }
+            let value = string(&mut chars)?;
+            pairs.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}`".into()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_event_with_default_direction() {
+        let line = r#"{"time": "10ns", "name": "set_imgAddr"}"#;
+        let parsed = parse_ndjson_line(line).expect("parses").expect("a line");
+        assert_eq!(
+            parsed,
+            StreamLine::Event {
+                time: SimTime::from_ns(10),
+                direction: Direction::Input,
+                name: "set_imgAddr".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn ndjson_end_marker() {
+        let parsed = parse_ndjson_line(r#"{"end": "500ns"}"#).expect("parses");
+        assert_eq!(parsed, Some(StreamLine::End(SimTime::from_ns(500))));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_in_both_formats() {
+        for format in [StreamFormat::Trace, StreamFormat::Ndjson] {
+            assert_eq!(parse_stream_line(format, "   "), Ok(None));
+        }
+        assert_eq!(
+            parse_stream_line(StreamFormat::Trace, "# comment"),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn faults_name_the_problem() {
+        assert!(parse_ndjson_line(r#"{"time": "10ns"}"#)
+            .unwrap_err()
+            .contains("name"));
+        assert!(
+            parse_ndjson_line(r#"{"time": "10ns", "dir": "sideways", "name": "x"}"#)
+                .unwrap_err()
+                .contains("sideways")
+        );
+        assert!(parse_ndjson_line("not json").is_err());
+        assert!(parse_ndjson_line(r#"{"time": "10ns", "name": ""}"#).is_err());
+        assert!(parse_stream_line(StreamFormat::Trace, "10ns sideways x").is_err());
+    }
+
+    #[test]
+    fn trace_and_ndjson_agree_on_the_same_event() {
+        let a = parse_stream_line(StreamFormat::Trace, "10ns out done").unwrap();
+        let b = parse_stream_line(
+            StreamFormat::Ndjson,
+            r#"{"time": "10ns", "dir": "out", "name": "done"}"#,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -9,6 +9,8 @@
 //! lomon check <trace-file>... <property>...   replay trace file(s) against properties
 //! lomon watch [--format trace|ndjson] <property>...
 //!                                             monitor an event stream from stdin
+//! lomon serve [options] <rulebook|property>...
+//!                                             hardened monitoring daemon over TCP
 //! lomon smc   [options] [property...]         statistical model-checking campaign
 //! lomon lint  [options] <rulebook|property>...
 //!                                             static analysis of a rulebook
@@ -53,14 +55,15 @@ use lomon::engine::{
 };
 use lomon::gen::{generate, GeneratorConfig};
 use lomon::obs::{MetricsServer, Registry, Stopwatch, Tracer};
+use lomon::serve::{ServeConfig, Server, StartError};
 use lomon::smc::{
     Campaign, CampaignConfig, CampaignMetrics, CampaignMode, CampaignProgress, EpisodeModel,
     GenModel, ScenarioModel, SprtConfig,
 };
 use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
 use lomon::trace::{
-    json_escape, read_trace, write_trace, write_vcd, Direction, IoMetrics, Name, NameSet, SimTime,
-    TimedEvent, TraceLine, Vocabulary,
+    json_escape, parse_stream_line, read_trace, write_trace, write_vcd, IoMetrics, Name, NameSet,
+    SimTime, StreamFormat, StreamLine, TimedEvent, Vocabulary,
 };
 
 fn main() -> ExitCode {
@@ -68,13 +71,16 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") if args.len() >= 3 => check(&args[1..]),
         Some("watch") if args.len() >= 2 => watch(&args[1..]),
+        Some("serve") if args.len() >= 2 => serve(&args[1..]),
         Some("smc") => smc(&args[1..]),
         Some("lint") if args.len() >= 2 => lint(&args[1..]),
         Some("profile") if args.len() >= 3 => profile(&args[1..]),
         Some("vcd") if args.len() == 2 => vcd(&args[1]),
         Some("gen") if args.len() >= 2 && args.len() <= 4 => gen(&args[1], &args[2..]),
         Some("demo") if args.len() == 1 => demo(),
-        Some(command @ ("check" | "watch" | "lint" | "profile" | "vcd" | "gen" | "demo")) => {
+        Some(
+            command @ ("check" | "watch" | "serve" | "lint" | "profile" | "vcd" | "gen" | "demo"),
+        ) => {
             eprintln!("error: wrong arguments for `lomon {command}`");
             usage()
         }
@@ -92,7 +98,11 @@ fn usage() -> ExitCode {
     eprintln!("              [--explain] [--metrics ADDR] [--stats-every N]");
     eprintln!("              <trace-file>... <property>...");
     eprintln!("  lomon watch [--format trace|ndjson] [--backend fused|compiled|interp]");
-    eprintln!("              [--explain] [--metrics ADDR] [--stats-every N] <property>...");
+    eprintln!("              [--strict] [--explain] [--metrics ADDR] [--stats-every N]");
+    eprintln!("              <property>...");
+    eprintln!("  lomon serve [--listen ADDR] [--admin ADDR] [--metrics ADDR]");
+    eprintln!("              [--backend fused|compiled|interp] [--deny-warnings]");
+    eprintln!("              [--max-streams N] <rulebook-file|property>...");
     eprintln!("  lomon smc   [--episodes N] [--jobs J] [--seed S] [--confidence C]");
     eprintln!("              [--epsilon E] [--sprt P0 P1] [--fault-prob Q]");
     eprintln!("              [--backend fused|compiled|interp] [--format text|json]");
@@ -136,6 +146,15 @@ fn usage() -> ExitCode {
     eprintln!("watch reads events from stdin: `10ns in set_imgAddr` lines (trace");
     eprintln!("format) or one JSON object per line (ndjson format), e.g.");
     eprintln!("  {{\"time\": \"10ns\", \"dir\": \"in\", \"name\": \"set_imgAddr\"}}");
+    eprintln!("Malformed or time-travelling lines are skipped and counted (an error");
+    eprintln!("record per line: stderr in trace format, an NDJSON {{\"type\": \"error\"}}");
+    eprintln!("line in ndjson format); --strict makes them fatal with exit 2.");
+    eprintln!();
+    eprintln!("serve runs the hardened monitoring daemon: many concurrent NDJSON");
+    eprintln!("streams over TCP against one compiled rulebook, with per-stream");
+    eprintln!("fault isolation, overload shedding, rulebook hot-reload and drain");
+    eprintln!("shutdown via the --admin endpoint (GET /health, POST /reload,");
+    eprintln!("POST /shutdown). See the lomon-serve crate docs for the protocol.");
     eprintln!();
     eprintln!("smc runs a statistical model-checking campaign: platform episodes");
     eprintln!("with randomized fault injection (default; properties optional), or");
@@ -427,29 +446,10 @@ fn check(args: &[String]) -> ExitCode {
     }
 }
 
-/// Input format of the `watch` stream.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum StreamFormat {
-    /// The trace text format: `<time> <in|out> <name>`, optional `end <t>`.
-    Trace,
-    /// One flat JSON object per line:
-    /// `{"time": "10ns", "dir": "in", "name": "x"}` or `{"end": "500ns"}`.
-    Ndjson,
-}
-
-/// One parsed stream line.
-enum StreamLine {
-    Event {
-        time: SimTime,
-        direction: Direction,
-        name: String,
-    },
-    End(SimTime),
-}
-
 fn watch(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
     let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
+    let strict = take_bool_flag(&mut args, "--strict");
     let explain = take_bool_flag(&mut args, "--explain");
     let backend = match take_backend_flag(&mut args) {
         Ok(backend) => backend,
@@ -540,6 +540,7 @@ fn watch(args: &[String]) -> ExitCode {
     let mut last_time = SimTime::ZERO;
     let mut finalized = Vec::new();
     let mut violations = 0u64;
+    let mut parse_errors = 0u64;
     let mut next_heartbeat = stats_every.unwrap_or(u64::MAX);
     for (idx, line) in stdin.lock().lines().enumerate() {
         let line_no = idx + 1;
@@ -554,51 +555,60 @@ fn watch(args: &[String]) -> ExitCode {
             io_metrics.lines.inc();
             io_metrics.bytes.add(line.len() as u64 + 1); // + the newline
         }
-        let parsed = match format {
-            StreamFormat::Trace => parse_stream_trace_line(&line),
-            StreamFormat::Ndjson => parse_ndjson_line(&line),
-        };
-        match parsed {
+        // A bad line costs only itself: it is counted, reported as an
+        // error record, and skipped — the stream keeps flowing, exactly
+        // like a faulted `lomon serve` stream costs only its own
+        // connection. `--strict` restores the fail-fast contract for
+        // pipelines that prefer to die over monitoring a desynced stream.
+        let reason = match parse_stream_line(format, &line) {
             Ok(None) => continue, // blank line or comment
             Ok(Some(StreamLine::Event {
                 time,
                 direction,
                 name,
-            })) => {
-                if time < last_time {
-                    eprintln!(
-                        "error: stream line {line_no}: timestamp {time} precedes \
-                         previous event at {last_time}"
-                    );
-                    return ExitCode::FAILURE;
-                }
+            })) if time >= last_time => {
                 last_time = time;
                 let name = voc.intern(&name, direction);
                 session.ingest(TimedEvent::new(name, time));
                 violations += report_finalized(&mut session, &voc, format, &mut finalized);
+                None
             }
-            Ok(Some(StreamLine::End(time))) => {
+            Ok(Some(StreamLine::End(time))) if time >= last_time => {
                 // Like `read_trace`: `end` advances the observation clock
                 // but the stream may continue (later events move the end
                 // further, exactly as `Trace::push` after `set_end_time`).
-                if time < last_time {
-                    eprintln!(
-                        "error: stream line {line_no}: end time {time} precedes \
-                         last event at {last_time}"
-                    );
-                    return ExitCode::FAILURE;
-                }
                 last_time = time;
                 session.advance_time(time);
                 violations += report_finalized(&mut session, &voc, format, &mut finalized);
+                None
             }
-            Err(message) => {
-                if let Some((_, io_metrics, _)) = &telemetry {
-                    io_metrics.parse_errors.inc();
+            Ok(Some(StreamLine::Event { time, .. })) => Some(format!(
+                "timestamp {time} precedes previous event at {last_time}"
+            )),
+            Ok(Some(StreamLine::End(time))) => Some(format!(
+                "end time {time} precedes last event at {last_time}"
+            )),
+            Err(message) => Some(message),
+        };
+        if let Some(reason) = reason {
+            if let Some((_, io_metrics, _)) = &telemetry {
+                io_metrics.parse_errors.inc();
+            }
+            if strict {
+                eprintln!("error: stream line {line_no}: {reason}");
+                return ExitCode::from(2);
+            }
+            parse_errors += 1;
+            match format {
+                StreamFormat::Trace => {
+                    eprintln!("warning: stream line {line_no}: {reason} (line skipped)");
                 }
-                eprintln!("error: stream line {line_no}: {message}");
-                return ExitCode::FAILURE;
+                StreamFormat::Ndjson => println!(
+                    "{{\"type\": \"error\", \"line\": {line_no}, \"reason\": \"{}\"}}",
+                    json_escape(&reason),
+                ),
             }
+            continue;
         }
         if let Some(every) = stats_every {
             let events = session.stats().events;
@@ -621,7 +631,12 @@ fn watch(args: &[String]) -> ExitCode {
     }
     let violations = report.violations().count() as u64;
     match format {
-        StreamFormat::Trace => eprint!("{}", report.render(&voc)),
+        StreamFormat::Trace => {
+            if parse_errors > 0 {
+                eprintln!("{parse_errors} malformed line(s) skipped");
+            }
+            eprint!("{}", report.render(&voc));
+        }
         StreamFormat::Ndjson => {
             // Verdicts that never finalized were not streamed above; a
             // machine consumer still needs one line per property.
@@ -641,7 +656,7 @@ fn watch(args: &[String]) -> ExitCode {
                 "{{\"summary\": true, \"backend\": \"{}\", \"events\": {}, \
                  \"monitor_steps\": {}, \"steps_skipped\": {}, \
                  \"unique_cells\": {}, \"shared_hits\": {}, \"violations\": {}, \
-                 \"stats\": {}}}",
+                 \"parse_errors\": {parse_errors}, \"stats\": {}}}",
                 backend.label(),
                 report.stats.events,
                 report.stats.monitor_steps,
@@ -816,131 +831,6 @@ fn witness_json_fields(witness: &Witness, voc: &Vocabulary) -> String {
     out
 }
 
-/// Parse one line of the trace text format, delegating the grammar to
-/// [`lomon::trace::parse_trace_line`] (one source of truth with
-/// `read_trace`).
-fn parse_stream_trace_line(line: &str) -> Result<Option<StreamLine>, String> {
-    Ok(
-        lomon::trace::parse_trace_line(line)?.map(|parsed| match parsed {
-            TraceLine::Event {
-                time,
-                direction,
-                name,
-            } => StreamLine::Event {
-                time,
-                direction,
-                name: name.to_owned(),
-            },
-            TraceLine::End(time) => StreamLine::End(time),
-        }),
-    )
-}
-
-/// Parse one NDJSON stream line: a flat JSON object with string values,
-/// either `{"time": …, "dir": …, "name": …}` (`dir` optional, default
-/// `in`) or `{"end": …}`.
-fn parse_ndjson_line(line: &str) -> Result<Option<StreamLine>, String> {
-    let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    let pairs = parse_flat_json(trimmed)?;
-    let field = |key: &str| -> Option<&str> {
-        pairs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    };
-    if let Some(end) = field("end") {
-        return Ok(Some(StreamLine::End(lomon::trace::time::parse_sim_time(
-            end,
-        )?)));
-    }
-    let time_text = field("time").ok_or("missing `time` field")?;
-    let time = lomon::trace::time::parse_sim_time(time_text)?;
-    let direction = match field("dir") {
-        None | Some("in") => Direction::Input,
-        Some("out") => Direction::Output,
-        Some(other) => {
-            return Err(format!(
-                "unknown direction `{other}` (expected `in` or `out`)"
-            ))
-        }
-    };
-    let name = field("name").ok_or("missing `name` field")?.to_owned();
-    if name.is_empty() {
-        return Err("empty event name".into());
-    }
-    Ok(Some(StreamLine::Event {
-        time,
-        direction,
-        name,
-    }))
-}
-
-/// Minimal flat-JSON-object parser: `{"key": "value", …}` with string
-/// values only (`\"`, `\\`, `\n`, `\t` escapes). Enough for an event
-/// stream; a full JSON parser would be an external dependency.
-fn parse_flat_json(text: &str) -> Result<Vec<(String, String)>, String> {
-    let mut chars = text.chars().peekable();
-    let mut pairs = Vec::new();
-
-    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-        while chars.next_if(|c| c.is_whitespace()).is_some() {}
-    }
-    fn string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
-        skip_ws(chars);
-        if chars.next() != Some('"') {
-            return Err("expected `\"`".into());
-        }
-        let mut out = String::new();
-        loop {
-            match chars.next() {
-                None => return Err("unterminated string".into()),
-                Some('"') => return Ok(out),
-                Some('\\') => match chars.next() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('n') => out.push('\n'),
-                    Some('t') => out.push('\t'),
-                    other => return Err(format!("unsupported escape `\\{other:?}`")),
-                },
-                Some(c) => out.push(c),
-            }
-        }
-    }
-
-    skip_ws(&mut chars);
-    if chars.next() != Some('{') {
-        return Err("expected `{`".into());
-    }
-    skip_ws(&mut chars);
-    if chars.peek() == Some(&'}') {
-        chars.next();
-    } else {
-        loop {
-            let key = string(&mut chars)?;
-            skip_ws(&mut chars);
-            if chars.next() != Some(':') {
-                return Err(format!("expected `:` after key `{key}`"));
-            }
-            let value = string(&mut chars)?;
-            pairs.push((key, value));
-            skip_ws(&mut chars);
-            match chars.next() {
-                Some(',') => continue,
-                Some('}') => break,
-                _ => return Err("expected `,` or `}`".into()),
-            }
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return Err("trailing characters after object".into());
-    }
-    Ok(pairs)
-}
-
 /// Parse `text` as a `T`, or print an error naming `flag` and exit-code 2.
 fn parse_flag_value<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, ExitCode> {
     text.parse().map_err(|_| {
@@ -1007,6 +897,100 @@ fn report_rulebook_warnings(properties: &[String], deny_warnings: bool) -> Resul
         }
     }
     Ok(())
+}
+
+/// `lomon serve`: run the hardened monitoring daemon until a drain
+/// shutdown is requested on the admin endpoint.
+fn serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
+    let backend = match take_backend_flag(&mut args) {
+        Ok(backend) => backend,
+        Err(code) => return code,
+    };
+    let mut config = ServeConfig {
+        backend,
+        deny_warnings,
+        listen: "127.0.0.1:7450".to_owned(),
+        admin: "127.0.0.1:7451".to_owned(),
+        ..ServeConfig::default()
+    };
+    match take_value_flag(&mut args, "--listen") {
+        Ok(Some(addr)) => config.listen = addr,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match take_value_flag(&mut args, "--admin") {
+        Ok(Some(addr)) => config.admin = addr,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match take_value_flag(&mut args, "--metrics") {
+        Ok(addr) => config.metrics = addr,
+        Err(code) => return code,
+    }
+    match take_value_flag(&mut args, "--max-streams") {
+        Ok(None) => {}
+        Ok(Some(raw)) => match parse_flag_value::<usize>("--max-streams", &raw) {
+            Ok(0) => {
+                eprintln!("error: `--max-streams` must be positive");
+                return usage();
+            }
+            Ok(n) => config.max_streams = n,
+            Err(code) => return code,
+        },
+        Err(code) => return code,
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("error: unknown flag `{flag}`");
+        return usage();
+    }
+
+    // The rulebook, lint-style: file arguments contribute one property per
+    // non-comment line, the rest are inline property texts.
+    let mut rulebook = String::new();
+    for arg in &args {
+        if std::path::Path::new(arg).is_file() {
+            match std::fs::read_to_string(arg) {
+                Ok(text) => rulebook.push_str(&text),
+                Err(e) => {
+                    eprintln!("error: cannot read {arg}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            rulebook.push_str(arg);
+        }
+        rulebook.push('\n');
+    }
+
+    let mut server = match Server::start(config, &rulebook) {
+        Ok(server) => server,
+        Err(StartError::Compile(diagnostics)) => {
+            for diagnostic in &diagnostics {
+                eprintln!("{}", diagnostic.render_text());
+            }
+            eprintln!("error: rulebook rejected; nothing is serving");
+            return ExitCode::FAILURE;
+        }
+        Err(StartError::Io(e)) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let properties = server.properties();
+    eprintln!(
+        "serving {} propert{} on {} (admin {})",
+        properties,
+        if properties == 1 { "y" } else { "ies" },
+        server.local_addr(),
+        server.admin_addr(),
+    );
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("metrics on http://{addr}/metrics");
+    }
+    server.wait();
+    ExitCode::SUCCESS
 }
 
 fn smc(args: &[String]) -> ExitCode {

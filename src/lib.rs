@@ -16,6 +16,7 @@
 //! | [`sync`] | `lomon-sync` | §6 Lustre-style synchronous validation |
 //! | [`gen`] | `lomon-gen` | §8 stimuli generation (future work) |
 //! | [`obs`] | `lomon-obs` | zero-overhead telemetry: metrics registry, Prometheus/NDJSON exposition, `/metrics` listener, phase stopwatches, Chrome trace-event spans (`obs::Tracer`) |
+//! | [`serve`] | `lomon-serve` | hardened monitoring daemon: concurrent NDJSON streams over TCP, per-stream fault isolation, backpressure/overload shedding, rulebook hot-reload, drain shutdown |
 //! | [`kernel`] | `lomon-kernel` | SystemC-like simulation kernel |
 //! | [`tlm`] | `lomon-tlm` | §2/Fig. 1 virtual face-recognition platform |
 //! | [`smc`] | `lomon-smc` | statistical model checking: parallel campaigns, Chernoff–Hoeffding estimation, SPRT |
@@ -60,6 +61,7 @@ pub use lomon_gen as gen;
 pub use lomon_kernel as kernel;
 pub use lomon_obs as obs;
 pub use lomon_psl as psl;
+pub use lomon_serve as serve;
 pub use lomon_smc as smc;
 pub use lomon_sync as sync;
 pub use lomon_tlm as tlm;

@@ -147,24 +147,71 @@ fn multiple_properties_stream_together() {
 }
 
 #[test]
-fn malformed_stream_line_is_rejected() {
-    let output = lomon_with_stdin(&["watch", PROPERTY], "banana in start\n");
-    assert_eq!(output.status.code(), Some(1));
-    assert!(stderr(&output).contains("stream line 1"));
+fn malformed_stream_line_is_skipped_by_default() {
+    // A bad line is counted and skipped; the stream keeps flowing and the
+    // healthy lines still produce their verdicts.
+    let stream = "banana in start\n5ns in start\n20ns in set_imgAddr\n";
+    let output = lomon_with_stdin(
+        &[
+            "watch",
+            "all{set_imgAddr, set_glAddr, set_glSize} << start once",
+        ],
+        stream,
+    );
+    assert_eq!(output.status.code(), Some(1), "stderr: {}", stderr(&output));
+    let report = stderr(&output);
+    assert!(
+        report.contains("warning: stream line 1"),
+        "stderr: {report}"
+    );
+    assert!(
+        report.contains("1 malformed line(s) skipped"),
+        "stderr: {report}"
+    );
+    assert!(stdout(&output).contains("[violated]"));
 
+    // NDJSON mode: the error record is itself an NDJSON line on stdout,
+    // and the summary counts it.
     let output = lomon_with_stdin(
         &["watch", "--format", "ndjson", PROPERTY],
         "{\"time\": \"10ns\"}\n",
     );
-    assert_eq!(output.status.code(), Some(1));
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("\"type\": \"error\""), "stdout: {text}");
+    assert!(text.contains("\"line\": 1"), "stdout: {text}");
+    assert!(text.contains("missing `name` field"), "stdout: {text}");
+    assert!(text.contains("\"parse_errors\": 1"), "stdout: {text}");
+}
+
+#[test]
+fn strict_makes_malformed_lines_fatal() {
+    let output = lomon_with_stdin(&["watch", "--strict", PROPERTY], "banana in start\n");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("stream line 1"));
+
+    let output = lomon_with_stdin(
+        &["watch", "--strict", "--format", "ndjson", PROPERTY],
+        "{\"time\": \"10ns\"}\n",
+    );
+    assert_eq!(output.status.code(), Some(2));
     let text = stderr(&output);
     assert!(text.contains("missing `name` field"), "stderr: {text}");
 }
 
 #[test]
-fn time_travel_in_stream_is_rejected() {
+fn time_travel_in_stream_is_skipped_or_fatal() {
+    // Default: the out-of-order line is skipped with a warning.
     let output = lomon_with_stdin(&["watch", PROPERTY], "10ns in noise\n5ns in noise\n");
-    assert_eq!(output.status.code(), Some(1));
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stderr(&output).contains("precedes"));
+
+    // Strict: it kills the run with exit 2.
+    let output = lomon_with_stdin(
+        &["watch", "--strict", PROPERTY],
+        "10ns in noise\n5ns in noise\n",
+    );
+    assert_eq!(output.status.code(), Some(2));
     assert!(stderr(&output).contains("precedes"));
 }
 
