@@ -18,6 +18,22 @@ pub const EPISODE_BURST: usize = 4;
 ///
 /// Panics if the generated rulebook fails to compile (a harness bug).
 pub fn disjoint(count: usize, rounds: usize) -> (Engine, Vec<TimedEvent>) {
+    let (engine, _, events) = disjoint_with_vocabulary(count, rounds);
+    (engine, events)
+}
+
+/// [`disjoint`], additionally returning the vocabulary the rulebook was
+/// compiled against. The `wire_speed` bench starts from trace *text*
+/// (bytes in, verdicts out), so it needs the vocabulary to render the
+/// event stream and to resolve names during decode.
+///
+/// # Panics
+///
+/// Panics if the generated rulebook fails to compile (a harness bug).
+pub fn disjoint_with_vocabulary(
+    count: usize,
+    rounds: usize,
+) -> (Engine, Vocabulary, Vec<TimedEvent>) {
     let mut voc = Vocabulary::new();
     let rulebook: Vec<String> = (0..count)
         .map(|k| format!("all{{p{k}_a, p{k}_b, p{k}_c}} << p{k}_start repeated"))
@@ -38,7 +54,7 @@ pub fn disjoint(count: usize, rounds: usize) -> (Engine, Vec<TimedEvent>) {
             }
         }
     }
-    (engine, events)
+    (engine, voc, events)
 }
 
 /// `count` antecedent properties over one *shared* alphabet (rotated range

@@ -89,27 +89,53 @@ struct CellSpec {
     max: u32,
 }
 
-/// One packed event→action table entry: the precomputed class of the row's
-/// name for one cell, bundled with the cell's counter bounds so the hot
-/// loop reads a single contiguous stream.
-#[derive(Debug, Clone, Copy)]
-struct Action {
-    class: u8,
-    min: u32,
-    max: u32,
+// The event→action table and the mutable cell arena are stored as
+// struct-of-arrays (a one-byte `class` stream, a packed `min|max` bounds
+// stream, and a packed `state|cpt` cell stream indexed by action-table
+// position) rather than as vectors of structs: the hot loop touches the
+// class stream densely (a whole cache line holds 64 classes), the bounds
+// and cell words each load and store as a single machine word, and the
+// pre-event diagnostic snapshot degenerates to one word copy per cell.
+
+/// Pack a range's counter bounds into one action-table word.
+const fn range_word(min: u32, max: u32) -> u64 {
+    min as u64 | (max as u64) << 32
 }
 
-/// Mutable per-cell state: 3 bits of automaton state plus the counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct CellState {
-    state: u8,
-    cpt: u32,
+const fn range_min(word: u64) -> u32 {
+    word as u32
 }
 
-const CELL_IDLE: CellState = CellState {
-    state: S_IDLE,
-    cpt: 0,
-};
+const fn range_max(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Pack a cell's automaton state and range counter into one arena word.
+/// Bits 8..32 are always zero; transitions that touch only the state
+/// keep the counter bits with mask arithmetic (and vice versa), so the
+/// arena behaves exactly like the former parallel `u8`/`u32` arrays.
+const fn cell_word(state: u8, cpt: u32) -> u64 {
+    state as u64 | (cpt as u64) << 32
+}
+
+const fn cell_state(word: u64) -> u8 {
+    word as u8
+}
+
+const fn cell_cpt(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Mask preserving the counter half of a cell word.
+const CELL_CPT_BITS: u64 = 0xFFFF_FFFF_0000_0000;
+/// A cell word's increment step for `cpt += 1`.
+const CELL_CPT_ONE: u64 = 1 << 32;
+
+/// Rewrite the state half of a cell word in place.
+#[inline(always)]
+fn set_cell_state(word: &mut u64, state: u8) {
+    *word = (*word & CELL_CPT_BITS) | state as u64;
+}
 
 /// Which root pattern the program encodes.
 #[derive(Debug, Clone, Copy)]
@@ -140,9 +166,14 @@ pub struct CompiledProgram {
     /// `Name::index()` → prescaled action-table row offset (`row × cells`),
     /// [`NO_ROW`] outside the alphabet.
     lookup: Vec<u32>,
-    /// Row-major `rows × cells` table of precomputed [`NameClass`] codes
-    /// packed with the cells' counter bounds.
-    actions: Vec<Action>,
+    /// Row-major `rows × cells` table of precomputed [`NameClass`] codes —
+    /// the struct-of-arrays action table, with the cells' counter bounds
+    /// in the parallel `act_range` at the same index.
+    act_class: Vec<u8>,
+    /// Counter bounds of entry `i`'s cell (parallel to `act_class`),
+    /// packed `min | max << 32` so the step loop streams one word per
+    /// cell instead of two parallel arrays.
+    act_range: Vec<u64>,
     /// The property's alphabet `α` (the rows of the table).
     alphabet: NameSet,
     /// Mutable state footprint, matching the interpreter's accounting.
@@ -217,23 +248,15 @@ impl CompiledProgram {
             lookup[name.index()] = (row * n_cells) as u32;
         }
 
-        let mut actions = vec![
-            Action {
-                class: CLASS_NONE,
-                min: 0,
-                max: 0
-            };
-            names.len() * n_cells
-        ];
+        let mut act_class = vec![CLASS_NONE; table];
+        let mut act_range = vec![0u64; table];
         let mut cell = 0usize;
         for (fragment, ctxs) in fragments.iter().zip(&contexts) {
             for (range, ctx) in fragment.ranges.iter().zip(ctxs) {
                 for (row, &name) in names.iter().enumerate() {
-                    actions[row * n_cells + cell] = Action {
-                        class: class_code(ctx.classify(range.name, name)),
-                        min: range.min,
-                        max: range.max,
-                    };
+                    let at = row * n_cells + cell;
+                    act_class[at] = class_code(ctx.classify(range.name, name));
+                    act_range[at] = range_word(range.min, range.max);
                 }
                 cell += 1;
             }
@@ -259,7 +282,8 @@ impl CompiledProgram {
             frag_op,
             frag_accept,
             lookup,
-            actions,
+            act_class,
+            act_range,
             alphabet,
             state_bits,
             max_frag_cells,
@@ -327,9 +351,9 @@ impl CompiledProgram {
         // costs nothing at compile time and keeps the key self-evidently
         // complete. The packing is exact (8 + 32 bits used of 40+32), so
         // distinct tables never collide.
-        for a in &self.actions {
-            key.push(u64::from(a.class) | (u64::from(a.min) << 8));
-            key.push(u64::from(a.max));
+        for (&class, &range) in self.act_class.iter().zip(&self.act_range) {
+            key.push(u64::from(class) | (u64::from(range_min(range)) << 8));
+            key.push(u64::from(range_max(range)));
         }
         key
     }
@@ -383,7 +407,7 @@ impl CompiledProgram {
 
     /// Total number of event→action table entries (rows × cells).
     pub(crate) fn action_count(&self) -> usize {
-        self.actions.len()
+        self.act_class.len()
     }
 
     /// Exploration depth for the bounded-model analyses in
@@ -411,11 +435,12 @@ impl CompiledProgram {
     /// [`Monitor::ops`] accounting is **not** preserved (a neutralized
     /// entry charges the out-of-alphabet classification cost).
     pub(crate) fn pruned(&self, live: &[bool], drop: &NameSet) -> (CompiledProgram, PruneStats) {
-        assert_eq!(live.len(), self.actions.len(), "liveness mask shape");
+        assert_eq!(live.len(), self.act_class.len(), "liveness mask shape");
         let n_cells = self.cells.len();
         let names: Vec<Name> = self.alphabet.iter().collect();
         let mut lookup = vec![NO_ROW; self.lookup.len()];
-        let mut actions = Vec::new();
+        let mut act_class = Vec::new();
+        let mut act_range = Vec::new();
         let mut stats = PruneStats {
             rows: 0,
             dropped_rows: 0,
@@ -432,20 +457,17 @@ impl CompiledProgram {
                 stats.dropped_rows += 1;
                 continue;
             }
-            lookup[name.index()] = actions.len() as u32;
+            lookup[name.index()] = act_class.len() as u32;
             for c in 0..n_cells {
-                let a = self.actions[base + c];
                 if live[base + c] {
-                    actions.push(a);
+                    act_class.push(self.act_class[base + c]);
+                    act_range.push(self.act_range[base + c]);
                 } else {
-                    if a.class != CLASS_NONE {
+                    if self.act_class[base + c] != CLASS_NONE {
                         stats.neutralized_entries += 1;
                     }
-                    actions.push(Action {
-                        class: CLASS_NONE,
-                        min: 0,
-                        max: 0,
-                    });
+                    act_class.push(CLASS_NONE);
+                    act_range.push(0);
                 }
             }
         }
@@ -456,7 +478,8 @@ impl CompiledProgram {
             frag_op: self.frag_op.clone(),
             frag_accept: self.frag_accept.clone(),
             lookup,
-            actions,
+            act_class,
+            act_range,
             alphabet: self.alphabet.clone(),
             state_bits: self.state_bits,
             max_frag_cells: self.max_frag_cells,
@@ -522,7 +545,11 @@ enum ExpectedFrom {
 /// state can coexist.
 #[derive(Debug, Clone)]
 struct MonState {
-    cells: Vec<CellState>,
+    /// The cell arena: one packed `state | cpt << 32` word per cell (see
+    /// [`cell_word`]), indexed like the action table's rows. One word per
+    /// cell keeps a step's read-modify-write on a single cache line slot
+    /// and the pre-event snapshot a plain word copy.
+    cell: Vec<u64>,
     active: usize,
     /// Cell bounds and connective of the active fragment, cached so the
     /// per-event loop does not re-chase `frag_start`/`frag_op` (they only
@@ -543,10 +570,10 @@ struct MonState {
     ops: u64,
     /// Pre-event snapshot: the active fragment and its cell states before
     /// the event currently being processed (fixed length `max_frag_cells`,
-    /// never reallocated after construction — only its leading
+    /// never reallocated after construction — only the leading
     /// `|cells(prev_active)|` entries are meaningful).
     prev_active: usize,
-    prev_cells: Vec<CellState>,
+    prev: Vec<u64>,
     /// Time of the last event consumed in the current episode (timed only).
     last_consumed: Option<SimTime>,
     /// Frozen end of `P` once `Q` has begun (timed only).
@@ -617,7 +644,7 @@ impl CompiledMonitor {
     /// Build and activate a monitor over a lowered program.
     pub fn new(program: Arc<CompiledProgram>) -> Self {
         let mut st = MonState {
-            cells: vec![CELL_IDLE; program.cells.len()],
+            cell: vec![cell_word(S_IDLE, 0); program.cells.len()],
             active: 0,
             active_lo: 0,
             active_hi: 0,
@@ -630,7 +657,7 @@ impl CompiledMonitor {
             diagnostics: true,
             ops: 0,
             prev_active: 0,
-            prev_cells: vec![CELL_IDLE; program.max_frag_cells],
+            prev: vec![cell_word(S_IDLE, 0); program.max_frag_cells],
             last_consumed: None,
             episode_start: None,
             response_done_at: None,
@@ -684,14 +711,14 @@ impl CompiledMonitor {
         if st.verdict.is_final() {
             return vec![u64::MAX, verdict, satisfied];
         }
-        let mut key = Vec::with_capacity(7 + 2 * st.cells.len());
+        let mut key = Vec::with_capacity(7 + 2 * st.cell.len());
         key.push(verdict);
         key.push(st.active as u64);
         key.push(u64::from(st.started));
         key.push(satisfied);
-        for cell in &st.cells {
-            key.push(u64::from(cell.state));
-            key.push(u64::from(cell.cpt));
+        for &word in &st.cell {
+            key.push(u64::from(cell_state(word)));
+            key.push(u64::from(cell_cpt(word)));
         }
         if let ProgramKind::Timed { bound, .. } = self.program.kind {
             let cap = bound.as_ps().saturating_add(1);
@@ -725,9 +752,9 @@ impl CompiledMonitor {
                 continue;
             };
             for idx in st.active_lo..st.active_hi {
-                let class = p.actions[base + idx].class;
+                let class = p.act_class[base + idx];
                 let effective = !matches!(
-                    (st.cells[idx].state, class),
+                    (cell_state(st.cell[idx]), class),
                     (_, CLASS_NONE)
                         | (S_IDLE | S_ERROR, _)
                         | (S_WAITING_OTHER | S_DONE, CLASS_CONCURRENT)
@@ -745,7 +772,9 @@ impl CompiledMonitor {
     /// engine's inverted index) uses this to skip the per-monitor
     /// projection lookup the index has already performed — verdicts,
     /// diagnostics and `ops` are identical to [`Monitor::observe`].
-    #[inline]
+    /// Forced inline so the untimed step lands inside the caller's batch
+    /// loop (timed programs still dispatch out of line to `timed_at`).
+    #[inline(always)]
     pub fn observe_routed(&mut self, event: TimedEvent, base: u32) -> Verdict {
         let Self { program, st } = self;
         debug_assert_eq!(program.row_base(event.name), Some(base as usize));
@@ -895,32 +924,34 @@ impl Monitor for CompiledMonitor {
 
 /// One synchronous step of a cell on a name of class `class` — the Fig. 5
 /// transition table over dense integers, with the interpreter's exact
-/// `ops` accounting accumulated into the caller's register.
+/// `ops` accounting accumulated into the caller's register. `cell` is the
+/// cell's packed `state | cpt << 32` word in the arena; `range` the
+/// matching packed `min | max << 32` action-table bounds.
 #[inline(always)]
-fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u64) -> RangeOutput {
-    let class = action.class;
+fn step_cell(class: u8, range: u64, cell: &mut u64, op: FragmentOp, ops: &mut u64) -> RangeOutput {
     *ops += class_cost(class);
     if class == CLASS_NONE {
         return RangeOutput::Progress;
     }
     *ops += 1; // state dispatch
-    let fail = |cell: &mut CellState, ops: &mut u64, kind: ViolationKind| {
+               // Failure leaves the counter bits untouched: only the state half flips
+               // to `S_ERROR`, mirroring the interpreter's stale-counter behaviour.
+    let fail = |cell: &mut u64, ops: &mut u64, kind: ViolationKind| {
         *ops += 1; // state write
-        cell.state = S_ERROR;
+        set_cell_state(cell, S_ERROR);
         RangeOutput::Err(kind)
     };
-    match cell.state {
+    match cell_state(*cell) {
         S_IDLE | S_ERROR => RangeOutput::Progress,
         S_WAITING => match class {
             CLASS_OWN => {
                 *ops += 2; // counter init + state write
-                cell.cpt = 1;
-                cell.state = S_COUNTING;
+                *cell = cell_word(S_COUNTING, 1);
                 RangeOutput::Progress
             }
             CLASS_CONCURRENT => {
                 *ops += 1;
-                cell.state = S_WAITING_OTHER;
+                set_cell_state(cell, S_WAITING_OTHER);
                 RangeOutput::Progress
             }
             CLASS_ACCEPT => fail(cell, ops, ViolationKind::PrematureStop),
@@ -930,8 +961,7 @@ fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u6
         S_WAITING_OTHER => match class {
             CLASS_OWN => {
                 *ops += 2;
-                cell.cpt = 1;
-                cell.state = S_COUNTING;
+                *cell = cell_word(S_COUNTING, 1);
                 RangeOutput::Progress
             }
             CLASS_CONCURRENT => RangeOutput::Progress, // self-loop
@@ -940,7 +970,7 @@ fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u6
                 match op {
                     FragmentOp::Any => {
                         *ops += 1;
-                        cell.state = S_IDLE;
+                        set_cell_state(cell, S_IDLE);
                         RangeOutput::Nok
                     }
                     FragmentOp::All => fail(cell, ops, ViolationKind::MissingRange),
@@ -952,9 +982,9 @@ fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u6
         S_COUNTING => match class {
             CLASS_OWN => {
                 *ops += 1; // counter compare
-                if cell.cpt < action.max {
+                if cell_cpt(*cell) < range_max(range) {
                     *ops += 1; // counter increment
-                    cell.cpt += 1;
+                    *cell += CELL_CPT_ONE;
                     RangeOutput::Progress
                 } else {
                     fail(cell, ops, ViolationKind::TooMany)
@@ -962,9 +992,9 @@ fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u6
             }
             CLASS_CONCURRENT => {
                 *ops += 1; // counter compare
-                if cell.cpt >= action.min {
+                if cell_cpt(*cell) >= range_min(range) {
                     *ops += 1;
-                    cell.state = S_DONE;
+                    set_cell_state(cell, S_DONE);
                     RangeOutput::Progress
                 } else {
                     fail(cell, ops, ViolationKind::PrematureInterrupt)
@@ -972,9 +1002,9 @@ fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u6
             }
             CLASS_ACCEPT => {
                 *ops += 1; // counter compare
-                if cell.cpt >= action.min {
+                if cell_cpt(*cell) >= range_min(range) {
                     *ops += 1; // state write
-                    cell.state = S_IDLE;
+                    set_cell_state(cell, S_IDLE);
                     RangeOutput::Ok
                 } else {
                     fail(cell, ops, ViolationKind::PrematureStop)
@@ -989,13 +1019,60 @@ fn step_cell(action: &Action, cell: &mut CellState, op: FragmentOp, ops: &mut u6
             CLASS_CONCURRENT => RangeOutput::Progress, // self-loop
             CLASS_ACCEPT => {
                 *ops += 1; // state write
-                cell.state = S_IDLE;
+                set_cell_state(cell, S_IDLE);
                 RangeOutput::Ok
             }
             CLASS_AFTER => fail(cell, ops, ViolationKind::AfterName),
             _ => fail(cell, ops, ViolationKind::BeforeName),
         },
     }
+}
+
+/// The window step over the already-sliced action row and cell words —
+/// the inner loop of [`MonState::step_window`]. `DIAG` compiles the
+/// pre-event snapshot stores in or out (the packed word is already in a
+/// register, so the snapshot costs one fused store, not a second pass).
+#[inline(always)]
+fn step_cells_dyn<const DIAG: bool>(
+    classes: &[u8],
+    ranges: &[u64],
+    cells: &mut [u64],
+    prev: &mut [u64],
+    op: FragmentOp,
+    ops: &mut u64,
+) -> (bool, Option<(ViolationKind, usize)>) {
+    let mut completed = false;
+    let mut error: Option<(ViolationKind, usize)> = None;
+    let action = classes.iter().zip(ranges);
+    if DIAG {
+        for (idx, (((&class, &range), cell), prev_w)) in
+            action.zip(cells).zip(prev.iter_mut()).enumerate()
+        {
+            *prev_w = *cell;
+            match step_cell(class, range, cell, op, ops) {
+                RangeOutput::Progress => {}
+                RangeOutput::Ok | RangeOutput::Nok => completed = true,
+                RangeOutput::Err(kind) => {
+                    if error.is_none() {
+                        error = Some((kind, idx));
+                    }
+                }
+            }
+        }
+    } else {
+        for (idx, ((&class, &range), cell)) in action.zip(cells).enumerate() {
+            match step_cell(class, range, cell, op, ops) {
+                RangeOutput::Progress => {}
+                RangeOutput::Ok | RangeOutput::Nok => completed = true,
+                RangeOutput::Err(kind) => {
+                    if error.is_none() {
+                        error = Some((kind, idx));
+                    }
+                }
+            }
+        }
+    }
+    (completed, error)
 }
 
 impl MonState {
@@ -1020,7 +1097,7 @@ impl MonState {
     /// Reset every cell and re-activate (the interpreter's `restart`).
     #[inline]
     fn restart(&mut self, p: &CompiledProgram) {
-        self.cells.fill(CELL_IDLE);
+        self.cell.fill(cell_word(S_IDLE, 0));
         self.started = false;
         self.start(p);
     }
@@ -1034,7 +1111,7 @@ impl MonState {
     #[inline]
     fn rearm(&mut self, p: &CompiledProgram) {
         debug_assert!(
-            self.cells.iter().all(|c| c.state == S_IDLE),
+            self.cell.iter().all(|&w| cell_state(w) == S_IDLE),
             "linear episode completed with a non-idle cell"
         );
         self.started = false;
@@ -1047,25 +1124,24 @@ impl MonState {
     fn start_frag(&mut self, p: &CompiledProgram, f: usize) {
         let (lo, hi) = p.frag_range(f);
         self.ops += (hi - lo) as u64; // one state write per cell
-        for cell in &mut self.cells[lo..hi] {
-            debug_assert_eq!(cell.state, S_IDLE, "start from non-idle state");
-            cell.state = S_WAITING;
+        for cell in &mut self.cell[lo..hi] {
+            debug_assert_eq!(cell_state(*cell), S_IDLE, "start from non-idle state");
+            set_cell_state(cell, S_WAITING);
         }
     }
 
     /// `start` fragment `f` coinciding with `name` (handover): the owning
     /// cell to `s3`, its siblings to `s2`.
-    #[inline]
+    #[inline(always)]
     fn start_frag_with(&mut self, p: &CompiledProgram, f: usize, name: Name) {
         let (lo, hi) = p.frag_range(f);
         self.ops += 2 * (hi - lo) as u64; // classification + state write per cell
-        for (spec, cell) in p.cells[lo..hi].iter().zip(&mut self.cells[lo..hi]) {
-            debug_assert_eq!(cell.state, S_IDLE, "start from non-idle state");
+        for (spec, cell) in p.cells[lo..hi].iter().zip(&mut self.cell[lo..hi]) {
+            debug_assert_eq!(cell_state(*cell), S_IDLE, "start from non-idle state");
             if spec.name == name {
-                cell.cpt = 1;
-                cell.state = S_COUNTING;
+                *cell = cell_word(S_COUNTING, 1);
             } else {
-                cell.state = S_WAITING_OTHER;
+                set_cell_state(cell, S_WAITING_OTHER);
             }
         }
     }
@@ -1088,39 +1164,19 @@ impl MonState {
         let name = event.name;
         let from = self.active;
         let (lo, hi) = (self.active_lo, self.active_hi);
-        let op = self.active_op;
-        let actions = &p.actions[base + lo..base + hi];
         // Attributing diffs against the same pre-event snapshot the
         // diagnostics use, so attribute mode forces it on; live explain
         // mode records `(time, event)` only and needs no snapshot.
-        let diagnostics = self.diagnostics || self.attribute;
-        if diagnostics {
+        //
+        // Monomorphized: when neither is on, the snapshot arrays are
+        // provably never read again, so the common path carries no `prev`
+        // slices or stores at all — two fewer write streams per event.
+        let (completed, error) = if self.diagnostics || self.attribute {
             self.prev_active = from;
-        }
-        let mut completed = false;
-        let mut error: Option<(ViolationKind, usize)> = None;
-        for (idx, ((action, cell), prev)) in actions
-            .iter()
-            .zip(&mut self.cells[lo..hi])
-            .zip(&mut self.prev_cells)
-            .enumerate()
-        {
-            if diagnostics {
-                // The pre-event diagnostic snapshot, fused into the step
-                // loop: the cell is already in a register here, so saving
-                // it costs one store instead of a second pass.
-                *prev = *cell;
-            }
-            match step_cell(action, cell, op, ops) {
-                RangeOutput::Progress => {}
-                RangeOutput::Ok | RangeOutput::Nok => completed = true,
-                RangeOutput::Err(kind) => {
-                    if error.is_none() {
-                        error = Some((kind, idx));
-                    }
-                }
-            }
-        }
+            self.step_window::<true>(p, base, ops)
+        } else {
+            self.step_window::<false>(p, base, ops)
+        };
         let step = if let Some((kind, range)) = error {
             OrderingStep::Error {
                 kind,
@@ -1145,6 +1201,28 @@ impl MonState {
             self.record_step(event, lo, hi);
         }
         step
+    }
+
+    /// Step every cell of the active window on the already-resolved
+    /// action row — the inner loop of [`MonState::step_ordering`].
+    /// Returns whether any range completed, and the first rejection.
+    /// `DIAG` compiles the pre-event snapshot stores in or out; the
+    /// snapshot is only ever read under diagnostics/attribute, so the
+    /// `false` instantiation is observationally identical.
+    #[inline(always)]
+    fn step_window<const DIAG: bool>(
+        &mut self,
+        p: &CompiledProgram,
+        base: usize,
+        ops: &mut u64,
+    ) -> (bool, Option<(ViolationKind, usize)>) {
+        let (lo, hi) = (self.active_lo, self.active_hi);
+        let op = self.active_op;
+        let classes = &p.act_class[base + lo..base + hi];
+        let ranges = &p.act_range[base + lo..base + hi];
+        let cells = &mut self.cell[lo..hi];
+        let prev = &mut self.prev[..hi - lo];
+        step_cells_dyn::<DIAG>(classes, ranges, cells, prev, op, ops)
     }
 
     /// Record the step just taken. Live explain mode appends the bare
@@ -1187,27 +1265,26 @@ impl MonState {
     /// The witness attribution of the step just taken: diff the pre-event
     /// snapshot against the *current* window states.
     fn witness_rediff(&self, lo: usize, hi: usize) -> (u32, u8, u8) {
-        for (k, (pre, post)) in self.prev_cells[..hi - lo]
-            .iter()
-            .zip(&self.cells[lo..hi])
-            .enumerate()
-        {
+        for k in 0..hi - lo {
+            let (pre, post) = (self.prev[k], self.cell[lo + k]);
             if pre != post {
-                return ((lo + k) as u32, pre.state, post.state);
+                return ((lo + k) as u32, cell_state(pre), cell_state(post));
             }
         }
-        let state = self.prev_cells[0].state;
+        let state = cell_state(self.prev[0]);
         (lo as u32, state, state)
     }
 
-    /// Whether fragment `f` (with the given cell states) could terminate
-    /// now — `FragmentRecognizer::can_complete` over the arena.
-    fn can_complete_over(&self, p: &CompiledProgram, f: usize, states: &[CellState]) -> bool {
+    /// Whether fragment `f` (with the given cell states and counters)
+    /// could terminate now — `FragmentRecognizer::can_complete` over the
+    /// arena.
+    fn can_complete_over(&self, p: &CompiledProgram, f: usize, cells: &[u64]) -> bool {
         let (lo, hi) = p.frag_range(f);
         let mut any_complete = false;
-        for (spec, cell) in p.cells[lo..hi].iter().zip(states) {
-            match cell.state {
-                S_COUNTING if cell.cpt >= spec.min => any_complete = true,
+        for (spec, &word) in p.cells[lo..hi].iter().zip(cells) {
+            let (state, cpt) = (cell_state(word), cell_cpt(word));
+            match state {
+                S_COUNTING if cpt >= spec.min => any_complete = true,
                 S_DONE => any_complete = true,
                 S_COUNTING | S_ERROR => return false,
                 _ => {
@@ -1223,7 +1300,7 @@ impl MonState {
 
     fn can_complete(&self, p: &CompiledProgram, f: usize) -> bool {
         let (lo, hi) = p.frag_range(f);
-        self.can_complete_over(p, f, &self.cells[lo..hi])
+        self.can_complete_over(p, f, &self.cell[lo..hi])
     }
 
     /// Whether fragment `f` could still consume another event without
@@ -1232,30 +1309,30 @@ impl MonState {
         let (lo, hi) = p.frag_range(f);
         p.cells[lo..hi]
             .iter()
-            .zip(&self.cells[lo..hi])
-            .any(|(spec, cell)| match cell.state {
+            .zip(&self.cell[lo..hi])
+            .any(|(spec, &word)| match cell_state(word) {
                 S_WAITING | S_WAITING_OTHER => true,
-                S_COUNTING => cell.cpt < spec.max,
+                S_COUNTING => cell_cpt(word) < spec.max,
                 _ => false,
             })
     }
 
-    /// Names acceptable as the next event of fragment `f`, computed over an
-    /// explicit state slice — `FragmentRecognizer::expected`.
-    fn frag_expected(&self, p: &CompiledProgram, f: usize, states: &[CellState]) -> NameSet {
+    /// Names acceptable as the next event of fragment `f`, computed over
+    /// explicit state/counter slices — `FragmentRecognizer::expected`.
+    fn frag_expected(&self, p: &CompiledProgram, f: usize, cells: &[u64]) -> NameSet {
         let (lo, hi) = p.frag_range(f);
         let mut out = NameSet::new();
-        for (spec, cell) in p.cells[lo..hi].iter().zip(states) {
-            let can_more = match cell.state {
+        for (spec, &word) in p.cells[lo..hi].iter().zip(cells) {
+            let can_more = match cell_state(word) {
                 S_WAITING | S_WAITING_OTHER => true,
-                S_COUNTING => cell.cpt < spec.max,
+                S_COUNTING => cell_cpt(word) < spec.max,
                 _ => false,
             };
             if can_more {
                 out.insert(spec.name);
             }
         }
-        if self.can_complete_over(p, f, states) {
+        if self.can_complete_over(p, f, cells) {
             out.union_with(&p.frag_accept[f]);
         }
         out
@@ -1265,7 +1342,7 @@ impl MonState {
     fn ordering_expected(&self, p: &CompiledProgram) -> NameSet {
         if self.started {
             let (lo, hi) = p.frag_range(self.active);
-            self.frag_expected(p, self.active, &self.cells[lo..hi])
+            self.frag_expected(p, self.active, &self.cell[lo..hi])
         } else {
             NameSet::new()
         }
@@ -1283,7 +1360,7 @@ impl MonState {
             return;
         }
         let cell = self.active_lo;
-        let state = self.cells[cell].state;
+        let state = cell_state(self.cell[cell]);
         if let Some(rec) = self.recorder.as_deref_mut() {
             rec.record(WitnessStep {
                 time: event.time,
@@ -1303,7 +1380,7 @@ impl MonState {
         }
         match from {
             ExpectedFrom::Current => self.ordering_expected(p),
-            ExpectedFrom::Snapshot => self.frag_expected(p, self.prev_active, &self.prev_cells),
+            ExpectedFrom::Snapshot => self.frag_expected(p, self.prev_active, &self.prev),
         }
     }
 
@@ -1328,7 +1405,13 @@ impl MonState {
     /// caller guarantees the event is in the alphabet and `base` is its
     /// action-table row. The projection `ops` is still charged — the
     /// interpreter performs (and counts) that test unconditionally.
-    #[inline]
+    ///
+    /// Forced inline: this is the per-event body of routed dispatch, and
+    /// as an out-of-line call it costs a full spill/reload of the batch
+    /// loop's live state per event. The allocating violation arm lives in
+    /// [`MonState::antecedent_violation`] so the inlined shell stays
+    /// branch-light.
+    #[inline(always)]
     fn antecedent_at(
         &mut self,
         p: &CompiledProgram,
@@ -1357,25 +1440,40 @@ impl MonState {
                 kind,
                 fragment,
                 range,
-            } => {
-                self.verdict = Verdict::Violated;
-                self.violation = Some(Box::new(Violation {
-                    kind,
-                    event: Some(event),
-                    time: event.time,
-                    expected: self.expected_before(p, ExpectedFrom::Snapshot),
-                    detail: format!(
-                        "antecedent episode {}: fragment {}/{}, range {} rejected",
-                        self.episodes + 1,
-                        fragment + 1,
-                        p.n_frags(),
-                        range + 1,
-                    ),
-                    obligation: None,
-                }));
-            }
+            } => self.antecedent_violation(p, event, kind, fragment, range),
         }
         self.verdict
+    }
+
+    /// Latch the violation for a rejected antecedent step. Kept out of
+    /// line (and cold) so [`MonState::antecedent_at`]'s inlined shell
+    /// carries no allocation or formatting code: this arm runs at most
+    /// once per monitor lifetime.
+    #[cold]
+    #[inline(never)]
+    fn antecedent_violation(
+        &mut self,
+        p: &CompiledProgram,
+        event: TimedEvent,
+        kind: ViolationKind,
+        fragment: usize,
+        range: usize,
+    ) {
+        self.verdict = Verdict::Violated;
+        self.violation = Some(Box::new(Violation {
+            kind,
+            event: Some(event),
+            time: event.time,
+            expected: self.expected_before(p, ExpectedFrom::Snapshot),
+            detail: format!(
+                "antecedent episode {}: fragment {}/{}, range {} rejected",
+                self.episodes + 1,
+                fragment + 1,
+                p.n_frags(),
+                range + 1,
+            ),
+            obligation: None,
+        }));
     }
 
     /// The latest possible end of the current `P` observation, if `P` is
@@ -1445,10 +1543,11 @@ impl MonState {
         if self.active >= premise_len {
             let (lo, hi) = p.frag_range(self.active);
             if !self.can_complete(p, self.active) {
-                for (i, cell) in self.cells[lo..hi].iter().enumerate() {
+                for i in 0..hi - lo {
+                    let word = self.cell[lo + i];
+                    let (state, cpt) = (cell_state(word), cell_cpt(word));
                     let spec = p.cells[lo + i];
-                    let satisfied =
-                        cell.state == S_DONE || (cell.state == S_COUNTING && cell.cpt >= spec.min);
+                    let satisfied = state == S_DONE || (state == S_COUNTING && cpt >= spec.min);
                     if !satisfied {
                         return spec_at(lo + i);
                     }
@@ -1511,8 +1610,10 @@ impl MonState {
     }
 
     /// [`MonState::observe_timed`] past the projection lookup (see
-    /// [`MonState::antecedent_at`] for the contract).
-    #[inline]
+    /// [`MonState::antecedent_at`] for the contract). Deliberately out of
+    /// line: the timed step carries deadline bookkeeping the untimed hot
+    /// loop should not pay icache for now that `observe_routed` inlines.
+    #[inline(never)]
     fn timed_at(
         &mut self,
         p: &CompiledProgram,
@@ -1925,11 +2026,12 @@ mod tests {
         assert_eq!(program.fragment_count(), 3);
         assert_eq!(program.cell_count(), 5);
         // 6 alphabet names (a, b, c, d, e, i) × 5 cells.
-        assert_eq!(program.actions.len(), 6 * 5);
+        assert_eq!(program.act_class.len(), 6 * 5);
+        assert_eq!(program.act_range.len(), 6 * 5);
         assert_eq!(program.alphabet().len(), 6);
         // Every in-alphabet (name, cell) pair is classified: with the
         // linear context layout no entry is CLASS_NONE.
-        assert!(program.actions.iter().all(|a| a.class != CLASS_NONE));
+        assert!(program.act_class.iter().all(|&c| c != CLASS_NONE));
     }
 
     #[test]

@@ -105,6 +105,10 @@ pub struct FusedProgram {
     /// `members[members_start[g] .. members_start[g + 1]]`.
     members_start: Vec<u32>,
     members: Vec<u32>,
+    /// Dense group → member count — the dispatch loop's fan-out factor,
+    /// precomputed so the hot path loads one word instead of differencing
+    /// two CSR bounds.
+    member_counts: Vec<u32>,
     /// Global CSR over the vocabulary: the groups subscribed to name `n`
     /// are `sub_groups[sub_start[n] .. sub_start[n + 1]]`, with the
     /// parallel `sub_bases` carrying each group's precomputed action-table
@@ -159,6 +163,7 @@ impl FusedProgram {
             .map(|(p, &g)| (g as usize, p as u32))
             .collect();
         let (members_start, members) = build_csr(groups.len(), &member_items);
+        let member_counts: Vec<u32> = members_start.windows(2).map(|w| w[1] - w[0]).collect();
 
         // Global name → (group, action row) CSR. Rows are group-major in
         // first-appearance order, so dispatch visits groups in the same
@@ -205,6 +210,7 @@ impl FusedProgram {
             prop_group,
             members_start,
             members,
+            member_counts,
             sub_start,
             sub_groups,
             sub_bases,
@@ -254,6 +260,18 @@ impl FusedProgram {
     #[inline]
     pub fn group_of(&self, p: usize) -> usize {
         self.prop_group[p] as usize
+    }
+
+    /// Number of member properties of group `g` — the dispatch fan-out
+    /// factor, served from a dense precomputed array (one load on the hot
+    /// path instead of two CSR-bound loads and a subtract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[inline]
+    pub fn member_count(&self, g: usize) -> u32 {
+        self.member_counts[g]
     }
 
     /// The member property ids of group `g`, ascending.

@@ -50,7 +50,10 @@ impl RoutedMonitor for PropertyMonitor {
 }
 
 impl RoutedMonitor for CompiledMonitor {
-    #[inline]
+    // Forced inline: this is the per-event body of the batch hot loop, and
+    // the `#[inline(always)]` chain below it (observe_routed → antecedent_at
+    // → step_window) only lands inside the loop if this wrapper dissolves.
+    #[inline(always)]
     fn observe_routed(&mut self, event: TimedEvent, base: u32) -> Verdict {
         CompiledMonitor::observe_routed(self, event, base)
     }
@@ -642,7 +645,7 @@ impl Core {
     #[inline]
     fn served_by(&self, engine: &Engine, unit: usize) -> u64 {
         match self.backend {
-            Backend::Fused => engine.fused.members(unit).len() as u64,
+            Backend::Fused => u64::from(engine.fused.member_count(unit)),
             _ => 1,
         }
     }
@@ -767,6 +770,32 @@ impl Core {
         monitors: &mut [M],
         events: &[TimedEvent],
     ) {
+        // Deadline bookkeeping can only arm inside a batch via a timed
+        // unit's flag (every `deadline_dirty = true` writer is guarded by
+        // it), so a batch that starts with no timed units, a clean dirty
+        // flag and no pending deadline provably never sweeps — the
+        // `TIMED = false` loop drops the per-event guard and the per-unit
+        // flag load entirely.
+        let untimed = self.timed_units(engine).is_empty()
+            && !self.deadline_dirty
+            && self.next_deadline.is_none();
+        if untimed {
+            self.batch_loop::<M, FUSED, false>(engine, monitors, events);
+        } else {
+            self.batch_loop::<M, FUSED, true>(engine, monitors, events);
+        }
+    }
+
+    /// Kept out of line so each `(FUSED, TIMED)` instantiation owns an
+    /// aligned symbol: inlining all four into the dispatcher lays the hot
+    /// loops across each other's fall-through paths.
+    #[inline(never)]
+    fn batch_loop<M: RoutedMonitor, const FUSED: bool, const TIMED: bool>(
+        &mut self,
+        engine: &Engine,
+        monitors: &mut [M],
+        events: &[TimedEvent],
+    ) {
         assert!(
             self.active.len() == monitors.len()
                 && self.timed_flags(engine).len() == monitors.len()
@@ -775,23 +804,35 @@ impl Core {
         let timed_flags = self.timed_flags(engine);
         let mut seen = 0u64;
         let mut steps = 0u64;
-        let mut skipped = 0u64;
         let mut shared = 0u64;
+        // Skipped steps are accounted at batch grain: a unit's step always
+        // serves live properties only, so per-event `served` never exceeds
+        // the live count and `Σ(live - served) = Σlive - Σserved` exactly —
+        // two running sums instead of a reset + saturating subtract per
+        // event.
+        let mut sum_live = 0u64;
+        let mut sum_served = 0u64;
         for (k, &event) in events.iter().enumerate() {
             if self.active_units == 0 {
                 seen += (events.len() - k) as u64;
                 break;
             }
             seen += 1;
-            let mut served = 0u64;
-            let live_before = self.active_props as u64;
-            let (units, bases) = self.routes(engine, event.name);
-            if self.deadline_dirty || self.next_deadline.is_some() {
+            sum_live += self.active_props as u64;
+            // Const-dispatched route lookup: `FUSED` already pins the
+            // backend family, so the per-event CSR fetch needs no load of
+            // `self.backend`.
+            let (units, bases) = if FUSED {
+                engine.fused.subscribers(event.name)
+            } else {
+                engine.prop_subscribers(event.name)
+            };
+            if TIMED && (self.deadline_dirty || self.next_deadline.is_some()) {
                 // The sweep updates `self.stats` through the slow path;
                 // fold its counters into the locals afterwards.
                 let before_steps = self.stats.monitor_steps;
                 let before_shared = self.stats.shared_hits;
-                served += self.sweep_deadlines(engine, monitors, event.time, units);
+                sum_served += self.sweep_deadlines(engine, monitors, event.time, units);
                 steps += self.stats.monitor_steps - before_steps;
                 shared += self.stats.shared_hits - before_shared;
                 self.stats.monitor_steps = before_steps;
@@ -802,26 +843,25 @@ impl Core {
                 if self.active[u] {
                     let verdict = monitors[u].observe_routed(event, base);
                     let fan_out = if FUSED {
-                        engine.fused.members(u).len() as u64
+                        u64::from(engine.fused.member_count(u))
                     } else {
                         1
                     };
                     steps += 1;
-                    served += fan_out;
+                    sum_served += fan_out;
                     shared += fan_out - 1;
                     if verdict.is_final() {
                         self.retire(engine, u);
-                    } else if timed_flags[u] {
+                    } else if TIMED && timed_flags[u] {
                         self.deadlines[u] = monitors[u].deadline();
                         self.deadline_dirty = true;
                     }
                 }
             }
-            skipped += live_before.saturating_sub(served);
         }
         self.stats.events += seen;
         self.stats.monitor_steps += steps;
-        self.stats.steps_skipped += skipped;
+        self.stats.steps_skipped += sum_live - sum_served;
         self.stats.shared_hits += shared;
     }
 

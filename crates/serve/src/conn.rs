@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use lomon_core::verdict::Verdict;
 use lomon_engine::Session;
-use lomon_trace::ndjson::{parse_ndjson_line, StreamLine};
+use lomon_trace::ndjson::{parse_ndjson_line_ref, StreamLineRef};
 use lomon_trace::{json_escape, Frame, FrameDecoder, SimTime, TimedEvent, Vocabulary};
 
 use crate::program::Program;
@@ -284,9 +284,13 @@ fn process_line<'e>(
 ) -> Result<Step, Fault> {
     let text = std::str::from_utf8(line)
         .map_err(|_| Fault::Protocol("frame is not valid UTF-8".to_owned()))?;
-    match parse_ndjson_line(text) {
+    // The zero-copy parser: the event name borrows from the frame (owned
+    // only when a JSON escape forced a copy), and the vocabulary probe is
+    // the read-side byte-keyed table — no `String` per frame on the
+    // steady-state path.
+    match parse_ndjson_line_ref(text) {
         Ok(None) => Ok(Step::Quiet),
-        Ok(Some(StreamLine::Event {
+        Ok(Some(StreamLineRef::Event {
             time,
             direction: _,
             name,
@@ -302,7 +306,7 @@ fn process_line<'e>(
             // and immutable, so a client inventing names cannot grow
             // server memory. The timestamp still advances the deadline
             // sweep, exactly as a subscribed-to-nothing event would.
-            match program.voc.lookup(&name) {
+            match program.voc.lookup_bytes(name.as_bytes()) {
                 Some(known) => session.ingest(TimedEvent::new(known, time)),
                 None => session.advance_time(time),
             }
@@ -310,7 +314,7 @@ fn process_line<'e>(
                 .map_err(|e| io_fault(&e))?;
             Ok(Step::Ingested)
         }
-        Ok(Some(StreamLine::End(time))) => {
+        Ok(Some(StreamLineRef::End(time))) => {
             if time < *last_time {
                 return Err(Fault::Protocol(format!(
                     "end time {time} precedes last event at {}",

@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use lomon_obs::{Counter, Registry};
+use lomon_obs::{Counter, Histogram, Registry};
 
 use crate::name::Direction;
 use crate::time::parse_sim_time;
@@ -37,6 +37,11 @@ pub struct IoMetrics {
     pub bytes: Arc<Counter>,
     /// `lomon_io_parse_errors_total`: lines rejected by the parser.
     pub parse_errors: Arc<Counter>,
+    /// `lomon_ingest_decode_ns`: nanoseconds spent decoding trace bytes
+    /// into events, recorded once per decoded buffer (or stream line in
+    /// `lomon watch`) so the instrumentation itself stays off the per-byte
+    /// hot path.
+    pub decode_ns: Arc<Histogram>,
 }
 
 impl IoMetrics {
@@ -48,6 +53,10 @@ impl IoMetrics {
             parse_errors: registry.counter(
                 "lomon_io_parse_errors_total",
                 "Trace lines rejected by the parser",
+            ),
+            decode_ns: registry.histogram(
+                "lomon_ingest_decode_ns",
+                "Nanoseconds spent decoding trace bytes into events",
             ),
         })
     }
@@ -156,6 +165,7 @@ pub fn read_trace_observed(
     voc: &mut Vocabulary,
     metrics: Option<&IoMetrics>,
 ) -> Result<Trace, TraceParseError> {
+    let started = metrics.map(|_| std::time::Instant::now());
     let mut trace = Trace::new();
     let mut last_time = None;
     let mut lines = 0u64;
@@ -176,6 +186,10 @@ pub fn read_trace_observed(
         m.bytes.add(text.len() as u64);
         if result.is_err() {
             m.parse_errors.inc();
+        }
+        if let Some(t0) = started {
+            m.decode_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
     }
     result.map(|()| trace)

@@ -40,11 +40,13 @@ pub mod frame;
 pub mod io;
 pub mod json;
 pub mod lexer;
+pub mod mmap;
 pub mod name;
 pub mod ndjson;
 pub mod time;
 pub mod trace;
 pub mod vcd;
+pub mod wire;
 
 pub use event::TimedEvent;
 pub use frame::{Frame, FrameDecoder};
@@ -54,8 +56,16 @@ pub use io::{
 };
 pub use json::json_escape;
 pub use lexer::{LexedEvent, LexedToken, RunLengthLexer};
+pub use mmap::MappedFile;
 pub use name::{Direction, Name, NameSet, Vocabulary};
-pub use ndjson::{parse_stream_line, StreamFormat, StreamLine};
+pub use ndjson::{
+    parse_ndjson_line_ref, parse_stream_line, parse_stream_line_bytes, parse_stream_line_ref,
+    StreamFormat, StreamLine, StreamLineRef,
+};
 pub use time::SimTime;
 pub use trace::Trace;
 pub use vcd::write_vcd;
+pub use wire::{
+    byte_lines, decode_events_into, decode_events_into_observed, parse_trace_line_bytes,
+    read_trace_bytes, read_trace_bytes_into, read_trace_bytes_observed, DecodeSummary,
+};

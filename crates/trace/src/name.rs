@@ -7,7 +7,6 @@
 //! side conditions (`i ∈ I`, `α(Q) ⊆ O`) are checked against this
 //! classification.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Whether an interface name is an input or an output of the monitored
@@ -91,7 +90,99 @@ impl fmt::Debug for Name {
 pub struct Vocabulary {
     names: Vec<String>,
     directions: Vec<Direction>,
-    by_string: HashMap<String, Name>,
+    index: ByteIndex,
+}
+
+/// Open-addressed byte-keyed index from name bytes to dense name ids.
+///
+/// This is the "precomputed byte-keyed table" behind
+/// [`Vocabulary::lookup_bytes`]: keys are hashed with FNV-1a over the raw
+/// bytes (no `String` construction, no `SipHash` state) and probed linearly
+/// in a power-of-two slot array. The table stores only `u32` name ids;
+/// key bytes are resolved against the vocabulary's own `names` vector, so
+/// the read side touches one small contiguous allocation. The table is
+/// maintained incrementally by [`Vocabulary::intern`] — a vocabulary that
+/// has stopped interning (the rulebook is compiled, the alphabet is fixed)
+/// is exactly the frozen read-side view the wire-speed decode path wants.
+#[derive(Debug, Clone, Default)]
+struct ByteIndex {
+    /// Power-of-two slot array; `EMPTY_SLOT` marks a free slot, anything
+    /// else is a dense name id.
+    slots: Vec<u32>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// FNV-1a over raw bytes: two arithmetic ops per byte, no per-lookup
+/// hasher state, good enough dispersion for short identifier-like keys.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+impl ByteIndex {
+    /// Find the name id stored for `key`, resolving collisions against the
+    /// backing `names` vector.
+    #[inline]
+    fn get(&self, key: &[u8], names: &[String]) -> Option<Name> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (fnv1a(key) as usize) & mask;
+        loop {
+            let id = self.slots[slot];
+            if id == EMPTY_SLOT {
+                return None;
+            }
+            if names[id as usize].as_bytes() == key {
+                return Some(Name(id));
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Insert the id of the freshly pushed last entry of `names`,
+    /// growing/rehashing at 3/4 load.
+    fn insert_last(&mut self, names: &[String]) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(names);
+        }
+        let id = (names.len() - 1) as u32;
+        let key = names[id as usize].as_bytes();
+        let mask = self.slots.len() - 1;
+        let mut slot = (fnv1a(key) as usize) & mask;
+        while self.slots[slot] != EMPTY_SLOT {
+            slot = (slot + 1) & mask;
+        }
+        self.slots[slot] = id;
+        self.len += 1;
+    }
+
+    /// Rebuild the slot array at double capacity. Only the dense prefix of
+    /// already-indexed names (`0..self.len`, by construction every id
+    /// interned so far) is reinserted — a caller may have pushed the next
+    /// name onto `names` already.
+    fn grow(&mut self, names: &[String]) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        self.slots.clear();
+        self.slots.resize(new_cap, EMPTY_SLOT);
+        let mask = new_cap - 1;
+        for (id, name) in names.iter().take(self.len).enumerate() {
+            let mut slot = (fnv1a(name.as_bytes()) as usize) & mask;
+            while self.slots[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = id as u32;
+        }
+    }
 }
 
 impl Vocabulary {
@@ -103,13 +194,13 @@ impl Vocabulary {
     /// Intern `text` as a name with the given direction, returning the
     /// existing handle if `text` was interned before.
     pub fn intern(&mut self, text: &str, direction: Direction) -> Name {
-        if let Some(&name) = self.by_string.get(text) {
+        if let Some(name) = self.index.get(text.as_bytes(), &self.names) {
             return name;
         }
         let name = Name(self.names.len() as u32);
         self.names.push(text.to_owned());
         self.directions.push(direction);
-        self.by_string.insert(text.to_owned(), name);
+        self.index.insert_last(&self.names);
         name
     }
 
@@ -127,7 +218,31 @@ impl Vocabulary {
 
     /// Look up a previously interned name without inserting.
     pub fn lookup(&self, text: &str) -> Option<Name> {
-        self.by_string.get(text).copied()
+        self.lookup_bytes(text.as_bytes())
+    }
+
+    /// Look up a previously interned name by its raw bytes, without
+    /// inserting and without constructing a `String` or `&str`.
+    ///
+    /// This is the frozen read-side view used by the wire-speed decode
+    /// path: once a rulebook is compiled the vocabulary stops growing, and
+    /// streaming decoders resolve event names straight from the input
+    /// buffer into pre-resolved `u32` [`Name`] ids via the precomputed
+    /// byte-keyed table (FNV-1a + linear probing — no allocation, no
+    /// `SipHash`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lomon_trace::Vocabulary;
+    /// let mut voc = Vocabulary::new();
+    /// let start = voc.input("start");
+    /// assert_eq!(voc.lookup_bytes(b"start"), Some(start));
+    /// assert_eq!(voc.lookup_bytes(b"stop"), None);
+    /// ```
+    #[inline]
+    pub fn lookup_bytes(&self, bytes: &[u8]) -> Option<Name> {
+        self.index.get(bytes, &self.names)
     }
 
     /// The string for `name`.
@@ -340,6 +455,22 @@ mod tests {
             assert_eq!(voc.lookup(text), Some(names[i]));
         }
         assert_eq!(voc.lookup("missing"), None);
+    }
+
+    #[test]
+    fn lookup_bytes_matches_lookup_across_growth() {
+        let mut voc = Vocabulary::new();
+        // Push through several ByteIndex rehashes.
+        let names: Vec<_> = (0..300).map(|i| voc.input(&format!("name_{i}"))).collect();
+        for (i, n) in names.iter().enumerate() {
+            let text = format!("name_{i}");
+            assert_eq!(voc.lookup(&text), Some(*n));
+            assert_eq!(voc.lookup_bytes(text.as_bytes()), Some(*n));
+        }
+        assert_eq!(voc.lookup_bytes(b"name_300"), None);
+        assert_eq!(voc.lookup_bytes(b""), None);
+        let empty = Vocabulary::new();
+        assert_eq!(empty.lookup_bytes(b"anything"), None);
     }
 
     #[test]

@@ -101,6 +101,14 @@ impl Trace {
         self.end_time = Some(time);
     }
 
+    /// Remove all events and any recorded end time, keeping the event
+    /// buffer's capacity. Lets batch readers (e.g. `lomon check` over many
+    /// trace files) reuse one allocation across files.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.end_time = None;
+    }
+
     /// The instant observation stopped: the recorded end time if set,
     /// otherwise the last event's timestamp, otherwise time zero.
     pub fn end_time(&self) -> SimTime {

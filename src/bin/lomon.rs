@@ -62,8 +62,9 @@ use lomon::smc::{
 };
 use lomon::tlm::scenario::{run_scenario, ScenarioConfig};
 use lomon::trace::{
-    json_escape, parse_stream_line, read_trace, write_trace, write_vcd, IoMetrics, Name, NameSet,
-    SimTime, StreamFormat, StreamLine, TimedEvent, Vocabulary,
+    decode_events_into, json_escape, parse_stream_line_bytes, read_trace_bytes_into,
+    read_trace_bytes_observed, write_trace, write_vcd, IoMetrics, MappedFile, Name, NameSet,
+    SimTime, StreamFormat, StreamLineRef, TimedEvent, Vocabulary,
 };
 
 fn main() -> ExitCode {
@@ -173,9 +174,28 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Read one trace file through the wire-speed ingest path: the file is
+/// memory-mapped ([`MappedFile`] — the byte lexer reads the page cache
+/// directly, no heap copy proportional to file size) and decoded by
+/// [`read_trace_bytes_observed`]. Grammar, monotonicity rules and error
+/// text are identical to the old `read_to_string` + `read_trace` pair; a
+/// file that is not UTF-8 still fails with the exact `io::Error` message
+/// `read_to_string` produced.
 fn load(path: &str, voc: &mut Vocabulary) -> Result<lomon::trace::Trace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    read_trace(&text, voc).map_err(|e| e.to_string())
+    let file = map_trace_file(path)?;
+    read_trace_bytes_observed(file.bytes(), voc, None).map_err(|e| e.to_string())
+}
+
+/// Map `path` and validate it as UTF-8 once up front, so binary files keep
+/// the `cannot read …` diagnostic class instead of a per-line parse error.
+fn map_trace_file(path: &str) -> Result<MappedFile, String> {
+    let file = MappedFile::open(path.as_ref()).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if std::str::from_utf8(file.bytes()).is_err() {
+        return Err(format!(
+            "cannot read {path}: stream did not contain valid UTF-8"
+        ));
+    }
+    Ok(file)
 }
 
 /// Compile the whole property set, reporting *every* error before giving
@@ -337,26 +357,15 @@ fn check(args: &[String]) -> ExitCode {
         return usage();
     }
 
-    // Load every trace first (their vocabularies merge), then compile the
-    // property set once — one engine and one session serve all files.
-    let mut voc = Vocabulary::new();
-    let mut traces = Vec::with_capacity(paths.len());
-    for path in paths {
-        match load(path, &mut voc) {
-            Ok(trace) => traces.push(trace),
-            Err(message) => {
-                eprintln!("error: {message}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
     // Live telemetry, exactly as `watch`: the complete family set is
-    // registered and the listener bound before anything runs.
+    // registered and the listener bound before anything runs — including
+    // the trace decode, whose nanoseconds land in `lomon_ingest_decode_ns`.
     let mut telemetry = None;
     let mut server = None;
     if let Some(addr) = &metrics_addr {
         let registry = Arc::new(Registry::new());
         let session_metrics = SessionMetrics::register(&registry);
+        let io_metrics = IoMetrics::register(&registry);
         let compile_ns = registry.histogram(
             "lomon_compile_ns",
             "Wall-clock nanoseconds spent compiling the rulebook",
@@ -365,11 +374,39 @@ fn check(args: &[String]) -> ExitCode {
             Ok(bound) => server = Some(bound),
             Err(code) => return code,
         }
-        telemetry = Some((session_metrics, compile_ns));
+        telemetry = Some((session_metrics, io_metrics, compile_ns));
     }
+    let io_metrics = telemetry.as_ref().map(|(_, io, _)| io.as_ref());
+
+    // Wire-speed ingest, in two passes over memory-mapped files. First
+    // every file is lexed once straight from the page cache to merge the
+    // alphabets into one vocabulary (and surface every parse error before
+    // anything runs); then the property set is compiled once — one engine
+    // and one session serve all files. The replay pass below re-decodes
+    // each mapping against the now-frozen vocabulary into one reused
+    // pre-resolved event buffer, so peak memory is one file's events, not
+    // the sum of all files'.
+    let mut voc = Vocabulary::new();
+    let mut files = Vec::with_capacity(paths.len());
+    let mut scratch = lomon::trace::Trace::new();
+    for path in paths {
+        let outcome = map_trace_file(path).and_then(|file| {
+            read_trace_bytes_into(file.bytes(), &mut voc, &mut scratch, io_metrics)
+                .map_err(|e| e.to_string())?;
+            Ok((file, scratch.len(), scratch.end_time()))
+        });
+        match outcome {
+            Ok(entry) => files.push(entry),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    drop(scratch);
     let compile_span = telemetry
         .as_ref()
-        .map(|(_, compile_ns)| Stopwatch::start(Arc::clone(compile_ns)));
+        .map(|(_, _, compile_ns)| Stopwatch::start(Arc::clone(compile_ns)));
     let engine = match compile_all(properties, &mut voc, deny_warnings) {
         Ok(engine) => engine,
         Err(code) => return code,
@@ -379,21 +416,31 @@ fn check(args: &[String]) -> ExitCode {
     if explain {
         session.enable_explain(EXPLAIN_CAPACITY);
     }
-    if let Some((session_metrics, _)) = &telemetry {
+    if let Some((session_metrics, _, _)) = &telemetry {
         session.attach_metrics(Arc::clone(session_metrics));
     }
     let mut reports = Vec::with_capacity(paths.len());
     let mut finalized = Vec::new();
-    for trace in &traces {
+    let mut events: Vec<TimedEvent> = Vec::new();
+    for (file, _, end_time) in &files {
+        // The intern pass above fed the whole alphabet into `voc`, so the
+        // frozen-vocabulary decode cannot fail here; a failure would mean
+        // the mapped file changed under us between the passes. This pass
+        // is deliberately unobserved — the intern pass already counted
+        // every line and byte once, as the single-read path did.
+        if let Err(e) = decode_events_into(file.bytes(), &voc, &mut events) {
+            eprintln!("error: trace changed while being read: {e}");
+            return ExitCode::FAILURE;
+        }
         session.reset();
         match stats_every {
-            None => session.ingest_batch(trace.events()),
+            None => session.ingest_batch(&events),
             Some(every) => {
                 // Heartbeats need batch boundaries: ingest in
                 // `--stats-every`-sized chunks and emit one stats line
                 // (stderr, like the text-mode watch heartbeat) per chunk.
                 let mut violations = 0u64;
-                for chunk in trace.events().chunks(every as usize) {
+                for chunk in events.chunks(every as usize) {
                     session.ingest_batch(chunk);
                     session.drain_newly_final_into(&mut finalized);
                     violations += finalized
@@ -404,7 +451,7 @@ fn check(args: &[String]) -> ExitCode {
                 }
             }
         }
-        reports.push(session.finish(trace.end_time()));
+        reports.push(session.finish(*end_time));
     }
     // Stop serving scrapes before the reports, as watch/smc do: a scrape
     // racing the shutdown gets a clean 503, never a torn snapshot.
@@ -412,14 +459,10 @@ fn check(args: &[String]) -> ExitCode {
         server.drain();
     }
     let mut all_ok = true;
-    for ((path, trace), report) in paths.iter().zip(&traces).zip(&reports) {
+    for ((path, (_, len, end_time)), report) in paths.iter().zip(&files).zip(&reports) {
         match format {
             ReportFormat::Text => {
-                println!(
-                    "{path}: {} events, end at {}",
-                    trace.len(),
-                    trace.end_time()
-                );
+                println!("{path}: {len} events, end at {end_time}");
                 print!("{}", report.render(&voc));
             }
             // One JSON object per trace file, NDJSON-style, so a script
@@ -537,32 +580,64 @@ fn watch(args: &[String]) -> ExitCode {
     }
 
     let stdin = std::io::stdin();
+    let mut input = stdin.lock();
     let mut last_time = SimTime::ZERO;
     let mut finalized = Vec::new();
     let mut violations = 0u64;
     let mut parse_errors = 0u64;
     let mut next_heartbeat = stats_every.unwrap_or(u64::MAX);
-    for (idx, line) in stdin.lock().lines().enumerate() {
-        let line_no = idx + 1;
-        let line = match line {
-            Ok(line) => line,
+    // The wire-speed stdin loop: one reused byte buffer instead of a fresh
+    // `String` per line, the zero-copy byte-slice parser instead of the
+    // owned one (the event name borrows from the buffer until `intern`),
+    // and — armed only under `--metrics` — one decode-nanoseconds sample
+    // per line.
+    let mut raw: Vec<u8> = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        raw.clear();
+        match input.read_until(b'\n', &mut raw) {
+            Ok(0) => break,
+            Ok(_) => {}
             Err(e) => {
                 eprintln!("error: cannot read stdin: {e}");
                 return ExitCode::FAILURE;
             }
-        };
+        }
+        line_no += 1;
+        // Shed the terminator exactly as `BufRead::lines` does: the `\n`,
+        // and a `\r` only as part of a CRLF pair.
+        if raw.last() == Some(&b'\n') {
+            raw.pop();
+            if raw.last() == Some(&b'\r') {
+                raw.pop();
+            }
+        }
         if let Some((_, io_metrics, _)) = &telemetry {
             io_metrics.lines.inc();
-            io_metrics.bytes.add(line.len() as u64 + 1); // + the newline
+            io_metrics.bytes.add(raw.len() as u64 + 1); // + the newline
+        }
+        // `BufRead::lines` made a non-UTF-8 line fatal (its per-line
+        // validation failed the read itself); the byte loop preserves that
+        // contract with the identical message.
+        if !raw.is_ascii() && std::str::from_utf8(&raw).is_err() {
+            eprintln!("error: cannot read stdin: stream did not contain valid UTF-8");
+            return ExitCode::FAILURE;
         }
         // A bad line costs only itself: it is counted, reported as an
         // error record, and skipped — the stream keeps flowing, exactly
         // like a faulted `lomon serve` stream costs only its own
         // connection. `--strict` restores the fail-fast contract for
         // pipelines that prefer to die over monitoring a desynced stream.
-        let reason = match parse_stream_line(format, &line) {
+        let decode_span = telemetry.as_ref().map(|_| std::time::Instant::now());
+        let parsed = parse_stream_line_bytes(format, &raw);
+        if let (Some(t0), Some((_, io_metrics, _))) = (decode_span, &telemetry) {
+            io_metrics
+                .decode_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        let reason = match parsed {
             Ok(None) => continue, // blank line or comment
-            Ok(Some(StreamLine::Event {
+            Ok(Some(StreamLineRef::Event {
                 time,
                 direction,
                 name,
@@ -573,7 +648,7 @@ fn watch(args: &[String]) -> ExitCode {
                 violations += report_finalized(&mut session, &voc, format, &mut finalized);
                 None
             }
-            Ok(Some(StreamLine::End(time))) if time >= last_time => {
+            Ok(Some(StreamLineRef::End(time))) if time >= last_time => {
                 // Like `read_trace`: `end` advances the observation clock
                 // but the stream may continue (later events move the end
                 // further, exactly as `Trace::push` after `set_end_time`).
@@ -582,10 +657,10 @@ fn watch(args: &[String]) -> ExitCode {
                 violations += report_finalized(&mut session, &voc, format, &mut finalized);
                 None
             }
-            Ok(Some(StreamLine::Event { time, .. })) => Some(format!(
+            Ok(Some(StreamLineRef::Event { time, .. })) => Some(format!(
                 "timestamp {time} precedes previous event at {last_time}"
             )),
-            Ok(Some(StreamLine::End(time))) => Some(format!(
+            Ok(Some(StreamLineRef::End(time))) => Some(format!(
                 "end time {time} precedes last event at {last_time}"
             )),
             Err(message) => Some(message),

@@ -9,7 +9,7 @@
 //!
 //! | Module | Crate | Paper |
 //! |---|---|---|
-//! | [`trace`] | `lomon-trace` | §2 interfaces, names, simulated time |
+//! | [`trace`] | `lomon-trace` | §2 interfaces, names, simulated time; wire-speed ingest: `mmap`-backed files (`trace::MappedFile`), zero-copy byte lexing of the text/NDJSON grammars (`trace::wire`, `trace::ndjson`), frozen-vocabulary decode to pre-resolved ids (`trace::Vocabulary::lookup_bytes`, `trace::decode_events_into`) |
 //! | [`core`] | `lomon-core` | §3–§5 patterns, Fig. 5 recognizers, Drct monitors, compiled flat-table backend, fused rulebook programs, static analysis (`core::analysis`: L003–L009 lints, dead-table pruning), witness capture + flight recorder (`core::witness`) |
 //! | [`engine`] | `lomon-engine` | streaming multi-property engine, event-indexed dispatch, fused/compiled/interpreted backends, compile-time analysis integration |
 //! | [`psl`] | `lomon-psl` | §5 translation to PSL, ViaPSL baseline |
